@@ -1,0 +1,66 @@
+//! The scalability argument of Section 3.1: K-Means scales to the millions
+//! of kernels in scaled workloads, hierarchical clustering does not.
+//!
+//! `kmeans` should grow roughly linearly with the point count while
+//! `hierarchical` grows super-quadratically — the quantitative basis for
+//! the paper's claim that TBPoint-style clustering "demands an impractical
+//! amount of memory and runtime".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pka_ml::{Agglomerative, KMeans, Matrix, Pca, StandardScaler};
+use pka_stats::hash::UnitStream;
+use std::hint::black_box;
+
+/// Synthetic kernel-metric cloud: `n` points around 6 behavioural centres
+/// in 12-dimensional (Table 2) space.
+fn metric_cloud(n: usize) -> Matrix {
+    let mut rng = UnitStream::new(42);
+    let centres: Vec<Vec<f64>> = (0..6)
+        .map(|c| (0..12).map(|d| ((c * 5 + d) % 7) as f64 * 2.0).collect())
+        .collect();
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let c = &centres[i % 6];
+            c.iter().map(|&x| x + rng.next_range(-0.3, 0.3)).collect()
+        })
+        .collect();
+    Matrix::from_rows(&rows).expect("valid cloud")
+}
+
+fn bench_kmeans_vs_hierarchical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering_scalability");
+    group.sample_size(10);
+    for n in [100usize, 200, 400, 800] {
+        let data = metric_cloud(n);
+        group.bench_with_input(BenchmarkId::new("kmeans_k6", n), &data, |b, data| {
+            b.iter(|| KMeans::new(6).with_seed(1).fit(black_box(data)).unwrap())
+        });
+        // The quadratic method is only benchmarked where it is still
+        // tractable at all.
+        if n <= 400 {
+            group.bench_with_input(BenchmarkId::new("hierarchical", n), &data, |b, data| {
+                b.iter(|| Agglomerative::new().cut_at(black_box(data), 1.0).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_pca(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pca");
+    group.sample_size(20);
+    for n in [500usize, 5_000] {
+        let data = metric_cloud(n);
+        group.bench_with_input(BenchmarkId::new("fit_transform", n), &data, |b, data| {
+            b.iter(|| {
+                let (_, scaled) = StandardScaler::fit_transform(black_box(data)).unwrap();
+                let fit = Pca::full().fit(&scaled).unwrap().truncated_to_variance(0.95);
+                fit.transform(&scaled).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans_vs_hierarchical, bench_pca);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! The Principal Kernel Projection trade-off (Figure 5's threshold sweep,
+//! as a benchmark): how much simulation each stability threshold buys, and
+//! the cost of the wave-constraint ablation.
+//!
+//! Criterion measures wall time of the monitored runs; looser thresholds
+//! must run measurably faster because they stop earlier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pka_core::{PkpConfig, PkpMonitor};
+use pka_gpu::{GpuConfig, KernelDescriptor};
+use pka_sim::{SimOptions, Simulator};
+use std::hint::black_box;
+
+fn long_stable_kernel() -> KernelDescriptor {
+    KernelDescriptor::builder("bench_stable")
+        .grid_blocks(512)
+        .block_threads(256)
+        .fp32_per_thread(200)
+        .global_loads_per_thread(12)
+        .build()
+        .expect("valid kernel")
+}
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    let sim = Simulator::new(
+        GpuConfig::builder("bench16").num_sms(16).build().unwrap(),
+        SimOptions::default(),
+    );
+    let kernel = long_stable_kernel();
+    let mut group = c.benchmark_group("pkp_threshold_sweep");
+    group.sample_size(10);
+    for s in [2.5, 0.25, 0.025] {
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| {
+                let mut monitor = PkpMonitor::new(
+                    PkpConfig::default().with_threshold(s),
+                    sim.options().sample_interval(),
+                );
+                sim.run_kernel_monitored(black_box(&kernel), &mut monitor)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_wave_constraint_ablation(c: &mut Criterion) {
+    let sim = Simulator::new(
+        GpuConfig::builder("bench16").num_sms(16).build().unwrap(),
+        SimOptions::default(),
+    );
+    let kernel = long_stable_kernel();
+    let mut group = c.benchmark_group("pkp_wave_constraint");
+    group.sample_size(10);
+    for (name, enforce) in [("with_wave", true), ("without_wave", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut monitor = PkpMonitor::new(
+                    PkpConfig::default().with_wave_constraint(enforce),
+                    sim.options().sample_interval(),
+                );
+                sim.run_kernel_monitored(black_box(&kernel), &mut monitor)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold_sweep, bench_wave_constraint_ablation);
+criterion_main!(benches);

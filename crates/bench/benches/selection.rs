@@ -1,0 +1,77 @@
+//! Principal Kernel Selection cost: the end-to-end profile→PCA→K-sweep
+//! pipeline on real workload streams, and the two-level classifier
+//! mapping throughput (which must digest millions of lightweight records
+//! for the MLPerf workloads).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pka_core::{Pks, PksConfig};
+use pka_gpu::GpuConfig;
+use pka_ml::classify::{Classifier, Ensemble, GaussianNb, MlpClassifier, SgdClassifier};
+use pka_ml::Matrix;
+use pka_profile::{LightweightRecord, Profiler};
+use pka_workloads::{polybench, rodinia, Workload};
+use std::hint::black_box;
+
+fn find(suite: Vec<Workload>, name: &str) -> Workload {
+    suite.into_iter().find(|w| w.name() == name).expect("known workload")
+}
+
+fn bench_pks(c: &mut Criterion) {
+    let profiler = Profiler::new(GpuConfig::v100());
+    let mut group = c.benchmark_group("pks_select");
+    group.sample_size(10);
+    for w in [
+        find(rodinia::workloads(), "gauss_208"),
+        find(polybench::workloads(), "fdtd2d"),
+        find(polybench::workloads(), "gramschmidt"),
+    ] {
+        let records = profiler.detailed(&w, 0..w.kernel_count()).expect("profiled");
+        group.throughput(Throughput::Elements(records.len() as u64));
+        group.bench_function(w.name(), |b| {
+            b.iter(|| {
+                Pks::new(PksConfig::default())
+                    .select(black_box(&records))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_level_classification(c: &mut Criterion) {
+    // Train on gramschmidt's first 600 kernels, then measure the per-record
+    // mapping throughput that the MLPerf tails (millions of records) hit.
+    let profiler = Profiler::new(GpuConfig::v100());
+    let w = find(polybench::workloads(), "gramschmidt");
+    let detailed = profiler.detailed(&w, 0..600).expect("profiled");
+    let selection = Pks::new(PksConfig::default()).select(&detailed).expect("selected");
+    let train = profiler.lightweight(&w, 0..600);
+    let x = Matrix::from_rows(
+        &train.iter().map(|r| r.to_feature_vector()).collect::<Vec<_>>(),
+    )
+    .expect("features");
+    let y = selection.labels().to_vec();
+    let ensemble = Ensemble::new(vec![
+        Box::new(SgdClassifier::fit(&x, &y, 0).expect("sgd")),
+        Box::new(GaussianNb::fit(&x, &y).expect("gnb")),
+        Box::new(MlpClassifier::fit(&x, &y, 1).expect("mlp")),
+    ]);
+    let tail: Vec<LightweightRecord> = profiler.lightweight(&w, 600..1600);
+
+    let mut group = c.benchmark_group("two_level_mapping");
+    group.throughput(Throughput::Elements(tail.len() as u64));
+    group.bench_function("classify_1000_records", |b| {
+        b.iter(|| {
+            let mut counts = vec![0u64; selection.k()];
+            for r in &tail {
+                let g = ensemble.predict(black_box(&r.to_feature_vector())).unwrap();
+                counts[g] += 1;
+            }
+            counts
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pks, bench_two_level_classification);
+criterion_main!(benches);

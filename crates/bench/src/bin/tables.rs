@@ -1,0 +1,107 @@
+//! The `tables` binary: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! tables [--quick] [--out DIR] [REPORT...]
+//! ```
+//!
+//! `REPORT` is any of `fig1 table3 fig4 fig5 fig6 fig7 fig8 table4 fig9
+//! fig10 single_iter` or `all` (the default). `--quick` shrinks the
+//! full-simulation budget for smoke runs. Each report's text is printed to
+//! stdout and its JSON record set written to `DIR` (default
+//! `results/`).
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pka_bench::{tables, ExperimentRunner, RunnerOptions};
+
+fn main() {
+    let mut quick = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }))
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: tables [--quick] [--out DIR] [fig1|table3|fig4|fig5|fig6|fig7|fig8|table4|fig9|fig10|single_iter|all]...");
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".into());
+    }
+    let all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+
+    let options = if quick {
+        RunnerOptions::quick()
+    } else {
+        RunnerOptions::default()
+    };
+    let runner = ExperimentRunner::new(options);
+    fs::create_dir_all(&out_dir).expect("create output directory");
+
+    // fig7/fig8 are one computation; fig8 aliases it.
+    let mut plan: Vec<(&str, Box<dyn Fn(&ExperimentRunner) -> _>)> = Vec::new();
+    if want("fig1") {
+        plan.push(("fig1", Box::new(tables::fig1)));
+    }
+    if want("table3") {
+        plan.push(("table3", Box::new(tables::table3)));
+    }
+    if want("fig4") {
+        plan.push(("fig4", Box::new(tables::fig4)));
+    }
+    if want("fig5") {
+        plan.push(("fig5", Box::new(|_: &ExperimentRunner| tables::fig5())));
+    }
+    if want("fig7") || want("fig8") {
+        plan.push(("fig7_fig8", Box::new(tables::fig7_fig8)));
+    }
+    if want("table4") {
+        plan.push(("table4", Box::new(tables::table4)));
+    }
+    if want("fig6") {
+        plan.push(("fig6", Box::new(tables::fig6)));
+    }
+    if want("fig9") {
+        plan.push(("fig9", Box::new(tables::fig9)));
+    }
+    if want("fig10") {
+        plan.push(("fig10", Box::new(tables::fig10)));
+    }
+    if want("single_iter") {
+        plan.push(("single_iter", Box::new(tables::single_iteration_study)));
+    }
+
+    for (name, generate) in plan {
+        let start = Instant::now();
+        match generate(&runner) {
+            Ok(report) => {
+                println!("{}", report.text);
+                println!(
+                    "[{name} generated in {:.1}s]\n",
+                    start.elapsed().as_secs_f64()
+                );
+                let path = out_dir.join(format!("{}.json", report.name));
+                let payload =
+                    serde_json::to_string_pretty(&report.data).expect("serialisable report");
+                fs::write(&path, payload).expect("write report json");
+            }
+            Err(e) => {
+                eprintln!("error generating {name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+use pka_gpu::GpuError;
+use pka_ml::MlError;
+use pka_sim::SimError;
+
+/// Errors produced by the PKA pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PkaError {
+    /// A machine-learning stage failed.
+    Ml(MlError),
+    /// The GPU model rejected a kernel or configuration.
+    Gpu(GpuError),
+    /// The cycle-level simulator failed.
+    Sim(SimError),
+    /// The pipeline was invoked on unusable input.
+    InvalidInput {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for PkaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PkaError::Ml(e) => write!(f, "ml stage failed: {e}"),
+            PkaError::Gpu(e) => write!(f, "gpu model failed: {e}"),
+            PkaError::Sim(e) => write!(f, "simulation failed: {e}"),
+            PkaError::InvalidInput { message } => write!(f, "invalid input: {message}"),
+        }
+    }
+}
+
+impl Error for PkaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PkaError::Ml(e) => Some(e),
+            PkaError::Gpu(e) => Some(e),
+            PkaError::Sim(e) => Some(e),
+            PkaError::InvalidInput { .. } => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<MlError> for PkaError {
+    fn from(e: MlError) -> Self {
+        PkaError::Ml(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<GpuError> for PkaError {
+    fn from(e: GpuError) -> Self {
+        PkaError::Gpu(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<SimError> for PkaError {
+    fn from(e: SimError) -> Self {
+        PkaError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PkaError::from(MlError::EmptyInput);
+        assert!(e.to_string().contains("ml stage"));
+        assert!(e.source().is_some());
+        let e = PkaError::InvalidInput {
+            message: "no kernels".into(),
+        };
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PkaError>();
+    }
+}

@@ -1,0 +1,57 @@
+use pka_ml::Matrix;
+use pka_profile::DetailedRecord;
+
+use crate::PkaError;
+
+/// Assembles the PCA input matrix from detailed profiling records: one row
+/// per kernel, one column per Table 2 metric (count metrics
+/// log-compressed — see
+/// [`KernelMetrics::to_feature_vector`](pka_gpu::KernelMetrics::to_feature_vector)).
+///
+/// # Errors
+///
+/// Returns [`PkaError::InvalidInput`] if `records` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use pka_core::feature_matrix;
+/// use pka_gpu::GpuConfig;
+/// use pka_profile::Profiler;
+/// use pka_workloads::rodinia;
+///
+/// let w = rodinia::workloads()
+///     .into_iter()
+///     .find(|w| w.name() == "bfs65536")
+///     .expect("exists");
+/// let records = Profiler::new(GpuConfig::v100()).detailed(&w, 0..20)?;
+/// let m = feature_matrix(&records)?;
+/// assert_eq!(m.rows(), 20);
+/// assert_eq!(m.cols(), 12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn feature_matrix(records: &[DetailedRecord]) -> Result<Matrix, PkaError> {
+    if records.is_empty() {
+        return Err(PkaError::InvalidInput {
+            message: "no detailed profiling records".into(),
+        });
+    }
+    let rows: Vec<Vec<f64>> = records
+        .iter()
+        .map(|r| r.metrics.to_feature_vector())
+        .collect();
+    Ok(Matrix::from_rows(&rows)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_records_rejected() {
+        assert!(matches!(
+            feature_matrix(&[]),
+            Err(PkaError::InvalidInput { .. })
+        ));
+    }
+}

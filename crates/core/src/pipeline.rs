@@ -1,0 +1,416 @@
+use pka_gpu::GpuConfig;
+use pka_profile::Profiler;
+use pka_sim::{cost, SimOptions, Simulator};
+use pka_stats::error::abs_pct_error;
+use pka_workloads::Workload;
+
+use crate::{PkaError, Pks, PkpConfig, PkpMonitor, PksConfig, ProjectedKernel, Selection, TwoLevel, TwoLevelConfig};
+
+/// End-to-end PKA configuration: selection, projection, two-level and
+/// simulator knobs.
+///
+/// # Examples
+///
+/// ```
+/// use pka_core::PkaConfig;
+///
+/// let config = PkaConfig::default();
+/// assert_eq!(config.pks().target_error_pct(), 5.0);
+/// assert_eq!(config.pkp().threshold(), 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PkaConfig {
+    pks: PksConfig,
+    pkp: PkpConfig,
+    two_level: TwoLevelConfig,
+    sim: SimOptions,
+}
+
+impl PkaConfig {
+    /// Overrides the PKS configuration (also applied inside two-level).
+    pub fn with_pks(mut self, pks: PksConfig) -> Self {
+        self.pks = pks;
+        self.two_level = self.two_level.with_pks(pks);
+        self
+    }
+
+    /// Overrides the PKP configuration.
+    pub fn with_pkp(mut self, pkp: PkpConfig) -> Self {
+        self.pkp = pkp;
+        self
+    }
+
+    /// Overrides the two-level configuration (its PKS settings are kept in
+    /// sync with [`with_pks`](Self::with_pks) if that is called afterwards).
+    pub fn with_two_level(mut self, two_level: TwoLevelConfig) -> Self {
+        self.two_level = two_level;
+        self
+    }
+
+    /// Overrides the simulator options.
+    pub fn with_sim_options(mut self, sim: SimOptions) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// The PKS configuration.
+    pub fn pks(&self) -> PksConfig {
+        self.pks
+    }
+
+    /// The PKP configuration.
+    pub fn pkp(&self) -> PkpConfig {
+        self.pkp
+    }
+
+    /// The two-level configuration.
+    pub fn two_level(&self) -> TwoLevelConfig {
+        self.two_level
+    }
+
+    /// The simulator options.
+    pub fn sim_options(&self) -> SimOptions {
+        self.sim
+    }
+}
+
+/// Silicon-only PKS evaluation (the first six columns of Table 4): how well
+/// do the representatives, *run on real silicon*, project the application?
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiliconPksReport {
+    /// Workload name.
+    pub workload: String,
+    /// GPU the representatives were (re-)executed on.
+    pub gpu: String,
+    /// Number of groups selected.
+    pub k: usize,
+    /// Kernels in the full stream.
+    pub kernels_total: u64,
+    /// Projected application cycles from the representatives.
+    pub projected_cycles: u64,
+    /// Measured full-application cycles.
+    pub silicon_cycles: u64,
+    /// Projection error, percent.
+    pub error_pct: f64,
+    /// Execution-time reduction: full app seconds over representative-only
+    /// seconds.
+    pub speedup: f64,
+}
+
+/// One sampled-simulation outcome (PKS-only or full PKA) plus the baseline
+/// full-simulation numbers when they exist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationReport {
+    /// Workload name.
+    pub workload: String,
+    /// Measured silicon cycles (the error reference).
+    pub silicon_cycles: u64,
+    /// Full-simulation cycles, if full simulation was run.
+    pub fullsim_cycles: Option<u64>,
+    /// Full-simulation DRAM utilisation, percent.
+    pub fullsim_dram_util_pct: Option<f64>,
+    /// Full-simulation error versus silicon, percent.
+    pub sim_error_pct: Option<f64>,
+    /// Wall-clock hours to run the full simulation (projected via the cost
+    /// model; derived from silicon cycles when full simulation was skipped).
+    pub fullsim_hours: f64,
+
+    /// PKS-only projected application cycles.
+    pub pks_projected_cycles: u64,
+    /// PKS-only projection error versus silicon, percent.
+    pub pks_error_pct: f64,
+    /// Simulator cycles actually spent for PKS-only (reps run to
+    /// completion).
+    pub pks_simulated_cycles: u64,
+    /// Projected wall-clock hours for PKS-only simulation.
+    pub pks_hours: f64,
+
+    /// Full-PKA (PKS + PKP) projected application cycles.
+    pub pka_projected_cycles: u64,
+    /// Full-PKA projection error versus silicon, percent.
+    pub pka_error_pct: f64,
+    /// Simulator cycles actually spent for PKA (reps stopped at stability).
+    pub pka_simulated_cycles: u64,
+    /// Projected wall-clock hours for PKA simulation.
+    pub pka_hours: f64,
+    /// PKA-projected DRAM utilisation, percent (group-weighted).
+    pub pka_dram_util_pct: f64,
+}
+
+impl SimulationReport {
+    /// Simulation-time speedup of PKS over full simulation.
+    pub fn pks_speedup(&self) -> f64 {
+        self.reference_sim_cycles() as f64 / self.pks_simulated_cycles.max(1) as f64
+    }
+
+    /// Simulation-time speedup of PKA over full simulation.
+    pub fn pka_speedup(&self) -> f64 {
+        self.reference_sim_cycles() as f64 / self.pka_simulated_cycles.max(1) as f64
+    }
+
+    fn reference_sim_cycles(&self) -> u64 {
+        self.fullsim_cycles.unwrap_or(self.silicon_cycles)
+    }
+}
+
+/// The Principal Kernel Analysis pipeline bound to one GPU configuration.
+#[derive(Debug, Clone)]
+pub struct Pka {
+    gpu: GpuConfig,
+    config: PkaConfig,
+    profiler: Profiler,
+}
+
+impl Pka {
+    /// Creates the pipeline for `gpu`.
+    pub fn new(gpu: GpuConfig, config: PkaConfig) -> Self {
+        let profiler = Profiler::new(gpu.clone());
+        Self {
+            gpu,
+            config,
+            profiler,
+        }
+    }
+
+    /// The bound GPU configuration.
+    pub fn gpu(&self) -> &GpuConfig {
+        &self.gpu
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PkaConfig {
+        &self.config
+    }
+
+    /// The profiler this pipeline profiles with.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Profiles the workload (automatically one-level or two-level per the
+    /// one-week tractability rule) and selects principal kernels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling and clustering failures.
+    pub fn select_kernels(&self, workload: &Workload) -> Result<Selection, PkaError> {
+        let cost = self.profiler.profiling_cost(workload);
+        if cost.detailed_is_intractable() {
+            TwoLevel::new(self.config.two_level).analyze(workload, &self.profiler)
+        } else {
+            let records = self
+                .profiler
+                .detailed(workload, 0..workload.kernel_count())?;
+            Pks::new(self.config.pks).select(&records)
+        }
+    }
+
+    /// Evaluates PKS against silicon on this pipeline's GPU (Table 4's
+    /// Volta silicon columns).
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling and clustering failures.
+    pub fn silicon_pks_report(&self, workload: &Workload) -> Result<SiliconPksReport, PkaError> {
+        let selection = self.select_kernels(workload)?;
+        self.silicon_report_for(workload, &selection)
+    }
+
+    /// Re-evaluates an existing selection (typically made on Volta) against
+    /// this pipeline's silicon — the cross-generation transfer experiment
+    /// of Section 5.2.2.
+    ///
+    /// # Errors
+    ///
+    /// Propagates silicon-model failures.
+    pub fn silicon_report_for(
+        &self,
+        workload: &Workload,
+        selection: &Selection,
+    ) -> Result<SiliconPksReport, PkaError> {
+        let silicon = self.profiler.silicon_run(workload)?;
+        // Run only the representatives on this GPU.
+        let mut rep_cycles = Vec::with_capacity(selection.k());
+        let mut rep_seconds = 0.0;
+        for id in selection.representative_ids() {
+            let records = self.profiler.detailed(workload, id.index()..id.index() + 1)?;
+            rep_cycles.push(records[0].cycles);
+            rep_seconds += records[0].seconds;
+        }
+        let projected = selection.project_with(&rep_cycles);
+        Ok(SiliconPksReport {
+            workload: workload.name().to_string(),
+            gpu: self.gpu.name().to_string(),
+            k: selection.k(),
+            kernels_total: workload.kernel_count(),
+            projected_cycles: projected,
+            silicon_cycles: silicon.total_cycles,
+            error_pct: abs_pct_error(projected as f64, silicon.total_cycles as f64),
+            speedup: silicon.total_seconds / rep_seconds.max(1e-12),
+        })
+    }
+
+    /// Full evaluation in simulation: full-sim baseline (optional — skip it
+    /// for workloads where it is intractable), PKS-only, and full PKA.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling, clustering and simulation failures.
+    pub fn evaluate_in_simulation(
+        &self,
+        workload: &Workload,
+        run_full_sim: bool,
+    ) -> Result<SimulationReport, PkaError> {
+        let selection = self.select_kernels(workload)?;
+        let silicon = self.profiler.silicon_run(workload)?;
+        let simulator = Simulator::new(self.gpu.clone(), self.config.sim);
+
+        // Baseline: full simulation of every kernel.
+        let (fullsim_cycles, fullsim_dram, sim_error) = if run_full_sim {
+            let mut total = 0u64;
+            let mut dram_weighted = 0.0f64;
+            for (_, kernel) in workload.iter() {
+                let r = simulator.run_kernel(&kernel)?;
+                total += r.cycles;
+                dram_weighted += r.dram_util_pct * r.cycles as f64;
+            }
+            let dram = dram_weighted / total.max(1) as f64;
+            (
+                Some(total),
+                Some(dram),
+                Some(abs_pct_error(total as f64, silicon.total_cycles as f64)),
+            )
+        } else {
+            (None, None, None)
+        };
+
+        // PKS-only: representatives simulated to completion.
+        let mut pks_rep_cycles = Vec::with_capacity(selection.k());
+        let mut pks_spent = 0u64;
+        // Full PKA: representatives simulated under the PKP monitor.
+        let mut pka_rep_cycles = Vec::with_capacity(selection.k());
+        let mut pka_spent = 0u64;
+        let mut pka_dram_weighted = 0.0f64;
+        let mut pka_weight = 0.0f64;
+
+        for id in selection.representative_ids() {
+            let kernel = workload.kernel(id);
+            let full = simulator.run_kernel(&kernel)?;
+            pks_rep_cycles.push(full.cycles);
+            pks_spent += full.cycles;
+
+            let mut monitor =
+                PkpMonitor::new(self.config.pkp, self.config.sim.sample_interval());
+            let stopped = simulator.run_kernel_monitored(&kernel, &mut monitor)?;
+            let projected = ProjectedKernel::from_monitored(&stopped, &monitor);
+            pka_rep_cycles.push(projected.cycles);
+            pka_spent += projected.simulated_cycles;
+            pka_dram_weighted += projected.dram_util_pct * projected.cycles as f64;
+            pka_weight += projected.cycles as f64;
+        }
+
+        let pks_projected = selection.project_with(&pks_rep_cycles);
+        let pka_projected = selection.project_with(&pka_rep_cycles);
+        let fullsim_hours =
+            cost::projected_sim_hours(fullsim_cycles.unwrap_or(silicon.total_cycles));
+
+        Ok(SimulationReport {
+            workload: workload.name().to_string(),
+            silicon_cycles: silicon.total_cycles,
+            fullsim_cycles,
+            fullsim_dram_util_pct: fullsim_dram,
+            sim_error_pct: sim_error,
+            fullsim_hours,
+            pks_projected_cycles: pks_projected,
+            pks_error_pct: abs_pct_error(pks_projected as f64, silicon.total_cycles as f64),
+            pks_simulated_cycles: pks_spent,
+            pks_hours: cost::projected_sim_hours(pks_spent),
+            pka_projected_cycles: pka_projected,
+            pka_error_pct: abs_pct_error(pka_projected as f64, silicon.total_cycles as f64),
+            pka_simulated_cycles: pka_spent,
+            pka_hours: cost::projected_sim_hours(pka_spent),
+            pka_dram_util_pct: pka_dram_weighted / pka_weight.max(1e-12),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pka_workloads::{parboil, rodinia, Workload};
+
+    fn find(suite: Vec<Workload>, name: &str) -> Workload {
+        suite.into_iter().find(|w| w.name() == name).unwrap()
+    }
+
+    fn tiny_pka() -> Pka {
+        // A small GPU keeps debug-mode simulation fast.
+        let gpu = GpuConfig::builder("tiny8").num_sms(8).build().unwrap();
+        Pka::new(gpu, PkaConfig::default())
+    }
+
+    #[test]
+    fn silicon_report_on_gaussian_shows_large_speedup() {
+        let pka = Pka::new(GpuConfig::v100(), PkaConfig::default());
+        let w = find(rodinia::workloads(), "gauss_208");
+        let report = pka.silicon_pks_report(&w).unwrap();
+        assert!(report.error_pct < 6.0, "error {}", report.error_pct);
+        assert!(report.speedup > 50.0, "speedup {}", report.speedup);
+        assert_eq!(report.kernels_total, 414);
+    }
+
+    #[test]
+    fn single_kernel_app_has_no_speedup() {
+        let pka = Pka::new(GpuConfig::v100(), PkaConfig::default());
+        let w = find(rodinia::workloads(), "nn");
+        let report = pka.silicon_pks_report(&w).unwrap();
+        assert_eq!(report.k, 1);
+        assert!(report.speedup < 1.5, "{}", report.speedup);
+        assert!(report.error_pct < 5.0);
+    }
+
+    #[test]
+    fn cross_generation_transfer_keeps_error_low() {
+        let volta = Pka::new(GpuConfig::v100(), PkaConfig::default());
+        let w = find(rodinia::workloads(), "gauss_208");
+        let selection = volta.select_kernels(&w).unwrap();
+        for target in [GpuConfig::rtx2060(), GpuConfig::rtx3070()] {
+            let pipeline = Pka::new(target, PkaConfig::default());
+            let report = pipeline.silicon_report_for(&w, &selection).unwrap();
+            assert!(
+                report.error_pct < 10.0,
+                "{}: {}",
+                report.gpu,
+                report.error_pct
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_report_accounts_time_and_error() {
+        let pka = tiny_pka();
+        let w = find(parboil::workloads(), "cutcp");
+        let report = pka.evaluate_in_simulation(&w, true).unwrap();
+        assert!(report.sim_error_pct.is_some());
+        assert!(report.pks_simulated_cycles <= report.fullsim_cycles.unwrap());
+        assert!(report.pka_simulated_cycles <= report.pks_simulated_cycles);
+        assert!(report.pks_speedup() >= 1.0);
+        assert!(report.pka_speedup() >= report.pks_speedup() * 0.99);
+        // PKS projection should be a sane estimate of full sim.
+        let fullsim = report.fullsim_cycles.unwrap() as f64;
+        let pks_vs_full =
+            (report.pks_projected_cycles as f64 - fullsim).abs() / fullsim * 100.0;
+        assert!(pks_vs_full < 25.0, "pks vs fullsim {pks_vs_full}%");
+    }
+
+    #[test]
+    fn skipping_full_sim_still_reports_sampled_numbers() {
+        let pka = tiny_pka();
+        let w = find(rodinia::workloads(), "bfs65536");
+        let report = pka.evaluate_in_simulation(&w, false).unwrap();
+        assert!(report.fullsim_cycles.is_none());
+        assert!(report.sim_error_pct.is_none());
+        assert!(report.pka_projected_cycles > 0);
+        assert!(report.fullsim_hours > 0.0);
+    }
+}

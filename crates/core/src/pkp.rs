@@ -1,0 +1,366 @@
+use pka_sim::{KernelSimResult, SampleContext, SimControl, SimMonitor};
+use pka_stats::RollingStats;
+
+/// Configuration for Principal Kernel Projection.
+///
+/// # Examples
+///
+/// ```
+/// use pka_core::PkpConfig;
+///
+/// let config = PkpConfig::default();
+/// assert_eq!(config.threshold(), 0.25);
+/// assert_eq!(config.window_cycles(), 3000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PkpConfig {
+    threshold: f64,
+    window_cycles: u64,
+    enforce_wave: bool,
+}
+
+impl Default for PkpConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.25,
+            window_cycles: 3000,
+            enforce_wave: true,
+        }
+    }
+}
+
+impl PkpConfig {
+    /// Sets the stability threshold `s` — the only user-facing PKP knob
+    /// (Section 3.2). Interpreted against the *mean-normalised* windowed
+    /// standard deviation of IPC, so one setting covers kernels whose
+    /// absolute IPC differs by orders of magnitude. Smaller is stricter:
+    /// the paper's Figure 5 sweeps {2.5, 0.25, 0.025} and settles on 0.25.
+    pub fn with_threshold(mut self, s: f64) -> Self {
+        self.threshold = s;
+        self
+    }
+
+    /// Sets the rolling window length in cycles (paper: 3000).
+    pub fn with_window_cycles(mut self, cycles: u64) -> Self {
+        self.window_cycles = cycles;
+        self
+    }
+
+    /// Enables or disables the full-wave constraint (Section 3.2 keeps it
+    /// on, but waives it automatically for grids smaller than one wave;
+    /// disabling it entirely is the ablation).
+    pub fn with_wave_constraint(mut self, enforce: bool) -> Self {
+        self.enforce_wave = enforce;
+        self
+    }
+
+    /// The stability threshold `s`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The rolling window length, cycles.
+    pub fn window_cycles(&self) -> u64 {
+        self.window_cycles
+    }
+
+    /// Whether the full-wave constraint is enforced.
+    pub fn wave_constraint(&self) -> bool {
+        self.enforce_wave
+    }
+}
+
+/// The online IPC-stability detector: plugs into the simulator as a
+/// [`SimMonitor`] and stops the kernel once the windowed relative standard
+/// deviation of IPC falls below `s` *and* (for at-least-one-wave grids) a
+/// full wave of thread blocks has retired.
+///
+/// # Examples
+///
+/// ```
+/// use pka_core::{PkpConfig, PkpMonitor};
+/// use pka_gpu::{GpuConfig, KernelDescriptor};
+/// use pka_sim::{SimOptions, Simulator};
+///
+/// let sim = Simulator::new(GpuConfig::v100(), SimOptions::default());
+/// let kernel = KernelDescriptor::builder("k")
+///     .grid_blocks(4000)
+///     .block_threads(256)
+///     .fp32_per_thread(300)
+///     .global_loads_per_thread(8)
+///     .build()?;
+/// let mut monitor = PkpMonitor::new(PkpConfig::default(), sim.options().sample_interval());
+/// let result = sim.run_kernel_monitored(&kernel, &mut monitor)?;
+/// assert!(result.early_stop, "a stable kernel should stop early");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PkpMonitor {
+    config: PkpConfig,
+    window: RollingStats,
+    /// Exponential smoothing state for the raw per-interval IPC samples
+    /// (interval-level sampling of a bursty issue stream is far noisier
+    /// than the hardware per-cycle IPC the paper's figures show).
+    ema: Option<f64>,
+    stopped_at: Option<u64>,
+}
+
+/// Smoothing weight for incoming IPC samples.
+const EMA_ALPHA: f64 = 0.3;
+
+impl PkpMonitor {
+    /// Creates a monitor; `sample_interval` must match the simulator's
+    /// [`SimOptions::sample_interval`](pka_sim::SimOptions::sample_interval)
+    /// so the window spans the configured number of *cycles*.
+    pub fn new(config: PkpConfig, sample_interval: u64) -> Self {
+        let samples = (config.window_cycles / sample_interval.max(1)).max(2) as usize;
+        Self {
+            config,
+            window: RollingStats::new(samples),
+            ema: None,
+            stopped_at: None,
+        }
+    }
+
+    /// The smoothed IPC over the stability window (meaningful once samples
+    /// have arrived; used for instruction-based projection of sub-wave
+    /// grids, where the whole-run average would be polluted by the warmup
+    /// ramp).
+    pub fn stable_ipc(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            None
+        } else {
+            Some(self.window.mean())
+        }
+    }
+
+    /// The cycle at which stability was declared, if it was.
+    pub fn stopped_at(&self) -> Option<u64> {
+        self.stopped_at
+    }
+}
+
+impl SimMonitor for PkpMonitor {
+    fn observe(&mut self, ctx: &SampleContext) -> SimControl {
+        let smoothed = match self.ema {
+            Some(prev) => prev + EMA_ALPHA * (ctx.sample.ipc - prev),
+            None => ctx.sample.ipc,
+        };
+        self.ema = Some(smoothed);
+        self.window.push(smoothed);
+        if !self.window.is_full() {
+            return SimControl::Continue;
+        }
+        if self.window.relative_std_dev() > self.config.threshold {
+            return SimControl::Continue;
+        }
+        // Quasi-stable. Enforce the wave constraint unless the grid is
+        // smaller than one wave (Section 3.2's carve-out for low-CTA
+        // kernels).
+        let sub_wave = ctx.blocks_total < ctx.wave_blocks;
+        if self.config.enforce_wave && !sub_wave && ctx.blocks_completed < ctx.wave_blocks {
+            return SimControl::Continue;
+        }
+        self.stopped_at = Some(ctx.sample.cycle);
+        SimControl::Stop
+    }
+}
+
+/// A PKP-projected kernel result: what the full kernel would have reported,
+/// extrapolated from the simulated prefix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProjectedKernel {
+    /// Projected total kernel cycles.
+    pub cycles: u64,
+    /// Projected total warp instructions.
+    pub instructions: u64,
+    /// Projected DRAM utilisation, percent (the stable-window average).
+    pub dram_util_pct: f64,
+    /// Projected L2 miss rate, percent.
+    pub l2_miss_rate_pct: f64,
+    /// Cycles actually simulated before stopping.
+    pub simulated_cycles: u64,
+    /// `true` if the kernel was stopped early and projected.
+    pub projected: bool,
+}
+
+impl ProjectedKernel {
+    /// Projects a (possibly early-stopped) simulation result.
+    ///
+    /// Grids of at least one wave project linearly from retired thread
+    /// blocks, exactly as Section 3.2 describes; sub-wave grids (where the
+    /// wave constraint is waived and block completions may be too sparse to
+    /// extrapolate) project from remaining instructions at the observed
+    /// IPC. Prefer [`from_monitored`](Self::from_monitored), which uses the
+    /// monitor's stability-window IPC for the sub-wave case.
+    pub fn from_result(result: &KernelSimResult) -> Self {
+        Self::project(result, None)
+    }
+
+    /// Projects using the monitor's stable-window IPC for sub-wave grids —
+    /// the whole-run average the plain instruction projection would use is
+    /// biased by the warmup ramp.
+    pub fn from_monitored(result: &KernelSimResult, monitor: &PkpMonitor) -> Self {
+        Self::project(result, monitor.stable_ipc())
+    }
+
+    fn project(result: &KernelSimResult, stable_ipc: Option<f64>) -> Self {
+        let cycles = if result.blocks_total >= result.wave_blocks {
+            result.projected_total_cycles()
+        } else if let (true, Some(ipc)) = (result.early_stop, stable_ipc.filter(|i| *i > 0.0)) {
+            let remaining = result
+                .instructions_total
+                .saturating_sub(result.instructions) as f64;
+            result.cycles + (remaining / ipc) as u64
+        } else {
+            result.projected_total_cycles_by_instructions()
+        };
+        ProjectedKernel {
+            cycles,
+            instructions: result.instructions_total,
+            dram_util_pct: result.dram_util_pct,
+            l2_miss_rate_pct: result.l2_miss_rate_pct,
+            simulated_cycles: result.cycles,
+            projected: result.early_stop,
+        }
+    }
+
+    /// The intra-kernel speedup PKP achieved (projected over simulated
+    /// cycles; 1.0 when the kernel ran to completion).
+    pub fn speedup(&self) -> f64 {
+        if self.simulated_cycles == 0 {
+            1.0
+        } else {
+            self.cycles as f64 / self.simulated_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pka_gpu::{GpuConfig, KernelDescriptor, KernelPhase};
+    use pka_sim::{SimOptions, Simulator};
+
+    fn tiny() -> Simulator {
+        Simulator::new(
+            GpuConfig::builder("tiny4").num_sms(4).build().unwrap(),
+            SimOptions::default(),
+        )
+    }
+
+    fn stable_kernel(blocks: u32) -> KernelDescriptor {
+        KernelDescriptor::builder("stable")
+            .grid_blocks(blocks)
+            .block_threads(128)
+            .fp32_per_thread(400)
+            .global_loads_per_thread(10)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn stable_kernel_stops_early_with_low_error() {
+        let sim = tiny();
+        let k = stable_kernel(512);
+        let full = sim.run_kernel(&k).unwrap();
+        let mut m = PkpMonitor::new(PkpConfig::default(), sim.options().sample_interval());
+        let partial = sim.run_kernel_monitored(&k, &mut m).unwrap();
+        assert!(partial.early_stop);
+        assert!(m.stopped_at().is_some());
+        let projected = ProjectedKernel::from_result(&partial);
+        assert!(projected.projected);
+        assert!(projected.speedup() > 1.2, "{}", projected.speedup());
+        let err = (projected.cycles as f64 - full.cycles as f64).abs() / full.cycles as f64;
+        assert!(err < 0.35, "projection error {err}");
+    }
+
+    #[test]
+    fn wave_constraint_delays_stop() {
+        let sim = tiny();
+        let k = stable_kernel(512);
+        let mut with_wave = PkpMonitor::new(PkpConfig::default(), 200);
+        let mut without = PkpMonitor::new(
+            PkpConfig::default().with_wave_constraint(false),
+            200,
+        );
+        let a = sim.run_kernel_monitored(&k, &mut with_wave).unwrap();
+        let b = sim.run_kernel_monitored(&k, &mut without).unwrap();
+        assert!(a.cycles >= b.cycles, "{} < {}", a.cycles, b.cycles);
+        // With the constraint, at least one wave retired before the stop.
+        assert!(a.blocks_completed >= a.wave_blocks);
+    }
+
+    #[test]
+    fn sub_wave_grid_waives_the_constraint() {
+        let sim = tiny();
+        // 8 blocks on a 4-SM part with plenty of occupancy: well under one
+        // wave, but long enough to stabilise.
+        let k = KernelDescriptor::builder("small_grid")
+            .grid_blocks(8)
+            .block_threads(128)
+            .fp32_per_thread(20_000)
+            .global_loads_per_thread(200)
+            .build()
+            .unwrap();
+        let mut m = PkpMonitor::new(PkpConfig::default(), 200);
+        let r = sim.run_kernel_monitored(&k, &mut m).unwrap();
+        assert!(r.early_stop, "sub-wave kernels still stop on stability");
+        assert!(r.blocks_completed < r.wave_blocks);
+        let projected = ProjectedKernel::from_result(&r);
+        let full = sim.run_kernel(&k).unwrap();
+        let err = (projected.cycles as f64 - full.cycles as f64).abs() / full.cycles as f64;
+        assert!(err < 0.35, "projection error {err}");
+    }
+
+    #[test]
+    fn stricter_threshold_simulates_longer() {
+        let sim = tiny();
+        let k = stable_kernel(512);
+        let mut loose = PkpMonitor::new(PkpConfig::default().with_threshold(2.5), 200);
+        let mut strict = PkpMonitor::new(PkpConfig::default().with_threshold(0.025), 200);
+        let a = sim.run_kernel_monitored(&k, &mut loose).unwrap();
+        let b = sim.run_kernel_monitored(&k, &mut strict).unwrap();
+        assert!(a.cycles <= b.cycles, "loose {} strict {}", a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn irregular_kernel_eventually_stabilises() {
+        // Multi-phase kernel (the BFS shape of Figure 5b): PKP must wait
+        // out the early phases, then still stop.
+        let sim = tiny();
+        let k = KernelDescriptor::builder("irregular")
+            .grid_blocks(256)
+            .block_threads(128)
+            .int_per_thread(300)
+            .global_loads_per_thread(60)
+            .coalescing_sectors(12.0)
+            .divergence_efficiency(0.5)
+            .phases(vec![
+                KernelPhase { fraction: 0.2, mem_scale: 2.0, compute_scale: 0.5 },
+                KernelPhase { fraction: 0.8, mem_scale: 0.8, compute_scale: 1.1 },
+            ])
+            .build()
+            .unwrap();
+        let full = sim.run_kernel(&k).unwrap();
+        let mut m = PkpMonitor::new(PkpConfig::default(), 200);
+        let r = sim.run_kernel_monitored(&k, &mut m).unwrap();
+        if r.early_stop {
+            let projected = ProjectedKernel::from_result(&r);
+            let err =
+                (projected.cycles as f64 - full.cycles as f64).abs() / full.cycles as f64;
+            assert!(err < 0.6, "irregular projection error {err}");
+        }
+    }
+
+    #[test]
+    fn completed_kernel_projects_to_itself() {
+        let sim = tiny();
+        let k = stable_kernel(16);
+        let full = sim.run_kernel(&k).unwrap();
+        let p = ProjectedKernel::from_result(&full);
+        assert!(!p.projected);
+        assert_eq!(p.cycles, full.cycles);
+        assert_eq!(p.speedup(), 1.0);
+    }
+}

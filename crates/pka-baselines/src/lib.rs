@@ -1,0 +1,48 @@
+//! Baseline sampled-simulation methodologies the paper compares PKA
+//! against (Sections 5.1 and 6):
+//!
+//! * [`TbPoint`] — the prior state of the art. Clusters kernels with
+//!   agglomerative hierarchical clustering over statistics from full
+//!   functional simulation, sweeping 20 distance thresholds between 0.01
+//!   and 0.2 (the paper's replacement for TBPoint's original hand-tuned
+//!   threshold), and reduces intra-kernel work by simulating a fixed
+//!   fraction of each representative's thread blocks. Conservative: ~2.19×
+//!   less simulation-time reduction than PKA at similar error, and
+//!   intractable for scaled workloads (quadratic clustering memory, plus a
+//!   full functional-simulation prerequisite).
+//! * [`FirstN`] — "simulate the first N (classically 1 billion)
+//!   instructions": fast but blind to everything after the warmup phase,
+//!   hence the paper's 5.4× error blow-up (Figure 8).
+//! * [`SingleIteration`] — NVArchSim's MLPerf methodology: simulate one
+//!   training/inference iteration and scale by the iteration count.
+//!   Accurate but needs application knowledge and costs ~48× more
+//!   simulation than PKA (Section 6).
+//!
+//! # Examples
+//!
+//! ```
+//! use pka_baselines::FirstN;
+//! use pka_gpu::GpuConfig;
+//! use pka_sim::SimOptions;
+//! use pka_workloads::rodinia;
+//!
+//! let w = rodinia::workloads()
+//!     .into_iter()
+//!     .find(|w| w.name() == "bfs65536")
+//!     .expect("exists");
+//! let baseline = FirstN::new(GpuConfig::v100(), SimOptions::default(), 100_000);
+//! let report = baseline.evaluate(&w)?;
+//! assert!(report.simulated_instructions >= 100_000);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod first_n;
+mod single_iteration;
+mod tbpoint;
+
+pub use first_n::{FirstN, FirstNReport};
+pub use single_iteration::{SingleIteration, SingleIterationReport};
+pub use tbpoint::{TbPoint, TbPointConfig, TbPointReport};

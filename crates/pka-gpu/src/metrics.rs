@@ -1,0 +1,220 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{GpuGeneration, InstClass, KernelDescriptor};
+
+/// The 12 microarchitecture-agnostic characteristics of Table 2, collected
+/// per kernel for PCA analysis.
+///
+/// Each field corresponds to one Nsight Compute metric from the paper:
+///
+/// | Field | Nsight metric |
+/// |---|---|
+/// | `coalesced_global_loads` | `l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum` |
+/// | `coalesced_global_stores` | `l1tex__t_sectors_pipe_lsu_mem_global_op_st.sum` |
+/// | `coalesced_local_loads` | `l1tex__t_sectors_pipe_lsu_mem_local_op_ld.sum` |
+/// | `thread_global_loads` | `smsp__inst_executed_op_global_ld.sum` |
+/// | `thread_global_stores` | `smsp__inst_executed_op_global_st.sum` |
+/// | `thread_local_loads` | `smsp__inst_executed_op_local_ld.sum` |
+/// | `thread_shared_loads` | `smsp__inst_executed_op_shared_ld.sum` |
+/// | `thread_shared_stores` | `smsp__inst_executed_op_shared_st.sum` |
+/// | `thread_global_atomics` | `smsp__sass_inst_executed_op_global_atom.sum` |
+/// | `instructions` | `smsp__inst_executed.sum` |
+/// | `divergence_efficiency` | `smsp__thread_inst_executed_per_inst_executed.ratio` |
+/// | `thread_blocks` | `launch_grid_size` |
+///
+/// These depend only on the generated GPU code, not on the specific GPU —
+/// except for the small ISA drift between generations, modelled by
+/// [`GpuGeneration::isa_scale`].
+///
+/// # Examples
+///
+/// ```
+/// use pka_gpu::{GpuGeneration, KernelDescriptor, KernelMetrics};
+///
+/// let k = KernelDescriptor::builder("k")
+///     .grid_blocks(64)
+///     .block_threads(128)
+///     .fp32_per_thread(16)
+///     .global_loads_per_thread(4)
+///     .build()?;
+/// let m = KernelMetrics::from_descriptor(&k, GpuGeneration::Volta);
+/// assert_eq!(m.thread_blocks, 64);
+/// assert!(m.instructions > 0.0);
+/// # Ok::<(), pka_gpu::GpuError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelMetrics {
+    /// Global-load sector traffic (32 B sectors).
+    pub coalesced_global_loads: f64,
+    /// Global-store sector traffic.
+    pub coalesced_global_stores: f64,
+    /// Local-load sector traffic.
+    pub coalesced_local_loads: f64,
+    /// Warp-level global-load instructions executed.
+    pub thread_global_loads: f64,
+    /// Warp-level global-store instructions executed.
+    pub thread_global_stores: f64,
+    /// Warp-level local-load instructions executed.
+    pub thread_local_loads: f64,
+    /// Warp-level shared-load instructions executed.
+    pub thread_shared_loads: f64,
+    /// Warp-level shared-store instructions executed.
+    pub thread_shared_stores: f64,
+    /// Warp-level global atomic instructions executed.
+    pub thread_global_atomics: f64,
+    /// Total warp instructions executed.
+    pub instructions: f64,
+    /// Average threads active per executed warp instruction (`0..=32`).
+    pub divergence_efficiency: f64,
+    /// Thread blocks in the launch grid.
+    pub thread_blocks: u64,
+}
+
+impl KernelMetrics {
+    /// Number of features in the vector form.
+    pub const FEATURE_COUNT: usize = 12;
+
+    /// Stable feature names matching [`to_feature_vector`]
+    /// (`to_feature_vector`'s ordering).
+    ///
+    /// [`to_feature_vector`]: KernelMetrics::to_feature_vector
+    pub const FEATURE_NAMES: [&'static str; Self::FEATURE_COUNT] = [
+        "coalesced_global_loads",
+        "coalesced_global_stores",
+        "coalesced_local_loads",
+        "thread_global_loads",
+        "thread_global_stores",
+        "thread_local_loads",
+        "thread_shared_loads",
+        "thread_shared_stores",
+        "thread_global_atomics",
+        "instructions",
+        "divergence_efficiency",
+        "thread_blocks",
+    ];
+
+    /// Derives the profile a detailed profiler (Nsight Compute) would report
+    /// for `descriptor` on a GPU of `generation`.
+    pub fn from_descriptor(descriptor: &KernelDescriptor, generation: GpuGeneration) -> Self {
+        let warps = descriptor.total_warps() as f64;
+        let isa = generation.isa_scale();
+        let warp_count = |class: InstClass| descriptor.count(class) as f64 * warps * isa;
+        let sectors = descriptor.coalescing_sectors();
+
+        KernelMetrics {
+            coalesced_global_loads: warp_count(InstClass::LdGlobal) * sectors,
+            coalesced_global_stores: warp_count(InstClass::StGlobal) * sectors,
+            coalesced_local_loads: warp_count(InstClass::LdLocal) * sectors,
+            thread_global_loads: warp_count(InstClass::LdGlobal),
+            thread_global_stores: warp_count(InstClass::StGlobal),
+            thread_local_loads: warp_count(InstClass::LdLocal),
+            thread_shared_loads: warp_count(InstClass::LdShared),
+            thread_shared_stores: warp_count(InstClass::StShared),
+            thread_global_atomics: warp_count(InstClass::AtomicGlobal),
+            instructions: descriptor.instructions_per_thread() as f64 * warps * isa,
+            divergence_efficiency: descriptor.divergence_efficiency() * 32.0,
+            thread_blocks: descriptor.total_blocks(),
+        }
+    }
+
+    /// Flattens the metrics into the feature vector used for PCA + K-Means.
+    ///
+    /// Count-valued metrics are `log1p`-compressed so that a kernel with 10×
+    /// the instructions is a constant distance away regardless of absolute
+    /// scale — the same reason the paper standardises before PCA. Ratio
+    /// metrics are passed through unchanged.
+    pub fn to_feature_vector(&self) -> Vec<f64> {
+        vec![
+            self.coalesced_global_loads.ln_1p(),
+            self.coalesced_global_stores.ln_1p(),
+            self.coalesced_local_loads.ln_1p(),
+            self.thread_global_loads.ln_1p(),
+            self.thread_global_stores.ln_1p(),
+            self.thread_local_loads.ln_1p(),
+            self.thread_shared_loads.ln_1p(),
+            self.thread_shared_stores.ln_1p(),
+            self.thread_global_atomics.ln_1p(),
+            self.instructions.ln_1p(),
+            self.divergence_efficiency,
+            (self.thread_blocks as f64).ln_1p(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelDescriptor;
+
+    fn kernel() -> KernelDescriptor {
+        KernelDescriptor::builder("k")
+            .grid_blocks(8)
+            .block_threads(64) // 2 warps per block, 16 warps total
+            .fp32_per_thread(10)
+            .global_loads_per_thread(3)
+            .global_stores_per_thread(1)
+            .shared_loads_per_thread(2)
+            .coalescing_sectors(4.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn counts_scale_with_warps() {
+        let m = KernelMetrics::from_descriptor(&kernel(), GpuGeneration::Volta);
+        assert_eq!(m.thread_global_loads, 3.0 * 16.0);
+        assert_eq!(m.thread_global_stores, 16.0);
+        assert_eq!(m.coalesced_global_loads, 3.0 * 16.0 * 4.0);
+        assert_eq!(m.thread_shared_loads, 2.0 * 16.0);
+        assert_eq!(m.thread_blocks, 8);
+    }
+
+    #[test]
+    fn isa_scale_shifts_counts_between_generations() {
+        let k = kernel();
+        let volta = KernelMetrics::from_descriptor(&k, GpuGeneration::Volta);
+        let turing = KernelMetrics::from_descriptor(&k, GpuGeneration::Turing);
+        let ampere = KernelMetrics::from_descriptor(&k, GpuGeneration::Ampere);
+        assert!(turing.instructions > volta.instructions);
+        assert!(ampere.instructions < volta.instructions);
+        // Grid geometry is ISA-independent.
+        assert_eq!(volta.thread_blocks, turing.thread_blocks);
+    }
+
+    #[test]
+    fn divergence_reported_in_threads_per_instruction() {
+        let k = KernelDescriptor::builder("div")
+            .fp32_per_thread(1)
+            .divergence_efficiency(0.5)
+            .build()
+            .unwrap();
+        let m = KernelMetrics::from_descriptor(&k, GpuGeneration::Volta);
+        assert_eq!(m.divergence_efficiency, 16.0);
+    }
+
+    #[test]
+    fn feature_vector_shape_and_names_agree() {
+        let m = KernelMetrics::from_descriptor(&kernel(), GpuGeneration::Volta);
+        let v = m.to_feature_vector();
+        assert_eq!(v.len(), KernelMetrics::FEATURE_COUNT);
+        assert_eq!(v.len(), KernelMetrics::FEATURE_NAMES.len());
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn feature_vector_is_log_compressed() {
+        let small = kernel();
+        let big = KernelDescriptor::builder("big")
+            .grid_blocks(8000)
+            .block_threads(64)
+            .fp32_per_thread(10)
+            .global_loads_per_thread(3)
+            .build()
+            .unwrap();
+        let vs = KernelMetrics::from_descriptor(&small, GpuGeneration::Volta).to_feature_vector();
+        let vb = KernelMetrics::from_descriptor(&big, GpuGeneration::Volta).to_feature_vector();
+        // 1000x more blocks moves the instruction feature by ~ln(1000), not 1000x.
+        assert!(vb[9] - vs[9] < 8.0);
+        assert!(vb[9] > vs[9]);
+    }
+}

@@ -1,0 +1,193 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{GpuConfig, GpuError, KernelDescriptor};
+
+/// Occupancy of a kernel on a specific GPU: how many thread blocks fit on
+/// each SM at once, and therefore how large one *wave* is.
+///
+/// *Principal Kernel Projection* leans on the wave concept (Section 3.2):
+/// IPC is only declared stable after at least one full wave of thread blocks
+/// has retired, so that block-boundary ramp effects and realistic resource
+/// contention are captured before projecting.
+///
+/// # Examples
+///
+/// ```
+/// use pka_gpu::{GpuConfig, KernelDescriptor, Occupancy};
+///
+/// let k = KernelDescriptor::builder("k")
+///     .grid_blocks(10_000)
+///     .block_threads(256)
+///     .fp32_per_thread(1)
+///     .build()?;
+/// let occ = Occupancy::compute(&k, &GpuConfig::v100())?;
+/// assert!(occ.blocks_per_sm() >= 1);
+/// assert_eq!(occ.wave_blocks(), occ.blocks_per_sm() as u64 * 80);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Occupancy {
+    blocks_per_sm: u32,
+    wave_blocks: u64,
+    waves: u64,
+    resident_warps_per_sm: u32,
+    max_warps_per_sm: u32,
+}
+
+impl Occupancy {
+    /// Computes occupancy of `kernel` on `config`.
+    ///
+    /// The limiters are the classic four: threads per SM, warps per SM,
+    /// blocks per SM, registers, and shared memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::InvalidKernel`] if a single block exceeds the
+    /// SM's resources (the launch would fail on real hardware).
+    pub fn compute(kernel: &KernelDescriptor, config: &GpuConfig) -> Result<Self, GpuError> {
+        let tpb = kernel.threads_per_block();
+        let wpb = kernel.warps_per_block();
+
+        let by_threads = config.max_threads_per_sm() / tpb.max(1);
+        let by_warps = config.max_warps_per_sm() / wpb.max(1);
+        let by_blocks = config.max_blocks_per_sm();
+        let regs_per_block = kernel.regs_per_thread() as u64 * tpb as u64;
+        let by_regs = (config.registers_per_sm() as u64)
+            .checked_div(regs_per_block)
+            .map_or(u32::MAX, |v| v.min(u32::MAX as u64) as u32);
+        let by_smem = if kernel.shared_mem_per_block() == 0 {
+            u32::MAX
+        } else {
+            config.shared_mem_per_sm() / kernel.shared_mem_per_block()
+        };
+
+        let blocks_per_sm = by_threads
+            .min(by_warps)
+            .min(by_blocks)
+            .min(by_regs)
+            .min(by_smem);
+        if blocks_per_sm == 0 {
+            return Err(GpuError::InvalidKernel {
+                field: "resources",
+                message: format!(
+                    "one block of `{}` ({} threads, {} regs/thread, {} B smem) \
+                     exceeds a single SM on {}",
+                    kernel.name(),
+                    tpb,
+                    kernel.regs_per_thread(),
+                    kernel.shared_mem_per_block(),
+                    config.name()
+                ),
+            });
+        }
+
+        let wave_blocks = blocks_per_sm as u64 * config.num_sms() as u64;
+        let waves = kernel.total_blocks().div_ceil(wave_blocks);
+        Ok(Occupancy {
+            blocks_per_sm,
+            wave_blocks,
+            waves,
+            resident_warps_per_sm: blocks_per_sm * wpb,
+            max_warps_per_sm: config.max_warps_per_sm(),
+        })
+    }
+
+    /// Concurrent thread blocks per SM.
+    pub fn blocks_per_sm(&self) -> u32 {
+        self.blocks_per_sm
+    }
+
+    /// Thread blocks in one full wave (`blocks_per_sm × num_sms`).
+    pub fn wave_blocks(&self) -> u64 {
+        self.wave_blocks
+    }
+
+    /// Number of waves needed to drain the grid (ceiling division).
+    pub fn waves(&self) -> u64 {
+        self.waves
+    }
+
+    /// Warps resident per SM when fully occupied by this kernel.
+    pub fn resident_warps_per_sm(&self) -> u32 {
+        self.resident_warps_per_sm
+    }
+
+    /// Achieved occupancy as a fraction of the SM's warp slots.
+    pub fn fraction(&self) -> f64 {
+        self.resident_warps_per_sm as f64 / self.max_warps_per_sm as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> crate::KernelDescriptorBuilder {
+        KernelDescriptor::builder("k")
+            .grid_blocks(1000)
+            .block_threads(256)
+            .fp32_per_thread(1)
+    }
+
+    #[test]
+    fn thread_limited() {
+        // 256 threads/block on a 2048-thread SM -> 8 blocks, but V100 caps
+        // warps at 64: 8 blocks x 8 warps = 64 warps. Fits exactly.
+        let occ = Occupancy::compute(&base().build().unwrap(), &GpuConfig::v100()).unwrap();
+        assert_eq!(occ.blocks_per_sm(), 8);
+        assert_eq!(occ.fraction(), 1.0);
+    }
+
+    #[test]
+    fn register_limited() {
+        // 256 regs/thread x 256 threads = 65536 regs = exactly one block.
+        let k = base().regs_per_thread(256).build().unwrap();
+        let occ = Occupancy::compute(&k, &GpuConfig::v100()).unwrap();
+        assert_eq!(occ.blocks_per_sm(), 1);
+    }
+
+    #[test]
+    fn shared_memory_limited() {
+        let k = base().shared_mem_per_block(48 * 1024).build().unwrap();
+        let occ = Occupancy::compute(&k, &GpuConfig::v100()).unwrap();
+        assert_eq!(occ.blocks_per_sm(), 2);
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let k = base()
+            .block_threads(1024)
+            .regs_per_thread(128)
+            .build()
+            .unwrap();
+        // 1024 x 128 = 131072 regs > 65536: does not fit.
+        assert!(matches!(
+            Occupancy::compute(&k, &GpuConfig::v100()),
+            Err(GpuError::InvalidKernel { .. })
+        ));
+    }
+
+    #[test]
+    fn wave_accounting() {
+        let k = base().grid_blocks(1000).build().unwrap();
+        let occ = Occupancy::compute(&k, &GpuConfig::v100()).unwrap();
+        // 8 blocks/SM x 80 SMs = 640-block waves; 1000 blocks = 2 waves.
+        assert_eq!(occ.wave_blocks(), 640);
+        assert_eq!(occ.waves(), 2);
+    }
+
+    #[test]
+    fn sub_wave_grid_is_one_wave() {
+        let k = base().grid_blocks(3).build().unwrap();
+        let occ = Occupancy::compute(&k, &GpuConfig::v100()).unwrap();
+        assert_eq!(occ.waves(), 1);
+    }
+
+    #[test]
+    fn half_sm_config_halves_wave() {
+        let k = base().build().unwrap();
+        let full = Occupancy::compute(&k, &GpuConfig::v100()).unwrap();
+        let half = Occupancy::compute(&k, &GpuConfig::v100_half_sms()).unwrap();
+        assert_eq!(half.wave_blocks() * 2, full.wave_blocks());
+    }
+}

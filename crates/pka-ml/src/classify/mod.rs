@@ -1,0 +1,207 @@
+//! Classifiers for PKA's two-level profiling mapping.
+//!
+//! When detailed profiling is intractable, PKA profiles the first *j* kernels
+//! in detail, clusters them, and then labels the remaining lightly-profiled
+//! kernels with one of three classifiers — stochastic gradient descent,
+//! Gaussian naive Bayes, or a multilayer perceptron (Section 3.1 of the
+//! paper). The [`Ensemble`] combines them by majority vote, which is how the
+//! reference tooling resolves disagreements.
+
+mod gnb;
+mod mlp;
+mod sgd;
+
+pub use gnb::GaussianNb;
+pub use mlp::MlpClassifier;
+pub use sgd::SgdClassifier;
+
+use crate::{Matrix, MlError};
+
+/// A fitted multi-class classifier over dense feature vectors.
+///
+/// Implementations are produced by each model's `fit` constructor; labels are
+/// arbitrary `usize` class ids (PKA uses the PKS group index).
+pub trait Classifier {
+    /// Predicts the class of one sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if the sample has the wrong
+    /// number of features.
+    fn predict(&self, sample: &[f64]) -> Result<usize, MlError>;
+
+    /// Predicts a class per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if the matrix has the wrong
+    /// number of columns.
+    fn predict_all(&self, samples: &Matrix) -> Result<Vec<usize>, MlError> {
+        samples.iter_rows().map(|r| self.predict(r)).collect()
+    }
+}
+
+/// Fraction of samples whose prediction matches the reference label.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use pka_ml::classify::accuracy;
+///
+/// assert_eq!(accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+/// ```
+pub fn accuracy(predicted: &[usize], reference: &[usize]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        reference.len(),
+        "accuracy requires equal-length slices"
+    );
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let hits = predicted
+        .iter()
+        .zip(reference)
+        .filter(|(p, r)| p == r)
+        .count();
+    hits as f64 / predicted.len() as f64
+}
+
+/// Majority-vote ensemble over boxed classifiers.
+///
+/// Ties are broken toward the first classifier's vote, which makes the
+/// ensemble deterministic and gives the (cheap, robust) SGD model priority in
+/// the default PKA configuration.
+///
+/// # Examples
+///
+/// ```
+/// use pka_ml::classify::{Classifier, Ensemble, GaussianNb, SgdClassifier};
+/// use pka_ml::Matrix;
+///
+/// let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![5.0], vec![5.1]])?;
+/// let y = [0, 0, 1, 1];
+/// let ensemble = Ensemble::new(vec![
+///     Box::new(SgdClassifier::fit(&x, &y, 0)?),
+///     Box::new(GaussianNb::fit(&x, &y)?),
+/// ]);
+/// assert_eq!(ensemble.predict(&[4.9])?, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Ensemble {
+    members: Vec<Box<dyn Classifier + Send + Sync>>,
+}
+
+impl std::fmt::Debug for Ensemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ensemble")
+            .field("members", &self.members.len())
+            .finish()
+    }
+}
+
+impl Ensemble {
+    /// Builds an ensemble from fitted classifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<Box<dyn Classifier + Send + Sync>>) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        Self { members }
+    }
+
+    /// Number of member classifiers.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the ensemble has no members (never, by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl Classifier for Ensemble {
+    fn predict(&self, sample: &[f64]) -> Result<usize, MlError> {
+        let votes: Vec<usize> = self
+            .members
+            .iter()
+            .map(|m| m.predict(sample))
+            .collect::<Result<_, _>>()?;
+        let mut counts: Vec<(usize, usize)> = Vec::new();
+        for &v in &votes {
+            match counts.iter_mut().find(|(label, _)| *label == v) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((v, 1)),
+            }
+        }
+        let max = counts.iter().map(|&(_, c)| c).max().expect("non-empty");
+        // Tie-break toward the earliest vote that achieved the max count.
+        Ok(votes
+            .iter()
+            .copied()
+            .find(|v| counts.iter().any(|&(l, c)| l == *v && c == max))
+            .expect("non-empty"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A classifier that always answers the same class.
+    #[derive(Debug)]
+    struct Constant(usize);
+
+    impl Classifier for Constant {
+        fn predict(&self, _sample: &[f64]) -> Result<usize, MlError> {
+            Ok(self.0)
+        }
+    }
+
+    #[test]
+    fn accuracy_empty_is_zero() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn accuracy_length_mismatch_panics() {
+        let _ = accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn majority_vote_wins() {
+        let e = Ensemble::new(vec![
+            Box::new(Constant(1)),
+            Box::new(Constant(2)),
+            Box::new(Constant(2)),
+        ]);
+        assert_eq!(e.predict(&[0.0]).unwrap(), 2);
+    }
+
+    #[test]
+    fn tie_breaks_to_first_vote() {
+        let e = Ensemble::new(vec![Box::new(Constant(7)), Box::new(Constant(3))]);
+        assert_eq!(e.predict(&[0.0]).unwrap(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_panics() {
+        let _ = Ensemble::new(Vec::new());
+    }
+
+    #[test]
+    fn predict_all_maps_rows() {
+        let e = Ensemble::new(vec![Box::new(Constant(4))]);
+        let m = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        assert_eq!(e.predict_all(&m).unwrap(), vec![4, 4]);
+    }
+}

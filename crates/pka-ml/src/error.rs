@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the machine-learning substrate.
+///
+/// # Examples
+///
+/// ```
+/// use pka_ml::{Matrix, MlError};
+///
+/// let err = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+/// assert!(matches!(err, MlError::DimensionMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// An algorithm was given no samples (or no features).
+    EmptyInput,
+    /// Two shapes that must agree did not.
+    DimensionMismatch {
+        /// What was expected, e.g. a column count.
+        expected: usize,
+        /// What was actually provided.
+        actual: usize,
+    },
+    /// A hyper-parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        message: String,
+    },
+    /// An iterative solver failed to converge within its iteration budget.
+    DidNotConverge {
+        /// The algorithm that failed.
+        algorithm: &'static str,
+        /// The iteration budget that was exhausted.
+        max_iterations: usize,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyInput => write!(f, "input contains no samples or no features"),
+            MlError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            MlError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            MlError::DidNotConverge {
+                algorithm,
+                max_iterations,
+            } => write!(
+                f,
+                "{algorithm} did not converge within {max_iterations} iterations"
+            ),
+        }
+    }
+}
+
+impl Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errs = [
+            MlError::EmptyInput,
+            MlError::DimensionMismatch {
+                expected: 3,
+                actual: 4,
+            },
+            MlError::InvalidParameter {
+                name: "k",
+                message: "must be positive".into(),
+            },
+            MlError::DidNotConverge {
+                algorithm: "jacobi",
+                max_iterations: 100,
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MlError>();
+    }
+}

@@ -1,0 +1,395 @@
+use pka_stats::hash::UnitStream;
+
+use crate::{Matrix, MlError};
+
+/// K-Means clustering (Lloyd's algorithm with k-means++ seeding).
+///
+/// *Principal Kernel Selection* sweeps `K` from 1 to 20 over the
+/// PCA-projected kernel metrics; the paper picks K-Means over hierarchical
+/// clustering explicitly because it scales to the millions of kernels in
+/// MLPerf workloads (Section 3.1) — Lloyd's algorithm is `O(n · k · d)` per
+/// iteration and needs only `O(k · d)` extra memory, versus the `O(n²)`
+/// distance matrix agglomerative methods require.
+///
+/// Deterministic: seeding uses an internal splitmix64 stream derived from
+/// [`with_seed`](KMeans::with_seed) (default 0).
+///
+/// # Examples
+///
+/// ```
+/// use pka_ml::{KMeans, Matrix};
+///
+/// let data = Matrix::from_rows(&[
+///     vec![0.0], vec![0.2], vec![10.0], vec![10.2], vec![20.0],
+/// ])?;
+/// let fit = KMeans::new(3).fit(&data)?;
+/// assert_eq!(fit.centroids().len(), 3);
+/// assert!(fit.inertia() < 0.1);
+/// # Ok::<(), pka_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KMeans {
+    k: usize,
+    max_iterations: usize,
+    seed: u64,
+}
+
+impl KMeans {
+    /// Configures K-Means with `k` clusters.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iterations: 100,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed used by k-means++ initialisation.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the Lloyd-iteration budget (default 100).
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Clusters the rows of `data`.
+    ///
+    /// If `k` exceeds the number of distinct points, surplus clusters end up
+    /// empty and are re-seeded onto the points currently farthest from their
+    /// centroid; if there are genuinely fewer distinct points than `k`, some
+    /// centroids will coincide, which is harmless for PKS (the duplicate
+    /// groups are simply empty or tiny).
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::InvalidParameter`] if `k` is zero.
+    /// * [`MlError::EmptyInput`] if `data` has no rows.
+    pub fn fit(&self, data: &Matrix) -> Result<KMeansFit, MlError> {
+        if self.k == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "k",
+                message: "must be at least 1".into(),
+            });
+        }
+        if data.rows() == 0 || data.cols() == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        let n = data.rows();
+        let k = self.k.min(n);
+        let mut rng = UnitStream::new(self.seed ^ 0x9e3779b97f4a7c15);
+
+        let mut centroids = plus_plus_init(data, k, &mut rng);
+        let mut labels = vec![0usize; n];
+
+        for _ in 0..self.max_iterations {
+            // Assignment step.
+            let mut changed = false;
+            for (i, row) in data.iter_rows().enumerate() {
+                let best = nearest(row, &centroids).0;
+                if labels[i] != best {
+                    labels[i] = best;
+                    changed = true;
+                }
+            }
+
+            // Update step.
+            let mut sums = vec![vec![0.0; data.cols()]; k];
+            let mut counts = vec![0usize; k];
+            for (i, row) in data.iter_rows().enumerate() {
+                counts[labels[i]] += 1;
+                for (s, &x) in sums[labels[i]].iter_mut().zip(row) {
+                    *s += x;
+                }
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster on the point farthest from its
+                    // current centroid.
+                    let far = (0..n)
+                        .max_by(|&a, &b| {
+                            let da = Matrix::sq_dist(data.row(a), &centroids[labels[a]]);
+                            let db = Matrix::sq_dist(data.row(b), &centroids[labels[b]]);
+                            da.partial_cmp(&db).expect("distances are finite")
+                        })
+                        .expect("data is non-empty");
+                    centroids[c] = data.row(far).to_vec();
+                    labels[far] = c;
+                    changed = true;
+                } else {
+                    for (j, s) in sums[c].iter().enumerate() {
+                        centroids[c][j] = s / counts[c] as f64;
+                    }
+                }
+            }
+
+            if !changed {
+                break;
+            }
+        }
+
+        let inertia = data
+            .iter_rows()
+            .enumerate()
+            .map(|(i, row)| Matrix::sq_dist(row, &centroids[labels[i]]))
+            .sum();
+
+        Ok(KMeansFit {
+            centroids,
+            labels,
+            inertia,
+        })
+    }
+}
+
+/// Chooses `k` initial centroids with the k-means++ D² weighting.
+fn plus_plus_init(data: &Matrix, k: usize, rng: &mut UnitStream) -> Vec<Vec<f64>> {
+    let n = data.rows();
+    let first = (rng.next_f64() * n as f64) as usize % n;
+    let mut centroids: Vec<Vec<f64>> = vec![data.row(first).to_vec()];
+    let mut d2: Vec<f64> = data
+        .iter_rows()
+        .map(|row| Matrix::sq_dist(row, &centroids[0]))
+        .collect();
+
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let chosen = if total <= 0.0 {
+            // All points coincide with an existing centroid; pick uniformly.
+            (rng.next_f64() * n as f64) as usize % n
+        } else {
+            let mut target = rng.next_f64() * total;
+            let mut idx = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    idx = i;
+                    break;
+                }
+                target -= d;
+            }
+            idx
+        };
+        let c = data.row(chosen).to_vec();
+        for (i, row) in data.iter_rows().enumerate() {
+            d2[i] = d2[i].min(Matrix::sq_dist(row, &c));
+        }
+        centroids.push(c);
+    }
+    centroids
+}
+
+fn nearest(point: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = Matrix::sq_dist(point, centroid);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// A fitted K-Means clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansFit {
+    centroids: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    inertia: f64,
+}
+
+impl KMeansFit {
+    /// Cluster centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Cluster label of each input row, in input order.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Sum of squared distances of every point to its centroid.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Assigns a new sample to the nearest centroid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] on feature-count mismatch.
+    pub fn predict(&self, point: &[f64]) -> Result<usize, MlError> {
+        let d = self.centroids[0].len();
+        if point.len() != d {
+            return Err(MlError::DimensionMismatch {
+                expected: d,
+                actual: point.len(),
+            });
+        }
+        Ok(nearest(point, &self.centroids).0)
+    }
+
+    /// Indices of cluster members, per cluster.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.centroids.len()];
+        for (i, &l) in self.labels.iter().enumerate() {
+            out[l].push(i);
+        }
+        out
+    }
+
+    /// For each cluster, the index of the member closest to the centroid
+    /// (`None` for empty clusters).
+    pub fn medoids(&self, data: &Matrix) -> Vec<Option<usize>> {
+        let mut best: Vec<Option<(usize, f64)>> = vec![None; self.centroids.len()];
+        for (i, row) in data.iter_rows().enumerate() {
+            let l = self.labels[i];
+            let d = Matrix::sq_dist(row, &self.centroids[l]);
+            if best[l].is_none_or(|(_, bd)| d < bd) {
+                best[l] = Some((i, d));
+            }
+        }
+        best.into_iter().map(|b| b.map(|(i, _)| i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let j = i as f64 * 0.01;
+            rows.push(vec![0.0 + j, 0.0 - j]);
+            rows.push(vec![10.0 + j, 10.0 - j]);
+            rows.push(vec![-10.0 + j, 10.0 - j]);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        let data = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(matches!(
+            KMeans::new(0).fit(&data),
+            Err(MlError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_data_rejected() {
+        assert_eq!(
+            KMeans::new(2).fit(&Matrix::zeros(0, 2)),
+            Err(MlError::EmptyInput)
+        );
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let data = blobs();
+        let fit = KMeans::new(3).with_seed(1).fit(&data).unwrap();
+        // Every blob is internally consistent.
+        for b in 0..3 {
+            let first = fit.labels()[b];
+            for i in 0..20 {
+                assert_eq!(fit.labels()[i * 3 + b], first, "blob {b} split");
+            }
+        }
+        // And the three blobs use three distinct labels.
+        let mut ls = vec![fit.labels()[0], fit.labels()[1], fit.labels()[2]];
+        ls.sort_unstable();
+        ls.dedup();
+        assert_eq!(ls.len(), 3);
+        assert!(fit.inertia() < 1.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = blobs();
+        let a = KMeans::new(3).with_seed(42).fit(&data).unwrap();
+        let b = KMeans::new(3).with_seed(42).fit(&data).unwrap();
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.centroids(), b.centroids());
+    }
+
+    #[test]
+    fn k_one_centroid_is_mean() {
+        let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![2.0, 4.0]]).unwrap();
+        let fit = KMeans::new(1).fit(&data).unwrap();
+        assert_eq!(fit.centroids()[0], vec![1.0, 2.0]);
+        assert_eq!(fit.labels(), &[0, 0]);
+    }
+
+    #[test]
+    fn k_greater_than_n_is_capped() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let fit = KMeans::new(5).fit(&data).unwrap();
+        assert_eq!(fit.k(), 2);
+        assert!(fit.inertia() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_hang() {
+        let data = Matrix::from_rows(&vec![vec![3.0, 3.0]; 10]).unwrap();
+        let fit = KMeans::new(3).fit(&data).unwrap();
+        assert_eq!(fit.labels().len(), 10);
+        assert!(fit.inertia() < 1e-12);
+    }
+
+    #[test]
+    fn predict_assigns_to_nearest() {
+        let data = blobs();
+        let fit = KMeans::new(3).with_seed(1).fit(&data).unwrap();
+        let l0 = fit.predict(&[0.1, 0.0]).unwrap();
+        assert_eq!(l0, fit.labels()[0]);
+        assert!(matches!(
+            fit.predict(&[1.0]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn members_partition_input() {
+        let data = blobs();
+        let fit = KMeans::new(3).with_seed(1).fit(&data).unwrap();
+        let members = fit.members();
+        let total: usize = members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, data.rows());
+    }
+
+    #[test]
+    fn medoid_is_in_its_cluster() {
+        let data = blobs();
+        let fit = KMeans::new(3).with_seed(1).fit(&data).unwrap();
+        for (c, m) in fit.medoids(&data).into_iter().enumerate() {
+            let m = m.expect("no empty clusters here");
+            assert_eq!(fit.labels()[m], c);
+        }
+    }
+
+    #[test]
+    fn inertia_non_increasing_in_k() {
+        let data = blobs();
+        let mut prev = f64::INFINITY;
+        for k in 1..=5 {
+            let fit = KMeans::new(k).with_seed(3).fit(&data).unwrap();
+            assert!(
+                fit.inertia() <= prev + 1e-9,
+                "k={k}: {} > {prev}",
+                fit.inertia()
+            );
+            prev = fit.inertia();
+        }
+    }
+}

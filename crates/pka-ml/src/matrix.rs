@@ -1,0 +1,274 @@
+use crate::MlError;
+
+/// A dense, row-major `f64` matrix.
+///
+/// This is deliberately minimal: just what PCA, K-Means and the classifiers
+/// need (construction, indexed access, row iteration, and the covariance
+/// product). It is a data structure in the Serde sense, but stays
+/// dependency-free because only the experiment harness serialises anything.
+///
+/// # Examples
+///
+/// ```
+/// use pka_ml::Matrix;
+///
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 2);
+/// assert_eq!(m.get(1, 0), 3.0);
+/// # Ok::<(), pka_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, MlError> {
+        if data.len() != rows * cols {
+            return Err(MlError::DimensionMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of equal-length rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyInput`] if there are no rows or the rows are
+    /// empty, and [`MlError::DimensionMismatch`] if rows have differing
+    /// lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, MlError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(MlError::DimensionMismatch {
+                    expected: cols,
+                    actual: r.len(),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows (samples).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrow of one row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row(&self, row: usize) -> &[f64] {
+        assert!(row < self.rows, "row index out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Iterator over the rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Raw row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Per-column arithmetic means.
+    pub fn column_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.cols];
+        if self.rows == 0 {
+            return means;
+        }
+        for row in self.iter_rows() {
+            for (m, &x) in means.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= self.rows as f64;
+        }
+        means
+    }
+
+    /// Sample covariance matrix of the columns (divides by `n - 1`; by `1`
+    /// when there is a single row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyInput`] if the matrix has no rows.
+    pub fn covariance(&self) -> Result<Matrix, MlError> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        let means = self.column_means();
+        let denom = if self.rows > 1 {
+            (self.rows - 1) as f64
+        } else {
+            1.0
+        };
+        let mut cov = Matrix::zeros(self.cols, self.cols);
+        for row in self.iter_rows() {
+            for i in 0..self.cols {
+                let di = row[i] - means[i];
+                for j in i..self.cols {
+                    let dj = row[j] - means[j];
+                    cov.data[i * self.cols + j] += di * dj;
+                }
+            }
+        }
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let v = cov.data[i * self.cols + j] / denom;
+                cov.data[i * self.cols + j] = v;
+                cov.data[j * self.cols + i] = v;
+            }
+        }
+        Ok(cov)
+    }
+
+    /// Squared Euclidean distance between two rows of (possibly different)
+    /// matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "points must share dimensionality");
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_validates() {
+        assert_eq!(Matrix::from_rows(&[]), Err(MlError::EmptyInput));
+        assert_eq!(Matrix::from_rows(&[vec![]]), Err(MlError::EmptyInput));
+        assert!(matches!(
+            Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![0.0; 3]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn indexing_round_trips() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let m = Matrix::zeros(1, 1);
+        let _ = m.get(0, 1);
+    }
+
+    #[test]
+    fn column_means() {
+        let m = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0]]).unwrap();
+        assert_eq!(m.column_means(), vec![2.0, 20.0]);
+    }
+
+    #[test]
+    fn covariance_matches_hand_computation() {
+        // Two perfectly correlated columns.
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let c = m.covariance().unwrap();
+        assert!((c.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((c.get(0, 1) - 2.0).abs() < 1e-12);
+        assert!((c.get(1, 0) - 2.0).abs() < 1e-12);
+        assert!((c.get(1, 1) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_is_symmetric() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 5.0, -2.0],
+            vec![0.5, 2.0, 7.0],
+            vec![-3.0, 1.0, 0.0],
+            vec![4.0, -1.0, 2.5],
+        ])
+        .unwrap();
+        let c = m.covariance().unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(c.get(i, j), c.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn sq_dist_basics() {
+        assert_eq!(Matrix::sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(Matrix::sq_dist(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! The profiling wall-clock cost model behind Figure 1's "Silicon Profiler"
+//! band and the one-week tractability rule of Section 3.1.
+//!
+//! Nsight Compute replays every kernel once per metric pass and serialises
+//! the GPU, so detailed profiling costs seconds *per kernel* regardless of
+//! how short the kernel is. Nsight Systems merely timestamps launches.
+
+/// Modelled Nsight Compute cost per kernel (12-metric replay set), seconds.
+///
+/// At this rate ResNet-50 inference (~60k kernels) profiles in under a day
+/// — tractable, matching the paper — while SSD training's 5.3M kernels
+/// would take two months, forcing two-level profiling.
+pub const DETAILED_SECONDS_PER_KERNEL: f64 = 1.0;
+
+/// Modelled Nsight Systems cost per kernel, seconds.
+pub const LIGHTWEIGHT_SECONDS_PER_KERNEL: f64 = 1e-3;
+
+/// The paper's tractability threshold: detailed profiling that would take
+/// more than one week is replaced by two-level profiling.
+pub const INTRACTABLE_PROFILING_SECONDS: f64 = 7.0 * 24.0 * 3600.0;
+
+/// Wall-clock seconds to lightweight-profile `kernels` launches.
+///
+/// # Examples
+///
+/// ```
+/// use pka_profile::lightweight_profiling_seconds;
+///
+/// assert_eq!(lightweight_profiling_seconds(1000), 1.0);
+/// ```
+pub fn lightweight_profiling_seconds(kernels: u64) -> f64 {
+    kernels as f64 * LIGHTWEIGHT_SECONDS_PER_KERNEL
+}
+
+/// The modelled profiling cost of one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfilingCost {
+    kernels: u64,
+}
+
+impl ProfilingCost {
+    /// Cost model for a stream of `kernels` launches.
+    pub fn for_kernel_count(kernels: u64) -> Self {
+        Self { kernels }
+    }
+
+    /// Kernels in the stream.
+    pub fn kernels(&self) -> u64 {
+        self.kernels
+    }
+
+    /// Seconds to profile the whole stream in detail.
+    pub fn detailed_seconds(&self) -> f64 {
+        self.kernels as f64 * DETAILED_SECONDS_PER_KERNEL
+    }
+
+    /// Seconds to profile the whole stream lightly.
+    pub fn lightweight_seconds(&self) -> f64 {
+        lightweight_profiling_seconds(self.kernels)
+    }
+
+    /// Whether full detailed profiling breaches the one-week rule.
+    pub fn detailed_is_intractable(&self) -> bool {
+        self.detailed_seconds() > INTRACTABLE_PROFILING_SECONDS
+    }
+
+    /// The largest kernel prefix that *can* be profiled in detail within
+    /// the one-week budget (the paper's "first j kernels").
+    pub fn tractable_detailed_prefix(&self) -> u64 {
+        if !self.detailed_is_intractable() {
+            return self.kernels;
+        }
+        (INTRACTABLE_PROFILING_SECONDS / DETAILED_SECONDS_PER_KERNEL) as u64
+    }
+
+    /// Seconds for the two-level scheme: detailed on the prefix,
+    /// lightweight on the rest.
+    pub fn two_level_seconds(&self) -> f64 {
+        let j = self.tractable_detailed_prefix();
+        j as f64 * DETAILED_SECONDS_PER_KERNEL
+            + (self.kernels - j) as f64 * LIGHTWEIGHT_SECONDS_PER_KERNEL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_workloads_are_tractable() {
+        let c = ProfilingCost::for_kernel_count(414);
+        assert!(!c.detailed_is_intractable());
+        assert_eq!(c.tractable_detailed_prefix(), 414);
+    }
+
+    #[test]
+    fn millions_of_kernels_are_not() {
+        let c = ProfilingCost::for_kernel_count(5_300_000);
+        assert!(c.detailed_is_intractable());
+        let j = c.tractable_detailed_prefix();
+        assert!(j < 5_300_000);
+        assert!(j >= 100_000, "one week at 1s/kernel is 604k kernels: {j}");
+    }
+
+    #[test]
+    fn two_level_is_cheaper_than_detailed_for_scaled_workloads() {
+        let c = ProfilingCost::for_kernel_count(5_300_000);
+        assert!(c.two_level_seconds() < c.detailed_seconds());
+        // And stays within ~a week plus the lightweight pass.
+        assert!(c.two_level_seconds() < INTRACTABLE_PROFILING_SECONDS * 1.1);
+    }
+
+    #[test]
+    fn lightweight_is_cheap() {
+        let c = ProfilingCost::for_kernel_count(5_300_000);
+        assert!(c.lightweight_seconds() < 2.0 * 3600.0);
+    }
+}

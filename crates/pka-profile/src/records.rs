@@ -1,0 +1,155 @@
+use pka_gpu::{KernelDescriptor, KernelId, KernelMetrics, SiliconResult};
+use pka_stats::hash::fnv1a;
+
+/// What Nsight Compute reports for one kernel: the 12 Table 2 metrics plus
+/// the measured execution state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetailedRecord {
+    /// Launch index within the workload.
+    pub kernel_id: KernelId,
+    /// Kernel (mangled) name.
+    pub name: String,
+    /// The architecture-agnostic Table 2 metrics.
+    pub metrics: KernelMetrics,
+    /// Measured kernel cycles.
+    pub cycles: u64,
+    /// Measured kernel seconds.
+    pub seconds: f64,
+    /// Measured DRAM utilisation, percent.
+    pub dram_util_pct: f64,
+    /// Measured L2 miss rate, percent.
+    pub l2_miss_rate_pct: f64,
+}
+
+impl DetailedRecord {
+    /// Assembles a record from a kernel and its silicon measurement.
+    pub fn new(
+        kernel_id: KernelId,
+        kernel: &KernelDescriptor,
+        metrics: KernelMetrics,
+        silicon: SiliconResult,
+    ) -> Self {
+        Self {
+            kernel_id,
+            name: kernel.name().to_string(),
+            metrics,
+            cycles: silicon.cycles,
+            seconds: silicon.seconds,
+            dram_util_pct: silicon.dram_util_pct,
+            l2_miss_rate_pct: silicon.l2_miss_rate_pct,
+        }
+    }
+}
+
+/// What Nsight Systems (plus PyProf for the MLPerf workloads) reports for
+/// one kernel: no hardware counters, just the launch and its annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LightweightRecord {
+    /// Launch index within the workload.
+    pub kernel_id: KernelId,
+    /// Kernel (mangled) name.
+    pub name: String,
+    /// Grid size in thread blocks.
+    pub grid_blocks: u64,
+    /// Threads per block.
+    pub block_threads: u32,
+    /// Static + dynamic shared memory per block, bytes.
+    pub shared_mem_bytes: u32,
+    /// PyProf-style tensor volume annotation (total elements touched).
+    pub tensor_elements: u64,
+}
+
+/// Number of hash buckets used to featurise kernel names.
+const NAME_BUCKETS: usize = 8;
+
+impl LightweightRecord {
+    /// Assembles a record from a kernel launch.
+    pub fn new(kernel_id: KernelId, kernel: &KernelDescriptor) -> Self {
+        Self {
+            kernel_id,
+            name: kernel.name().to_string(),
+            grid_blocks: kernel.total_blocks(),
+            block_threads: kernel.threads_per_block(),
+            shared_mem_bytes: kernel.shared_mem_per_block(),
+            tensor_elements: kernel.total_threads(),
+        }
+    }
+
+    /// Number of features produced by
+    /// [`to_feature_vector`](Self::to_feature_vector).
+    pub const FEATURE_COUNT: usize = 4 + NAME_BUCKETS;
+
+    /// Flattens the record into the feature vector the two-level classifiers
+    /// consume: log-compressed geometry plus a hashed bag-of-name encoding
+    /// (names never feed the *clustering*, but they are fair game for the
+    /// supervised mapping step, which is exactly how the reference tooling
+    /// uses Nsight Systems output).
+    pub fn to_feature_vector(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(Self::FEATURE_COUNT);
+        v.push((self.grid_blocks as f64).ln_1p());
+        v.push((self.block_threads as f64).ln_1p());
+        v.push((self.shared_mem_bytes as f64).ln_1p());
+        v.push((self.tensor_elements as f64).ln_1p());
+        let h = fnv1a(self.name.as_bytes());
+        for b in 0..NAME_BUCKETS {
+            // Two bits of the hash per bucket: a soft categorical encoding.
+            v.push(((h >> (b * 2)) & 0b11) as f64);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pka_gpu::{GpuConfig, GpuGeneration, SiliconExecutor};
+
+    fn kernel(name: &str, blocks: u32) -> KernelDescriptor {
+        KernelDescriptor::builder(name)
+            .grid_blocks(blocks)
+            .block_threads(128)
+            .fp32_per_thread(32)
+            .global_loads_per_thread(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn detailed_record_carries_measurement() {
+        let k = kernel("k", 64);
+        let silicon = SiliconExecutor::new(GpuConfig::v100()).execute(&k).unwrap();
+        let m = KernelMetrics::from_descriptor(&k, GpuGeneration::Volta);
+        let r = DetailedRecord::new(KernelId::new(3), &k, m, silicon);
+        assert_eq!(r.kernel_id, KernelId::new(3));
+        assert_eq!(r.cycles, silicon.cycles);
+        assert_eq!(r.name, "k");
+    }
+
+    #[test]
+    fn lightweight_feature_vector_shape() {
+        let r = LightweightRecord::new(KernelId::new(0), &kernel("sgemm", 64));
+        let v = r.to_feature_vector();
+        assert_eq!(v.len(), LightweightRecord::FEATURE_COUNT);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn different_names_hash_differently() {
+        let a = LightweightRecord::new(KernelId::new(0), &kernel("sgemm", 64));
+        let b = LightweightRecord::new(KernelId::new(0), &kernel("relu", 64));
+        let va = a.to_feature_vector();
+        let vb = b.to_feature_vector();
+        assert_ne!(va[4..], vb[4..], "name buckets should differ");
+        // Geometry features agree.
+        assert_eq!(va[..4], vb[..4]);
+    }
+
+    #[test]
+    fn grid_size_separates_same_name_launches() {
+        let a = LightweightRecord::new(KernelId::new(0), &kernel("relu", 8));
+        let b = LightweightRecord::new(KernelId::new(1), &kernel("relu", 8000));
+        let va = a.to_feature_vector();
+        let vb = b.to_feature_vector();
+        assert!((vb[0] - va[0]).abs() > 3.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! An SM↔L2 interconnect (crossbar) backpressure model.
+//!
+//! By default the simulator charges a flat L2-hit latency, which folds the
+//! *average* network-on-chip crossing into one constant — adequate for the
+//! PKA experiments, which is why it is the default. Enabling the
+//! interconnect model
+//! ([`SimOptions::with_interconnect`](crate::SimOptions::with_interconnect))
+//! adds what the constant cannot express: per-slice bandwidth limits and
+//! the queueing delay that builds up when many SMs hammer the same L2
+//! slice, at one 32-byte sector per slice per cycle (the V100's published
+//! L2 sector throughput).
+//!
+//! The `icnt_backpressure` ablation in the benches quantifies the effect.
+
+use pka_gpu::GpuConfig;
+
+/// Crossbar + L2-slice service model.
+///
+/// Requests hash to a slice by sector address; each slice serves one
+/// sector per cycle, and requests queue behind earlier arrivals on the
+/// same slice.
+///
+/// # Examples
+///
+/// ```
+/// use pka_gpu::GpuConfig;
+/// use pka_sim::Interconnect;
+///
+/// let mut icnt = Interconnect::new(&GpuConfig::v100());
+/// let first = icnt.queue_delay(0x40, 100);
+/// assert_eq!(first, 0, "an idle slice serves immediately");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    /// Cycle at which each L2 slice is next free.
+    slice_busy: Vec<u64>,
+    total_delay: u64,
+    requests: u64,
+}
+
+impl Interconnect {
+    /// Creates the model for `config` (one slice per DRAM channel, the
+    /// usual pairing on Nvidia parts).
+    pub fn new(config: &GpuConfig) -> Self {
+        Self {
+            slice_busy: vec![0; config.dram_channels() as usize],
+            total_delay: 0,
+            requests: 0,
+        }
+    }
+
+    /// Registers one sector request arriving at `now`; returns the
+    /// queueing delay (cycles the request waits before its slice serves
+    /// it). The flat L2 latency is charged by the caller on top.
+    pub fn queue_delay(&mut self, addr: u64, now: u64) -> u64 {
+        let slice = (addr >> 5) as usize % self.slice_busy.len();
+        let start = self.slice_busy[slice].max(now);
+        self.slice_busy[slice] = start + 1;
+        let delay = start - now;
+        self.total_delay += delay;
+        self.requests += 1;
+        delay
+    }
+
+    /// Requests observed so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Mean queueing delay per request, cycles.
+    pub fn mean_delay(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_delay as f64 / self.requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_slices_serve_immediately() {
+        let mut icnt = Interconnect::new(&GpuConfig::v100());
+        for i in 0..32u64 {
+            assert_eq!(icnt.queue_delay(i * 32, 0), 0, "sector {i}");
+        }
+        assert_eq!(icnt.mean_delay(), 0.0);
+    }
+
+    #[test]
+    fn same_slice_requests_queue() {
+        let mut icnt = Interconnect::new(&GpuConfig::v100());
+        // The same address maps to the same slice every time.
+        let d0 = icnt.queue_delay(0, 10);
+        let d1 = icnt.queue_delay(0, 10);
+        let d2 = icnt.queue_delay(0, 10);
+        assert_eq!(d0, 0);
+        assert_eq!(d1, 1);
+        assert_eq!(d2, 2);
+        assert!(icnt.mean_delay() > 0.0);
+    }
+
+    #[test]
+    fn queues_drain_over_time() {
+        let mut icnt = Interconnect::new(&GpuConfig::v100());
+        for _ in 0..10 {
+            icnt.queue_delay(0, 0);
+        }
+        // Much later, the slice is free again.
+        assert_eq!(icnt.queue_delay(0, 1_000), 0);
+    }
+
+    #[test]
+    fn slice_count_follows_config() {
+        let small = GpuConfig::rtx2060();
+        let icnt = Interconnect::new(&small);
+        assert_eq!(icnt.slice_busy.len(), small.dram_channels() as usize);
+    }
+}

@@ -1,0 +1,164 @@
+//! Online observation hooks: the mechanism through which Principal Kernel
+//! Projection (and baselines like first-1B-instructions) watch a running
+//! simulation and decide to stop it.
+
+/// One instantaneous-IPC sample emitted by the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IpcSample {
+    /// Cycle at which the sample was taken.
+    pub cycle: u64,
+    /// Warp instructions per cycle over the sampling interval.
+    pub ipc: f64,
+    /// L2 miss rate so far, percent.
+    pub l2_miss_pct: f64,
+    /// DRAM utilisation so far, percent.
+    pub dram_util_pct: f64,
+}
+
+/// Everything a monitor can see at a sampling point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleContext {
+    /// The new sample.
+    pub sample: IpcSample,
+    /// Warp instructions retired so far.
+    pub instructions: u64,
+    /// Thread blocks fully retired so far.
+    pub blocks_completed: u64,
+    /// Total thread blocks in the grid.
+    pub blocks_total: u64,
+    /// Thread blocks in one full wave at this kernel's occupancy.
+    pub wave_blocks: u64,
+}
+
+/// A monitor's verdict at a sampling point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimControl {
+    /// Keep simulating.
+    Continue,
+    /// Stop now; the caller will project the remainder.
+    Stop,
+}
+
+/// An online observer of a running kernel simulation.
+///
+/// The engine calls [`observe`](SimMonitor::observe) once per IPC sampling
+/// interval. Returning [`SimControl::Stop`] ends the kernel early; the
+/// result then reports `early_stop = true` together with the completion
+/// state needed for projection.
+pub trait SimMonitor {
+    /// Inspects one sampling point and decides whether to continue.
+    fn observe(&mut self, ctx: &SampleContext) -> SimControl;
+}
+
+/// A monitor that never stops the simulation (full simulation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullMonitor;
+
+impl SimMonitor for NullMonitor {
+    fn observe(&mut self, _ctx: &SampleContext) -> SimControl {
+        SimControl::Continue
+    }
+}
+
+/// Stops once a total instruction budget is reached — the classic
+/// "simulate the first N (often 1 billion) instructions" methodology the
+/// paper compares against.
+///
+/// # Examples
+///
+/// ```
+/// use pka_sim::MaxInstructionsMonitor;
+///
+/// let monitor = MaxInstructionsMonitor::new(1_000_000_000);
+/// assert_eq!(monitor.budget(), 1_000_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxInstructionsMonitor {
+    budget: u64,
+}
+
+impl MaxInstructionsMonitor {
+    /// Stops after `budget` warp instructions.
+    pub fn new(budget: u64) -> Self {
+        Self { budget }
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+}
+
+impl SimMonitor for MaxInstructionsMonitor {
+    fn observe(&mut self, ctx: &SampleContext) -> SimControl {
+        if ctx.instructions >= self.budget {
+            SimControl::Stop
+        } else {
+            SimControl::Continue
+        }
+    }
+}
+
+/// Stops once a cycle budget is reached (a safety valve for tests and
+/// exploratory runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxCyclesMonitor {
+    budget: u64,
+}
+
+impl MaxCyclesMonitor {
+    /// Stops after `budget` cycles.
+    pub fn new(budget: u64) -> Self {
+        Self { budget }
+    }
+}
+
+impl SimMonitor for MaxCyclesMonitor {
+    fn observe(&mut self, ctx: &SampleContext) -> SimControl {
+        if ctx.sample.cycle >= self.budget {
+            SimControl::Stop
+        } else {
+            SimControl::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(cycle: u64, instructions: u64) -> SampleContext {
+        SampleContext {
+            sample: IpcSample {
+                cycle,
+                ipc: 1.0,
+                l2_miss_pct: 0.0,
+                dram_util_pct: 0.0,
+            },
+            instructions,
+            blocks_completed: 0,
+            blocks_total: 100,
+            wave_blocks: 10,
+        }
+    }
+
+    #[test]
+    fn null_monitor_never_stops() {
+        let mut m = NullMonitor;
+        assert_eq!(m.observe(&ctx(u64::MAX, u64::MAX)), SimControl::Continue);
+    }
+
+    #[test]
+    fn instruction_budget_stops_at_threshold() {
+        let mut m = MaxInstructionsMonitor::new(1000);
+        assert_eq!(m.observe(&ctx(1, 999)), SimControl::Continue);
+        assert_eq!(m.observe(&ctx(2, 1000)), SimControl::Stop);
+    }
+
+    #[test]
+    fn cycle_budget_stops_at_threshold() {
+        let mut m = MaxCyclesMonitor::new(500);
+        assert_eq!(m.observe(&ctx(499, 0)), SimControl::Continue);
+        assert_eq!(m.observe(&ctx(500, 0)), SimControl::Stop);
+    }
+}

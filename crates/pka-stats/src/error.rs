@@ -1,0 +1,164 @@
+//! Error metrics used by the paper's evaluation.
+//!
+//! The paper reports *absolute percentage error* of projected cycle counts
+//! against a reference (silicon or full simulation), *mean* absolute
+//! percentage error across suites, and *mean absolute error* of speedup
+//! predictions (Figure 10). These helpers centralise the exact definitions so
+//! every crate reports errors identically.
+
+/// Absolute percentage error of a `predicted` value against a `reference`,
+/// in percent.
+///
+/// Returns `0.0` when both values are zero, and `f64::INFINITY` when only the
+/// reference is zero (a prediction of something from nothing).
+///
+/// # Examples
+///
+/// ```
+/// use pka_stats::error::abs_pct_error;
+///
+/// assert_eq!(abs_pct_error(110.0, 100.0), 10.0);
+/// assert_eq!(abs_pct_error(90.0, 100.0), 10.0);
+/// ```
+pub fn abs_pct_error(predicted: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if predicted == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        ((predicted - reference) / reference).abs() * 100.0
+    }
+}
+
+/// Signed percentage error (positive when over-predicted), in percent.
+///
+/// # Examples
+///
+/// ```
+/// use pka_stats::error::signed_pct_error;
+///
+/// assert_eq!(signed_pct_error(90.0, 100.0), -10.0);
+/// ```
+pub fn signed_pct_error(predicted: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if predicted == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (predicted - reference) / reference * 100.0
+    }
+}
+
+/// Mean absolute percentage error over paired samples, in percent.
+///
+/// Pairs whose reference is zero are skipped (they carry no scale
+/// information); if every pair is skipped the result is `0.0`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use pka_stats::error::mape;
+///
+/// let e = mape(&[110.0, 95.0], &[100.0, 100.0]);
+/// assert!((e - 7.5).abs() < 1e-12);
+/// ```
+pub fn mape(predicted: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        reference.len(),
+        "mape requires equal-length slices"
+    );
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&p, &r) in predicted.iter().zip(reference) {
+        if r != 0.0 {
+            sum += ((p - r) / r).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64 * 100.0
+    }
+}
+
+/// Mean absolute error over paired samples (same units as the inputs).
+///
+/// Used by the Figure 10 case study, which reports MAE of predicted speedups
+/// with respect to silicon.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use pka_stats::error::mean_abs_error;
+///
+/// assert_eq!(mean_abs_error(&[1.0, 3.0], &[2.0, 2.0]), 1.0);
+/// ```
+pub fn mean_abs_error(predicted: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        reference.len(),
+        "mean_abs_error requires equal-length slices"
+    );
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted
+        .iter()
+        .zip(reference)
+        .map(|(&p, &r)| (p - r).abs())
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_pct_error_basics() {
+        assert_eq!(abs_pct_error(0.0, 0.0), 0.0);
+        assert_eq!(abs_pct_error(1.0, 0.0), f64::INFINITY);
+        assert_eq!(abs_pct_error(100.0, 100.0), 0.0);
+        assert!((abs_pct_error(73.5, 100.0) - 26.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signed_error_sign() {
+        assert!(signed_pct_error(120.0, 100.0) > 0.0);
+        assert!(signed_pct_error(80.0, 100.0) < 0.0);
+        assert_eq!(signed_pct_error(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn mape_skips_zero_reference() {
+        let e = mape(&[5.0, 110.0], &[0.0, 100.0]);
+        assert!((e - 10.0).abs() < 1e-12);
+        assert_eq!(mape(&[1.0], &[0.0]), 0.0);
+        assert_eq!(mape(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mape_length_mismatch_panics() {
+        let _ = mape(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn mae_empty_is_zero() {
+        assert_eq!(mean_abs_error(&[], &[]), 0.0);
+    }
+}

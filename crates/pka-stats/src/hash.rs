@@ -1,0 +1,174 @@
+//! Stable, platform-independent hashing for deterministic seed derivation.
+//!
+//! Workload generators and the silicon model derive per-kernel RNG seeds from
+//! `(workload name, kernel index)` so that every run of every experiment is
+//! bit-for-bit reproducible. `std::collections::hash_map::DefaultHasher` is
+//! explicitly not stable across releases, so we pin FNV-1a here.
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a hash of a byte slice.
+///
+/// # Examples
+///
+/// ```
+/// use pka_stats::hash::fnv1a;
+///
+/// // Stable across platforms and releases.
+/// assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+/// assert_ne!(fnv1a(b"atax"), fnv1a(b"bicg"));
+/// ```
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Derives a seed by hashing a name together with a numeric discriminator.
+///
+/// The discriminator is mixed in after the name so `("a", 1)` and `("a1", 0)`
+/// produce unrelated seeds.
+///
+/// # Examples
+///
+/// ```
+/// use pka_stats::hash::seed_from;
+///
+/// assert_ne!(seed_from("gaussian", 0), seed_from("gaussian", 1));
+/// assert_ne!(seed_from("gaussian", 0), seed_from("gramschmidt", 0));
+/// ```
+pub fn seed_from(name: &str, discriminator: u64) -> u64 {
+    let mut h = fnv1a(name.as_bytes());
+    for b in discriminator.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // Final avalanche (splitmix64 finaliser) so nearby discriminators map to
+    // well-separated seeds.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h
+}
+
+/// Finalising 64-bit mix (splitmix64 avalanche). Use this to decorrelate
+/// seeds built from arithmetic on other seeds — consecutive or
+/// golden-ratio-spaced inputs map to statistically independent outputs.
+///
+/// # Examples
+///
+/// ```
+/// use pka_stats::hash::mix64;
+///
+/// assert_ne!(mix64(1), mix64(2));
+/// ```
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A tiny deterministic `f64` stream in `[0, 1)` derived from a seed, for
+/// light-weight jitter where pulling in a full RNG is overkill.
+///
+/// This is splitmix64 under the hood: statistically fine for perturbing model
+/// outputs, not intended for anything cryptographic.
+///
+/// # Examples
+///
+/// ```
+/// use pka_stats::hash::UnitStream;
+///
+/// let mut s = UnitStream::new(7);
+/// let x = s.next_f64();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitStream {
+    state: u64,
+}
+
+impl UnitStream {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next value uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Next value uniform in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn next_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "range must be ordered");
+        lo + self.next_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn seed_discriminator_not_concatenation() {
+        assert_ne!(seed_from("a", 1), seed_from("a1", 0));
+    }
+
+    #[test]
+    fn unit_stream_in_range_and_deterministic() {
+        let mut a = UnitStream::new(123);
+        let mut b = UnitStream::new(123);
+        for _ in 0..1000 {
+            let x = a.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            assert_eq!(x, b.next_f64());
+        }
+    }
+
+    #[test]
+    fn unit_stream_range() {
+        let mut s = UnitStream::new(9);
+        for _ in 0..100 {
+            let x = s.next_range(5.0, 6.0);
+            assert!((5.0..6.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unit_stream_roughly_uniform() {
+        let mut s = UnitStream::new(42);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| s.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean was {mean}");
+    }
+}

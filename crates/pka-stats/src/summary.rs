@@ -1,0 +1,139 @@
+//! Batch summaries over slices: geometric mean, mean, median, percentiles.
+//!
+//! The paper reports suite-level results as geometric means of per-workload
+//! speedups and arithmetic means of per-workload errors; these helpers pin
+//! down those definitions.
+
+/// Geometric mean of strictly positive samples.
+///
+/// Non-positive samples are skipped (a speedup of zero or below carries no
+/// multiplicative information); if every sample is skipped the result is
+/// `0.0`. Computed in log space to avoid overflow on centuries-scale values.
+///
+/// # Examples
+///
+/// ```
+/// use pka_stats::summary::geomean;
+///
+/// assert_eq!(geomean(&[1.0, 4.0]), 2.0);
+/// ```
+pub fn geomean(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &x in xs {
+        if x > 0.0 {
+            sum += x.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+/// Arithmetic mean, or `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use pka_stats::summary::mean;
+///
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Median (midpoint of the two central elements for even lengths), or `0.0`
+/// for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use pka_stats::summary::median;
+///
+/// assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+/// assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+/// ```
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolated percentile `p` in `[0, 100]`, or `0.0` for an empty
+/// slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or any sample is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use pka_stats::summary::percentile;
+///
+/// assert_eq!(percentile(&[10.0, 20.0, 30.0], 0.0), 10.0);
+/// assert_eq!(percentile(&[10.0, 20.0, 30.0], 100.0), 30.0);
+/// ```
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(geomean(&[0.0, -1.0]), 0.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        // Skips the non-positive entry.
+        assert!((geomean(&[2.0, 8.0, 0.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_handles_huge_values() {
+        let g = geomean(&[1e300, 1e300]);
+        assert!((g - 1e300).abs() / 1e300 < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_median() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(percentile(&xs, 25.0), 2.5);
+        assert_eq!(percentile(&xs, 75.0), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 100]")]
+    fn percentile_out_of_range_panics() {
+        let _ = percentile(&[1.0], 150.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Shared kernel archetypes used by the suite definitions.
+//!
+//! Every workload in the paper boils down to a handful of behavioural
+//! archetypes: dense compute tiles (GEMM), streaming memory sweeps,
+//! irregular graph frontiers, shared-memory stencils, element-wise glue and
+//! reductions. These constructors keep the per-suite files declarative.
+
+use pka_gpu::{KernelDescriptor, KernelDescriptorBuilder, KernelPhase};
+
+use crate::KernelTemplate;
+
+/// Finalises a builder into a template, panicking on programmer error (all
+/// archetype parameters are static).
+pub(crate) fn tmpl(builder: KernelDescriptorBuilder) -> KernelTemplate {
+    KernelTemplate::new(builder.build().expect("static archetype is valid"))
+}
+
+/// A compute-bound dense tile: high FP32 density, shared-memory staging,
+/// coalesced loads, barriers (the GEMM/stencil family).
+pub(crate) fn compute_tile(
+    name: &str,
+    blocks: u32,
+    threads: u32,
+    fp32: u32,
+) -> KernelDescriptorBuilder {
+    KernelDescriptor::builder(name)
+        .grid_blocks(blocks)
+        .block_threads(threads)
+        .fp32_per_thread(fp32)
+        .int_per_thread(fp32 / 8 + 4)
+        .global_loads_per_thread(fp32 / 32 + 2)
+        .global_stores_per_thread(2)
+        .shared_loads_per_thread(fp32 / 8)
+        .shared_stores_per_thread(fp32 / 32 + 1)
+        .syncs_per_thread(fp32 / 64 + 1)
+        .shared_mem_per_block(16 * 1024)
+        .regs_per_thread(64)
+        .coalescing_sectors(4.0)
+        .l1_locality(0.7)
+        .l2_locality(0.8)
+        .working_set_bytes(8 << 20)
+}
+
+/// A tensor-core GEMM tile (the CUTLASS WGEMM / cuDNN tensor-op family).
+pub(crate) fn tensor_tile(
+    name: &str,
+    blocks: u32,
+    threads: u32,
+    mmas: u32,
+) -> KernelDescriptorBuilder {
+    KernelDescriptor::builder(name)
+        .grid_blocks(blocks)
+        .block_threads(threads)
+        .tensor_per_thread(mmas)
+        .fp32_per_thread(mmas / 4 + 8)
+        .int_per_thread(mmas / 8 + 4)
+        .global_loads_per_thread(mmas / 8 + 2)
+        .global_stores_per_thread(2)
+        .shared_loads_per_thread(mmas / 2)
+        .shared_stores_per_thread(mmas / 8 + 1)
+        .syncs_per_thread(mmas / 16 + 1)
+        .shared_mem_per_block(32 * 1024)
+        .regs_per_thread(96)
+        .coalescing_sectors(4.0)
+        .l1_locality(0.75)
+        .l2_locality(0.8)
+        .working_set_bytes(16 << 20)
+}
+
+/// A streaming, memory-bound sweep: little arithmetic per byte, large
+/// working set, poor temporal locality (the elementwise / copy family).
+pub(crate) fn streaming(
+    name: &str,
+    blocks: u32,
+    threads: u32,
+    loads: u32,
+    ws_mb: u64,
+) -> KernelDescriptorBuilder {
+    KernelDescriptor::builder(name)
+        .grid_blocks(blocks)
+        .block_threads(threads)
+        .fp32_per_thread(loads / 2 + 2)
+        .int_per_thread(loads / 2 + 4)
+        .global_loads_per_thread(loads)
+        .global_stores_per_thread(loads / 2 + 1)
+        .coalescing_sectors(4.0)
+        .l1_locality(0.1)
+        .l2_locality(0.25)
+        .working_set_bytes(ws_mb << 20)
+        .regs_per_thread(32)
+}
+
+/// An irregular, divergent kernel with uncoalesced gathers and multiphase
+/// IPC (the BFS / graph / branchy family, Figure 5b of the paper).
+pub(crate) fn irregular(
+    name: &str,
+    blocks: u32,
+    threads: u32,
+    loads: u32,
+    ws_mb: u64,
+) -> KernelDescriptorBuilder {
+    KernelDescriptor::builder(name)
+        .grid_blocks(blocks)
+        .block_threads(threads)
+        .int_per_thread(loads + 8)
+        .fp32_per_thread(loads / 4 + 1)
+        .global_loads_per_thread(loads)
+        .global_stores_per_thread(loads / 4 + 1)
+        .global_atomics_per_thread(loads / 16)
+        .branches_per_thread(loads / 2 + 4)
+        .coalescing_sectors(13.0)
+        .divergence_efficiency(0.45)
+        .l1_locality(0.15)
+        .l2_locality(0.35)
+        .working_set_bytes(ws_mb << 20)
+        .regs_per_thread(40)
+        .phases(vec![
+            KernelPhase {
+                fraction: 0.25,
+                mem_scale: 1.8,
+                compute_scale: 0.6,
+            },
+            KernelPhase {
+                fraction: 0.5,
+                mem_scale: 1.0,
+                compute_scale: 1.0,
+            },
+            KernelPhase {
+                fraction: 0.25,
+                mem_scale: 0.6,
+                compute_scale: 1.3,
+            },
+        ])
+}
+
+/// A latency-sensitive element-wise / activation kernel (the ReLU,
+/// batchnorm-inference, bias-add family of deep-learning glue).
+pub(crate) fn elementwise(name: &str, blocks: u32, threads: u32) -> KernelDescriptorBuilder {
+    KernelDescriptor::builder(name)
+        .grid_blocks(blocks)
+        .block_threads(threads)
+        .fp32_per_thread(12)
+        .int_per_thread(8)
+        .global_loads_per_thread(4)
+        .global_stores_per_thread(2)
+        .coalescing_sectors(4.0)
+        .l1_locality(0.05)
+        .l2_locality(0.3)
+        .working_set_bytes(64 << 20)
+        .regs_per_thread(24)
+}
+
+/// A reduction / histogram kernel: shared memory plus atomics.
+pub(crate) fn reduction(name: &str, blocks: u32, threads: u32) -> KernelDescriptorBuilder {
+    KernelDescriptor::builder(name)
+        .grid_blocks(blocks)
+        .block_threads(threads)
+        .fp32_per_thread(16)
+        .int_per_thread(24)
+        .global_loads_per_thread(16)
+        .global_stores_per_thread(1)
+        .shared_loads_per_thread(12)
+        .shared_stores_per_thread(12)
+        .global_atomics_per_thread(2)
+        .syncs_per_thread(3)
+        .shared_mem_per_block(8 * 1024)
+        .coalescing_sectors(6.0)
+        .l1_locality(0.4)
+        .l2_locality(0.5)
+        .working_set_bytes(32 << 20)
+        .regs_per_thread(32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archetypes_build() {
+        let _ = tmpl(compute_tile("c", 64, 256, 200));
+        let _ = tmpl(tensor_tile("t", 64, 256, 64));
+        let _ = tmpl(streaming("s", 64, 256, 16, 64));
+        let _ = tmpl(irregular("i", 64, 256, 16, 64));
+        let _ = tmpl(elementwise("e", 64, 256));
+        let _ = tmpl(reduction("r", 64, 256));
+    }
+
+    #[test]
+    fn archetypes_are_behaviourally_distinct() {
+        use pka_gpu::{GpuGeneration, KernelMetrics};
+        let c = compute_tile("c", 64, 256, 200).build().unwrap();
+        let s = streaming("s", 64, 256, 16, 64).build().unwrap();
+        let mc = KernelMetrics::from_descriptor(&c, GpuGeneration::Volta);
+        let ms = KernelMetrics::from_descriptor(&s, GpuGeneration::Volta);
+        // Compute tile: far more instructions per unit of memory traffic.
+        let intensity_c = mc.instructions / mc.coalesced_global_loads.max(1.0);
+        let intensity_s = ms.instructions / ms.coalesced_global_loads.max(1.0);
+        assert!(intensity_c > 3.0 * intensity_s);
+    }
+
+    #[test]
+    fn irregular_kernels_are_divergent_and_phased() {
+        let i = irregular("i", 64, 256, 16, 64).build().unwrap();
+        assert!(i.divergence_efficiency() < 0.6);
+        assert!(i.phases().len() > 1);
+        assert!(i.coalescing_sectors() > 8.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! The 20 CUTLASS GEMM configurations of Table 4: 10 SGEMM problem sizes
+//! and 10 tensor-core (WGEMM) problem sizes.
+//!
+//! Table 3 shows the shape: each configuration launches 7 instances of one
+//! kernel (CUTLASS perf harness warm-up plus timed repetitions), which PKS
+//! folds into a single group — hence the suite's mean silicon speedups of
+//! 6–7× at sub-1% error.
+
+use crate::common::*;
+use crate::{Suite, Workload};
+
+/// The (M, N, K) problem sizes swept by the perf suite.
+const PROBLEMS: [(u32, u32, u32); 10] = [
+    (2560, 128, 2560),
+    (2560, 512, 2560),
+    (4096, 4096, 4096),
+    (1024, 1024, 1024),
+    (2048, 2048, 2048),
+    (8192, 512, 1024),
+    (512, 8192, 1024),
+    (3072, 3072, 1024),
+    (1760, 1760, 1760),
+    (5124, 700, 2048),
+];
+
+/// Repetitions the CUTLASS perf harness launches per configuration.
+const REPS: u64 = 7;
+
+fn blocks_for(m: u32, n: u32) -> u32 {
+    // 128x128 output tiles.
+    (m.div_ceil(128) * n.div_ceil(128)).max(1)
+}
+
+fn fp32_work(m: u32, n: u32, k: u32) -> u32 {
+    // Per-thread MAC count for a 128x128x8-step tile on 256 threads,
+    // compressed to keep traces tractable.
+    let macs = (m as u64 * n as u64 * k as u64) / blocks_for(m, n) as u64 / 256;
+    (macs / 24).clamp(200, 4000) as u32
+}
+
+/// Builds the CUTLASS suite.
+pub fn workloads() -> Vec<Workload> {
+    let mut out = Vec::with_capacity(20);
+    for (m, n, k) in PROBLEMS {
+        let name = format!("cutlass_sgemm_{m}x{n}x{k}");
+        let kernel = compute_tile("cutlass_sgemm_tile", blocks_for(m, n), 256, fp32_work(m, n, k))
+            .working_set_bytes((m as u64 * k as u64 + k as u64 * n as u64) * 4)
+            .l2_locality(0.85);
+        out.push(
+            Workload::builder(name, Suite::Cutlass)
+                .run(tmpl(kernel), REPS)
+                .build(),
+        );
+    }
+    for (m, n, k) in PROBLEMS {
+        let name = format!("cutlass_wgemm_{m}x{n}x{k}");
+        let kernel = tensor_tile(
+            "cutlass_wmma_tile",
+            blocks_for(m, n),
+            256,
+            (fp32_work(m, n, k) / 12).max(32),
+        )
+        .working_set_bytes((m as u64 * k as u64 + k as u64 * n as u64) * 2)
+        .l2_locality(0.85);
+        out.push(
+            Workload::builder(name, Suite::Cutlass)
+                .run(tmpl(kernel), REPS)
+                .build(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pka_gpu::InstClass;
+
+    #[test]
+    fn twenty_configurations() {
+        assert_eq!(workloads().len(), 20);
+    }
+
+    #[test]
+    fn each_launches_seven_kernels() {
+        for w in workloads() {
+            assert_eq!(w.kernel_count(), REPS, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn wgemm_uses_tensor_cores_sgemm_does_not() {
+        let all = workloads();
+        let sgemm = all.iter().find(|w| w.name().contains("sgemm")).unwrap();
+        let wgemm = all.iter().find(|w| w.name().contains("wgemm")).unwrap();
+        assert_eq!(sgemm.kernel(0u64.into()).count(InstClass::Tensor), 0);
+        assert!(wgemm.kernel(0u64.into()).count(InstClass::Tensor) > 0);
+    }
+
+    #[test]
+    fn bigger_problems_have_more_blocks() {
+        let all = workloads();
+        let small = all
+            .iter()
+            .find(|w| w.name() == "cutlass_sgemm_1024x1024x1024")
+            .unwrap();
+        let big = all
+            .iter()
+            .find(|w| w.name() == "cutlass_sgemm_4096x4096x4096")
+            .unwrap();
+        assert!(
+            big.kernel(0u64.into()).total_blocks() > small.kernel(0u64.into()).total_blocks()
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! The 69 DeepBench configurations of Table 4.
+//!
+//! Sub-suites and input counts follow the table exactly:
+//! convolution inference/training × CUDA/tensor-core (5 inputs each),
+//! GEMM inference/training × CUDA/tensor-core (5 each), and RNN
+//! inference/training × CUDA/tensor-core (9/5/10/5). These are "highly
+//! tuned machine-learning kernels evaluated in isolation": few targeted
+//! launches, so PKS speedups stay modest (1–7×), and training variants
+//! launch extra backward-pass kernels.
+
+use pka_gpu::KernelDescriptorBuilder;
+
+use crate::common::*;
+use crate::{KernelTemplate, Suite, Workload};
+
+fn maybe_tensor(b: KernelDescriptorBuilder, tensor: bool, mmas: u32) -> KernelDescriptorBuilder {
+    if tensor {
+        b.tensor_per_thread(mmas).fp32_per_thread(mmas / 4 + 8)
+    } else {
+        b
+    }
+}
+
+fn conv_kernels(input: usize, tensor: bool, training: bool) -> Vec<KernelTemplate> {
+    let scale = [1.0, 1.6, 0.7, 2.2, 1.2][input % 5];
+    let blocks = (640.0 * scale) as u32;
+    let fp = (600.0 * scale) as u32;
+    let mut ks = vec![
+        tmpl(streaming("im2col", blocks, 256, 14, 128)),
+        tmpl(maybe_tensor(
+            compute_tile("implicit_gemm_conv", blocks, 256, fp),
+            tensor,
+            fp / 12,
+        )),
+        tmpl(elementwise("bias_act", blocks, 256)),
+    ];
+    if training {
+        ks.push(tmpl(maybe_tensor(
+            compute_tile("conv_dgrad", blocks, 256, fp),
+            tensor,
+            fp / 12,
+        )));
+        ks.push(tmpl(maybe_tensor(
+            compute_tile("conv_wgrad", blocks, 256, (fp as f64 * 1.2) as u32),
+            tensor,
+            fp / 10,
+        )));
+        ks.push(tmpl(reduction("wgrad_reduce", blocks / 4 + 1, 256)));
+    }
+    ks
+}
+
+fn gemm_kernels(input: usize, tensor: bool, training: bool) -> Vec<KernelTemplate> {
+    let scale = [1.0, 2.0, 0.5, 1.5, 3.0][input % 5];
+    let blocks = (512.0 * scale) as u32;
+    let fp = (900.0_f64 * scale).min(3000.0) as u32;
+    let mut ks = vec![tmpl(maybe_tensor(
+        compute_tile("deepbench_gemm", blocks, 256, fp),
+        tensor,
+        fp / 12,
+    ))];
+    // The perf harness repeats the timed GEMM a few times.
+    ks.push(ks[0].clone());
+    ks.push(ks[0].clone());
+    ks.push(ks[0].clone());
+    if training {
+        ks.push(tmpl(maybe_tensor(
+            compute_tile("gemm_grad", blocks, 256, fp),
+            tensor,
+            fp / 12,
+        )));
+        ks.push(tmpl(reduction("grad_reduce", blocks / 8 + 1, 256)));
+    }
+    ks
+}
+
+fn rnn_workload(name: String, input: usize, tensor: bool, training: bool) -> Workload {
+    let scale = [0.6, 1.0, 1.4, 0.8, 1.8, 1.1, 0.9, 2.0, 1.3, 0.7][input % 10];
+    let blocks = (96.0 * scale) as u32;
+    let fp = (400.0 * scale) as u32;
+    let timesteps = if training { 25 } else { 50 };
+    let mut per_step = vec![
+        tmpl(maybe_tensor(
+            compute_tile("rnn_gemm", blocks, 256, fp),
+            tensor,
+            fp / 12,
+        )),
+        tmpl(elementwise("rnn_pointwise", blocks, 256)),
+    ];
+    if training {
+        per_step.push(tmpl(maybe_tensor(
+            compute_tile("rnn_gemm_bprop", blocks, 256, fp),
+            tensor,
+            fp / 12,
+        )));
+        per_step.push(tmpl(elementwise("rnn_pointwise_bprop", blocks, 256)));
+    }
+    Workload::builder(name, Suite::Deepbench)
+        .cycle(per_step, timesteps)
+        .build()
+}
+
+/// Builds the DeepBench suite (69 workloads).
+pub fn workloads() -> Vec<Workload> {
+    let mut out = Vec::with_capacity(69);
+    let tc = |t: bool| if t { "_tc" } else { "" };
+
+    // Convolution: inference and training, CUDA and tensor cores, 5 inputs.
+    for tensor in [false, true] {
+        for training in [false, true] {
+            for input in 0..5 {
+                let mode = if training { "train" } else { "infer" };
+                let name = format!("deepbench_conv_{mode}{}_{input}", tc(tensor));
+                let mut b = Workload::builder(name, Suite::Deepbench);
+                for k in conv_kernels(input, tensor, training) {
+                    b = b.run(k, 1);
+                }
+                out.push(b.build());
+            }
+        }
+    }
+    // GEMM: same grid of variants.
+    for tensor in [false, true] {
+        for training in [false, true] {
+            for input in 0..5 {
+                let mode = if training { "train" } else { "infer" };
+                let name = format!("deepbench_gemm_{mode}{}_{input}", tc(tensor));
+                let mut b = Workload::builder(name, Suite::Deepbench);
+                for k in gemm_kernels(input, tensor, training) {
+                    b = b.run(k, 1);
+                }
+                out.push(b.build());
+            }
+        }
+    }
+    // RNN: 9 CUDA inference, 5 CUDA training, 10 tensor inference, 5 tensor
+    // training inputs (Table 4).
+    for input in 0..9 {
+        out.push(rnn_workload(
+            format!("deepbench_rnn_infer_{input}"),
+            input,
+            false,
+            false,
+        ));
+    }
+    for input in 0..5 {
+        out.push(rnn_workload(
+            format!("deepbench_rnn_train_{input}"),
+            input,
+            false,
+            true,
+        ));
+    }
+    for input in 0..10 {
+        out.push(rnn_workload(
+            format!("deepbench_rnn_infer_tc_{input}"),
+            input,
+            true,
+            false,
+        ));
+    }
+    for input in 0..5 {
+        out.push(rnn_workload(
+            format!("deepbench_rnn_train_tc_{input}"),
+            input,
+            true,
+            true,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pka_gpu::InstClass;
+
+    #[test]
+    fn sixty_nine_workloads() {
+        assert_eq!(workloads().len(), 69);
+    }
+
+    #[test]
+    fn training_variants_launch_backward_kernels() {
+        let all = workloads();
+        let infer = all
+            .iter()
+            .find(|w| w.name() == "deepbench_conv_infer_0")
+            .unwrap();
+        let train = all
+            .iter()
+            .find(|w| w.name() == "deepbench_conv_train_0")
+            .unwrap();
+        assert!(train.kernel_count() > infer.kernel_count());
+    }
+
+    #[test]
+    fn tensor_variants_use_tensor_cores() {
+        let all = workloads();
+        let tc = all
+            .iter()
+            .find(|w| w.name() == "deepbench_gemm_infer_tc_0")
+            .unwrap();
+        let has_tensor = tc
+            .iter()
+            .any(|(_, k)| k.count(InstClass::Tensor) > 0);
+        assert!(has_tensor);
+    }
+
+    #[test]
+    fn rnn_counts_match_table_4() {
+        let all = workloads();
+        let count = |p: &str| all.iter().filter(|w| w.name().starts_with(p)).count();
+        assert_eq!(count("deepbench_rnn_infer_tc"), 10);
+        assert_eq!(count("deepbench_rnn_infer"), 19); // 9 CUDA + 10 TC
+        assert_eq!(count("deepbench_rnn_train_tc"), 5);
+        assert_eq!(count("deepbench_rnn_train"), 10); // 5 + 5
+    }
+}

@@ -1,0 +1,201 @@
+//! The 7 MLPerf v1.0 applications of Table 4 — the *scaled* workloads that
+//! motivate the paper: seconds-to-minutes on silicon, centuries in
+//! simulation.
+//!
+//! Kernel-stream scale follows the paper: SSD training launches 5.3 million
+//! kernels; BERT, GNMT and SSD need two-level profiling; ResNet's stream
+//! clusters into the nine groups of Figure 4, built from the kernel names
+//! that figure lists (`sgemm`, `winograd_big`, `tiny_relu_*`, `MaxPool2D`,
+//! `RowwiseReduce`, …), with some names split across groups by grid size
+//! exactly as the paper observes.
+
+use crate::common::*;
+use crate::{KernelTemplate, Suite, Workload};
+
+/// One iteration (batch) of ResNet-50: the Figure 4 kernel population.
+/// `b` is the batch-width factor (batch / 16): larger batches mean wider
+/// grids per launch.
+fn resnet_layer_cycle(b: u32) -> Vec<KernelTemplate> {
+    vec![
+        // Group ~0-1: dense math (convolutions and FC).
+        tmpl(tensor_tile("sgemm", 180 * b, 256, 700)),
+        tmpl(tensor_tile("winograd_big", 120 * b, 256, 900)),
+        tmpl(tensor_tile("implicit_con", 150 * b, 256, 650)),
+        tmpl(tensor_tile("genWinograd", 90 * b, 256, 520)),
+        tmpl(compute_tile("gemv2N", 16 * b, 128, 400)),
+        // Group ~2-4: element-wise ReLU family; the same code launched at
+        // several grid sizes lands in different groups.
+        tmpl(elementwise("tiny_relu_1", 8 * b, 128)),
+        tmpl(elementwise("tiny_relu_2", 8 * b, 128)),
+        tmpl(elementwise("tiny_relu_interior", 16 * b, 128)).with_grid_cycle(vec![
+            16 * b,
+            64 * b,
+            16 * b,
+        ]),
+        tmpl(elementwise("med_relu_small", 48 * b, 256)),
+        tmpl(elementwise("big_relu_interior", 190 * b, 256)),
+        tmpl(elementwise("Relu", 96 * b, 256)),
+        // Group ~5: normalisation / reductions.
+        tmpl(reduction("bn_fw_inf", 64 * b, 256)),
+        tmpl(reduction("RowwiseReduce", 32 * b, 256)),
+        tmpl(reduction("splitKreduce", 24 * b, 256)),
+        tmpl(reduction("softmax_fw", 8 * b, 256)),
+        // Group ~6: pooling and argmax.
+        tmpl(streaming("MaxPool2D", 48 * b, 256, 40, 256)),
+        tmpl(reduction("ComputeArg", 8 * b, 256)),
+        // Group ~7-8: tensor reshuffles and binary glue.
+        tmpl(streaming("op_tensor4", 32 * b, 256, 30, 256)),
+        tmpl(streaming("op_tensor3", 24 * b, 256, 24, 128)),
+        tmpl(elementwise("SimpleBinary", 16 * b, 256)),
+        tmpl(elementwise("RowwiseBinary", 16 * b, 256)),
+        tmpl(streaming("computeOffsets", 8 * b, 128, 12, 32)),
+    ]
+}
+
+fn resnet(batch: u32, iterations: u64) -> Workload {
+    Workload::builder(format!("mlperf_resnet50_{batch}b_infer"), Suite::MlPerf)
+        .cycle(resnet_layer_cycle(batch / 16), iterations)
+        .build()
+}
+
+/// Builds the MLPerf suite.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        // BERT offline inference: ~10 min of silicon, ~750k kernels across
+        // the transformer-layer cycle.
+        Workload::builder("mlperf_bert_offline_infer", Suite::MlPerf)
+            .cycle(
+                vec![
+                    tmpl(tensor_tile("bert_qkv_gemm", 1150, 256, 850)),
+                    tmpl(reduction("bert_softmax", 380, 256)),
+                    tmpl(tensor_tile("bert_attn_gemm", 770, 256, 700)),
+                    tmpl(elementwise("bert_gelu", 580, 256)),
+                    tmpl(tensor_tile("bert_ffn_gemm1", 1540, 256, 950)),
+                    tmpl(tensor_tile("bert_ffn_gemm2", 1540, 256, 900)),
+                    tmpl(reduction("bert_layernorm", 380, 256)),
+                    tmpl(elementwise("bert_residual", 380, 256)),
+                ],
+                94_000,
+            )
+            .build(),
+        // SSD training: the largest stream in the study, 5.3M kernels.
+        Workload::builder("mlperf_ssd_train", Suite::MlPerf)
+            .cycle(
+                vec![
+                    tmpl(tensor_tile("ssd_conv_fprop", 680, 256, 600)),
+                    tmpl(elementwise("ssd_relu", 340, 256)),
+                    tmpl(reduction("ssd_bn_fwd", 170, 256)),
+                    tmpl(tensor_tile("ssd_conv_dgrad", 680, 256, 640)),
+                    tmpl(tensor_tile("ssd_conv_wgrad", 680, 256, 680)),
+                    tmpl(reduction("ssd_bn_bwd", 170, 256)),
+                    tmpl(elementwise("ssd_relu_bwd", 340, 256)),
+                    tmpl(streaming("ssd_boxes", 90, 256, 28, 64)),
+                    tmpl(reduction("ssd_loss", 60, 256)),
+                    tmpl(elementwise("ssd_sgd_step", 230, 256)),
+                ],
+                530_000,
+            )
+            .build(),
+        // ResNet-50 inference at the three studied batch sizes. Larger
+        // batches mean fewer, fatter launches over the same image count.
+        resnet(64, 2800),
+        resnet(128, 1400),
+        resnet(256, 700),
+        // GNMT training: sequence-length-heavy RNN translation.
+        Workload::builder("mlperf_gnmt_train", Suite::MlPerf)
+            .cycle(
+                vec![
+                    tmpl(tensor_tile("gnmt_lstm_gemm", 1150, 256, 700))
+                        .with_grid_cycle(vec![1150, 920, 1380, 690]),
+                    tmpl(elementwise("gnmt_lstm_pointwise", 460, 256)),
+                    tmpl(reduction("gnmt_attention", 340, 256)),
+                    tmpl(tensor_tile("gnmt_lstm_gemm_bprop", 1150, 256, 740)),
+                    tmpl(elementwise("gnmt_pointwise_bprop", 460, 256)),
+                    tmpl(elementwise("gnmt_adam_step", 690, 256)),
+                ],
+                160_000,
+            )
+            .build(),
+        // 3D-UNet inference: few but enormous volumetric kernels — the one
+        // MLPerf case where detailed profiling remains tractable.
+        Workload::builder("mlperf_3dunet_infer", Suite::MlPerf)
+            .cycle(
+                vec![
+                    tmpl(tensor_tile("unet3d_conv", 5400, 256, 1400)),
+                    tmpl(elementwise("unet3d_inorm", 2700, 256)),
+                    tmpl(elementwise("unet3d_lrelu", 2700, 256)),
+                    tmpl(streaming("unet3d_updown", 1800, 256, 40, 512)),
+                ],
+                340,
+            )
+            .build(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_applications() {
+        assert_eq!(workloads().len(), 7);
+    }
+
+    #[test]
+    fn ssd_launches_5_3_million_kernels() {
+        let ssd = workloads()
+            .into_iter()
+            .find(|w| w.name() == "mlperf_ssd_train")
+            .unwrap();
+        assert_eq!(ssd.kernel_count(), 5_300_000);
+    }
+
+    #[test]
+    fn resnet_cycle_uses_figure_4_names() {
+        let r = workloads()
+            .into_iter()
+            .find(|w| w.name() == "mlperf_resnet50_64b_infer")
+            .unwrap();
+        let names: Vec<String> = r
+            .iter()
+            .take(22)
+            .map(|(_, k)| k.name().to_string())
+            .collect();
+        for expected in ["sgemm", "winograd_big", "tiny_relu_1", "MaxPool2D", "RowwiseReduce"] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "missing {expected} in {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_size_trades_iterations_for_width() {
+        let all = workloads();
+        let b64 = all
+            .iter()
+            .find(|w| w.name() == "mlperf_resnet50_64b_infer")
+            .unwrap();
+        let b256 = all
+            .iter()
+            .find(|w| w.name() == "mlperf_resnet50_256b_infer")
+            .unwrap();
+        assert!(b64.kernel_count() > b256.kernel_count());
+        let g64 = b64.kernel(0u64.into()).total_blocks();
+        let g256 = b256.kernel(0u64.into()).total_blocks();
+        assert!(g256 > g64);
+    }
+
+    #[test]
+    fn random_access_into_millions_is_cheap() {
+        let ssd = workloads()
+            .into_iter()
+            .find(|w| w.name() == "mlperf_ssd_train")
+            .unwrap();
+        // Touch a scattering of launches across the whole stream.
+        for id in [0u64, 1_000_000, 2_500_000, 5_299_999] {
+            let k = ssd.kernel(id.into());
+            assert!(k.instructions_per_thread() > 0);
+        }
+    }
+}

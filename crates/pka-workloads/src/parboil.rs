@@ -1,0 +1,96 @@
+//! The 8 Parboil workloads of Table 4.
+//!
+//! `cutcp` reproduces Table 3's three groups of sizes 2/3/6; `histo`
+//! reproduces its four groups of 20 kernels each; `stencil` runs 100
+//! identical iterations (the 100× PKS speedup row).
+
+use crate::common::*;
+use crate::{Suite, Workload};
+
+/// Builds the Parboil suite.
+pub fn workloads() -> Vec<Workload> {
+    let w = |name: &str| Workload::builder(name, Suite::Parboil);
+    vec![
+        // Frontier-driven BFS with erratic level sizes: little to fold.
+        w("bfs")
+            .cycle(
+                vec![tmpl(irregular("bfs_levelsync", 256, 512, 22, 128))
+                    .with_grid_cycle(vec![2, 30, 700, 2900, 1400, 180, 22, 3, 1])],
+                9,
+            )
+            .build(),
+        // Table 3: groups of 2, 3 and 6 kernels.
+        w("cutcp")
+            .run(tmpl(compute_tile("cutoff_small", 24, 128, 150)), 2)
+            .run(tmpl(compute_tile("cutoff_medium", 88, 128, 190)), 3)
+            .run(tmpl(compute_tile("cutoff_large", 176, 128, 210)), 6)
+            .build(),
+        // Table 3: four groups x 20 kernels.
+        w("histo")
+            .cycle(
+                vec![
+                    tmpl(elementwise("histo_prescan", 64, 512)),
+                    tmpl(reduction("histo_intermediate", 98, 512)),
+                    tmpl(reduction("histo_main", 84, 512)),
+                    tmpl(streaming("histo_final", 42, 512, 10, 16)),
+                ],
+                20,
+            )
+            .build(),
+        w("mri")
+            .run(tmpl(compute_tile("computeQ_GPU", 128, 256, 320)), 3)
+            .build(),
+        w("sad")
+            .run(tmpl(compute_tile("mb_sad_calc", 1584, 64, 130)), 1)
+            .run(tmpl(reduction("larger_sad_calc_8", 99, 128)), 1)
+            .run(tmpl(reduction("larger_sad_calc_16", 25, 128)), 1)
+            .build(),
+        // One very long dense GEMM (Accel-Sim error outlier in Table 4).
+        w("sgemm")
+            .run(tmpl(compute_tile("mysgemmNT", 528, 128, 1400)), 1)
+            .build(),
+        // ~100 sparse matrix-vector products; two population sizes.
+        w("spmv")
+            .run(tmpl(irregular("spmv_jds", 766, 32, 14, 32)), 50)
+            .run(tmpl(irregular("spmv_jds_tail", 96, 32, 10, 8)), 50)
+            .build(),
+        // 100 identical Jacobi iterations.
+        w("stencil")
+            .run(tmpl(compute_tile("block2D_hybrid", 128, 256, 85)), 100)
+            .build(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_workloads() {
+        assert_eq!(workloads().len(), 8);
+    }
+
+    #[test]
+    fn cutcp_matches_table_3_groups() {
+        let c = workloads().into_iter().find(|w| w.name() == "cutcp").unwrap();
+        assert_eq!(c.kernel_count(), 11); // 2 + 3 + 6
+        assert_eq!(c.kernel(0u64.into()).name(), "cutoff_small");
+        assert_eq!(c.kernel(2u64.into()).name(), "cutoff_medium");
+        assert_eq!(c.kernel(5u64.into()).name(), "cutoff_large");
+    }
+
+    #[test]
+    fn histo_is_four_by_twenty() {
+        let h = workloads().into_iter().find(|w| w.name() == "histo").unwrap();
+        assert_eq!(h.kernel_count(), 80);
+    }
+
+    #[test]
+    fn stencil_runs_100_iterations() {
+        let s = workloads()
+            .into_iter()
+            .find(|w| w.name() == "stencil")
+            .unwrap();
+        assert_eq!(s.kernel_count(), 100);
+    }
+}

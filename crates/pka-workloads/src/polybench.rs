@@ -1,0 +1,146 @@
+//! The 16 Polybench-GPU workloads of Table 4 (15 from the paper's table
+//! plus `doitgen`, bringing the full study to 147 workloads).
+//!
+//! `fdtd2d` reproduces Table 3's two groups (1000 + 500 kernels);
+//! `gramschmidt` reproduces its six groups over 6411 launches. `atax` is
+//! the regular single-phase kernel used in Figure 5a; `syr2k` is the
+//! 50-day-simulation outlier that PKP alone accelerates 50×.
+
+use crate::common::*;
+use crate::{Suite, Workload};
+
+/// Builds the Polybench suite.
+pub fn workloads() -> Vec<Workload> {
+    let w = |name: &str| Workload::builder(name, Suite::Polybench);
+    vec![
+        w("2Dcnn")
+            .run(tmpl(compute_tile("Convolution2D_kernel", 1024, 256, 48)), 1)
+            .build(),
+        // Two identical matrix multiplies -> one group, 2x.
+        w("2mm")
+            .run(tmpl(compute_tile("mm2_kernel", 2048, 256, 1200)), 2)
+            .build(),
+        // 254 depth slices of a 3D convolution -> one group, ~243x.
+        w("3dconvolution")
+            .run(tmpl(compute_tile("convolution3D_slice", 64, 256, 40)), 254)
+            .build(),
+        w("3mm")
+            .run(tmpl(compute_tile("mm3_kernel", 1024, 256, 800)), 3)
+            .build(),
+        // Figure 5a's regular workload: ramps fast, stays flat.
+        w("atax")
+            .run(tmpl(streaming("atax_kernel1", 512, 256, 96, 96)), 1)
+            .run(tmpl(streaming("atax_kernel2", 512, 256, 96, 96)), 1)
+            .build(),
+        w("bicg")
+            .run(tmpl(streaming("bicg_kernel1", 512, 256, 90, 96)), 1)
+            .run(tmpl(streaming("bicg_kernel2", 512, 256, 90, 96)), 1)
+            .build(),
+        w("correlation")
+            .run(tmpl(streaming("mean_kernel", 8, 256, 40, 32)), 1)
+            .run(tmpl(streaming("std_kernel", 8, 256, 44, 32)), 1)
+            .run(tmpl(streaming("reduce_kernel", 64, 256, 36, 32)), 1)
+            .run(tmpl(compute_tile("corr_kernel", 2048, 256, 2000)), 1)
+            .build(),
+        w("covariance")
+            .run(tmpl(streaming("mean_kernel", 8, 256, 40, 32)), 1)
+            .run(tmpl(streaming("reduce_kernel", 64, 256, 36, 32)), 1)
+            .run(tmpl(compute_tile("covar_kernel", 2048, 256, 2100)), 1)
+            .build(),
+        // 16th workload: 128 batched tensor-contraction launches.
+        w("doitgen")
+            .run(tmpl(compute_tile("doitgen_kernel", 128, 256, 160)), 128)
+            .build(),
+        // Table 3: kernels {0: x1000, 2: x500} -> A B A per timestep.
+        w("fdtd2d")
+            .cycle(
+                vec![
+                    tmpl(streaming("fdtd_step1", 256, 256, 12, 32)),
+                    tmpl(compute_tile("fdtd_step23", 256, 256, 30)),
+                    tmpl(streaming("fdtd_step1", 256, 256, 12, 32)),
+                ],
+                500,
+            )
+            .build(),
+        w("gemm")
+            .run(tmpl(compute_tile("gemm_kernel", 2048, 256, 1100)), 1)
+            .build(),
+        w("gsummv")
+            .run(tmpl(streaming("gesummv_kernel", 1024, 256, 110, 128)), 1)
+            .build(),
+        // Six natural groups over 6411 launches: three kernel types, each
+        // split into a large-grid and a small-grid population.
+        w("gramschmidt")
+            .cycle(
+                vec![
+                    tmpl(streaming("gramschmidt_k1", 16, 256, 30, 16)),
+                    tmpl(compute_tile("gramschmidt_k2", 64, 256, 90)),
+                    tmpl(streaming("gramschmidt_k3", 64, 256, 40, 16)),
+                ],
+                1370,
+            )
+            .cycle(
+                vec![
+                    tmpl(streaming("gramschmidt_k1", 2, 256, 14, 4)),
+                    tmpl(compute_tile("gramschmidt_k2", 8, 256, 45)),
+                    tmpl(streaming("gramschmidt_k3", 8, 256, 18, 4)),
+                ],
+                767,
+            )
+            .build(),
+        w("mvt")
+            .run(tmpl(streaming("mvt_kernel1", 512, 256, 100, 96)), 1)
+            .run(tmpl(streaming("mvt_kernel2", 512, 256, 100, 96)), 1)
+            .build(),
+        // The 50-day full-simulation outlier: one giant stable kernel where
+        // intra-kernel projection does all the work.
+        w("syr2k")
+            .run(tmpl(compute_tile("syr2k_kernel", 16384, 256, 3000)), 1)
+            .build(),
+        w("syrk")
+            .run(tmpl(compute_tile("syrk_kernel", 8192, 256, 1500)), 1)
+            .build(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_workloads() {
+        assert_eq!(workloads().len(), 16);
+    }
+
+    #[test]
+    fn fdtd2d_matches_table_3() {
+        let f = workloads()
+            .into_iter()
+            .find(|w| w.name() == "fdtd2d")
+            .unwrap();
+        assert_eq!(f.kernel_count(), 1500);
+        let step1 = f
+            .iter()
+            .filter(|(_, k)| k.name() == "fdtd_step1")
+            .count();
+        assert_eq!(step1, 1000);
+    }
+
+    #[test]
+    fn gramschmidt_has_6411_kernels() {
+        let g = workloads()
+            .into_iter()
+            .find(|w| w.name() == "gramschmidt")
+            .unwrap();
+        assert_eq!(g.kernel_count(), 6411);
+    }
+
+    #[test]
+    fn atax_is_regular() {
+        let a = workloads().into_iter().find(|w| w.name() == "atax").unwrap();
+        for (_, k) in a.iter() {
+            assert_eq!(k.phases().len(), 1);
+            assert_eq!(k.divergence_efficiency(), 1.0);
+        }
+    }
+}

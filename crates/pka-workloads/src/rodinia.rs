@@ -1,0 +1,271 @@
+//! The 27 Rodinia 3.1 workloads of Table 4.
+//!
+//! Kernel-count structure follows the paper where it is documented:
+//! `gauss_208` launches 414 kernels that PKS folds into a single group
+//! (Table 3), the `bfs` variants launch one pair of kernels per frontier
+//! level, `nw` walks 2×255 anti-diagonal steps, `srad_v1` iterates a
+//! two-kernel stencil, and single-kernel applications (`nn`, `lavaMD`,
+//! `hotspot`) see no inter-kernel reduction at all (speedup 1× in Table 4).
+
+use crate::common::*;
+use crate::{Suite, Workload};
+
+/// Builds the Rodinia suite.
+pub fn workloads() -> Vec<Workload> {
+    let w = |name: &str| Workload::builder(name, Suite::Rodinia);
+    vec![
+        // Two distinct irregular tree-search kernels; nothing to fold.
+        w("b+tree")
+            .run(tmpl(irregular("findK", 120, 256, 24, 128)), 1)
+            .run(tmpl(irregular("findRangeK", 120, 256, 30, 128)), 1)
+            .build(),
+        // Forward + weight-adjust pair.
+        w("backprop")
+            .run(tmpl(compute_tile("layerforward", 256, 256, 90)), 1)
+            .run(tmpl(streaming("adjust_weights", 256, 256, 12, 32)), 1)
+            .build(),
+        // One (kernel, aux) pair per BFS level; frontier size swings wildly.
+        w("bfs1MW")
+            .cycle(
+                vec![
+                    tmpl(irregular("bfs_kernel", 512, 256, 20, 256)).with_grid_cycle(vec![
+                        8, 64, 512, 2048, 4096, 2048, 512, 64, 16, 8, 4, 2, 1,
+                    ]),
+                    tmpl(elementwise("bfs_visited", 512, 256)).with_grid_cycle(vec![
+                        8, 64, 512, 2048, 4096, 2048, 512, 64, 16, 8, 4, 2, 1,
+                    ]),
+                ],
+                13,
+            )
+            .build(),
+        w("bfs4096")
+            .cycle(
+                vec![
+                    tmpl(irregular("bfs_kernel", 16, 256, 16, 4))
+                        .with_grid_cycle(vec![1, 4, 16, 8, 2, 1]),
+                    tmpl(elementwise("bfs_visited", 16, 256))
+                        .with_grid_cycle(vec![1, 4, 16, 8, 2, 1]),
+                ],
+                6,
+            )
+            .build(),
+        // Table 3: 20 kernels, one group, kernel 0 selected.
+        w("bfs65536")
+            .run(tmpl(irregular("bfs_kernel", 64, 256, 18, 16)), 20)
+            .build(),
+        w("dwt2d_192")
+            .cycle(
+                vec![
+                    tmpl(compute_tile("fdwt53", 36, 192, 60)),
+                    tmpl(streaming("rdwt53", 36, 192, 10, 8)),
+                ],
+                3,
+            )
+            .run(tmpl(elementwise("dwt_pack", 36, 192)), 1)
+            .build(),
+        w("dwt2d_rgb")
+            .cycle(
+                vec![
+                    tmpl(compute_tile("fdwt53", 96, 192, 70)),
+                    tmpl(streaming("rdwt53", 96, 192, 12, 24)),
+                ],
+                4,
+            )
+            .run(tmpl(elementwise("dwt_pack", 96, 192)), 1)
+            .build(),
+        // 414 near-identical elimination kernels -> one PKS group (Table 3).
+        w("gauss_208")
+            .cycle(
+                vec![
+                    tmpl(compute_tile("Fan1", 2, 128, 24)),
+                    tmpl(compute_tile("Fan2", 13, 128, 30)),
+                ],
+                207,
+            )
+            .build(),
+        w("gauss_mat4")
+            .cycle(
+                vec![
+                    tmpl(compute_tile("Fan1", 1, 64, 16)),
+                    tmpl(compute_tile("Fan2", 1, 64, 20)),
+                ],
+                3,
+            )
+            .build(),
+        w("gauss_s16")
+            .cycle(
+                vec![
+                    tmpl(compute_tile("Fan1", 1, 64, 18)),
+                    tmpl(compute_tile("Fan2", 1, 64, 22)),
+                ],
+                15,
+            )
+            .build(),
+        w("gauss_s64")
+            .cycle(
+                vec![
+                    tmpl(compute_tile("Fan1", 1, 128, 20)),
+                    tmpl(compute_tile("Fan2", 4, 128, 26)),
+                ],
+                63,
+            )
+            .build(),
+        w("gauss_s256")
+            .cycle(
+                vec![
+                    tmpl(compute_tile("Fan1", 2, 128, 22)),
+                    tmpl(compute_tile("Fan2", 16, 128, 28)),
+                ],
+                255,
+            )
+            .build(),
+        // Single long stencil kernel.
+        w("hots_1024")
+            .run(tmpl(compute_tile("hotspot", 1156, 256, 180)), 1)
+            .build(),
+        w("hots_512")
+            .run(tmpl(compute_tile("hotspot", 324, 256, 160)), 1)
+            .build(),
+        w("hstort_500k")
+            .run(tmpl(reduction("bucketcount", 256, 256)), 3)
+            .run(tmpl(streaming("bucketsort", 256, 256, 20, 64)), 3)
+            .run(tmpl(compute_tile("mergesort_pass", 128, 256, 70)), 3)
+            .build(),
+        w("hstort_r")
+            .cycle(
+                vec![
+                    tmpl(reduction("bucketcount", 512, 256)),
+                    tmpl(streaming("bucketsort", 512, 256, 24, 128)),
+                    tmpl(compute_tile("mergesort_pass", 256, 256, 80)),
+                ],
+                9,
+            )
+            .run(tmpl(elementwise("merge_final", 256, 256)), 1)
+            .build(),
+        w("kmeans_28k")
+            .run(tmpl(streaming("invert_mapping", 110, 256, 8, 8)), 1)
+            .run(tmpl(compute_tile("kmeansPoint", 110, 256, 120)), 2)
+            .build(),
+        w("kmeans_819k")
+            .run(tmpl(streaming("invert_mapping", 3200, 256, 8, 128)), 1)
+            .run(tmpl(compute_tile("kmeansPoint", 3200, 256, 140)), 2)
+            .build(),
+        w("kmeans_oi")
+            .run(tmpl(streaming("invert_mapping", 3200, 256, 8, 128)), 1)
+            .run(tmpl(compute_tile("kmeansPoint", 3200, 256, 100)), 2)
+            .build(),
+        // One enormous n-body-style kernel.
+        w("lavaMD")
+            .run(tmpl(compute_tile("kernel_gpu_cuda", 4000, 128, 900)), 1)
+            .build(),
+        // Triangular decomposition: grids shrink as iterations proceed.
+        w("lud_i")
+            .cycle(
+                vec![
+                    tmpl(compute_tile("lud_diagonal", 1, 64, 80)),
+                    tmpl(compute_tile("lud_perimeter", 32, 128, 90))
+                        .with_grid_cycle(vec![120, 96, 72, 48, 32, 16, 8, 4, 2, 1]),
+                    tmpl(compute_tile("lud_internal", 256, 256, 70))
+                        .with_grid_cycle(vec![3600, 2304, 1296, 576, 256, 64, 16, 4, 1, 1]),
+                ],
+                85,
+            )
+            .build(),
+        w("lud_256")
+            .cycle(
+                vec![
+                    tmpl(compute_tile("lud_diagonal", 1, 64, 60)),
+                    tmpl(compute_tile("lud_perimeter", 8, 128, 70))
+                        .with_grid_cycle(vec![15, 12, 8, 4, 2, 1]),
+                    tmpl(compute_tile("lud_internal", 32, 256, 50))
+                        .with_grid_cycle(vec![225, 144, 64, 16, 4, 1]),
+                ],
+                21,
+            )
+            .build(),
+        // The paper excludes myocyte (kernel-count mismatch between the
+        // profiling and tracing runs); we still model its launch stream.
+        w("myocyte")
+            .run(tmpl(irregular("solver_1", 2, 32, 400, 1)), 1)
+            .run(tmpl(irregular("solver_2", 2, 32, 380, 1)), 1)
+            .build(),
+        w("nn")
+            .run(tmpl(streaming("euclid", 168, 256, 6, 16)), 1)
+            .build(),
+        // 2 x 255 anti-diagonal sweeps with triangular grid growth/shrink.
+        w("nw")
+            .cycle(
+                vec![
+                    tmpl(compute_tile("needle_1", 16, 64, 40)).with_grid_cycle(vec![
+                        1, 4, 16, 32, 64, 128, 255, 128, 64, 32, 16, 4, 1,
+                    ]),
+                    tmpl(compute_tile("needle_2", 16, 64, 40)).with_grid_cycle(vec![
+                        1, 4, 16, 32, 64, 128, 255, 128, 64, 32, 16, 4, 1,
+                    ]),
+                ],
+                255,
+            )
+            .build(),
+        // streamcluster: ~1300 near-identical pgain rounds.
+        w("scluster")
+            .run(tmpl(compute_tile("pgain", 128, 256, 110)), 1290)
+            .run(tmpl(reduction("pgain_reduce", 64, 256)), 8)
+            .build(),
+        // 51 iterations of the two-kernel SRAD stencil.
+        w("srad_v1")
+            .cycle(
+                vec![
+                    tmpl(compute_tile("srad_kernel1", 230, 256, 75)),
+                    tmpl(compute_tile("srad_kernel2", 230, 256, 65)),
+                ],
+                51,
+            )
+            .build(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_seven_workloads() {
+        assert_eq!(workloads().len(), 27);
+    }
+
+    #[test]
+    fn gaussian_structure_matches_table_3() {
+        let g = workloads()
+            .into_iter()
+            .find(|w| w.name() == "gauss_208")
+            .unwrap();
+        assert_eq!(g.kernel_count(), 414);
+    }
+
+    #[test]
+    fn bfs65536_has_20_kernels() {
+        let b = workloads()
+            .into_iter()
+            .find(|w| w.name() == "bfs65536")
+            .unwrap();
+        assert_eq!(b.kernel_count(), 20);
+    }
+
+    #[test]
+    fn single_kernel_apps_have_one_launch() {
+        for name in ["nn", "lavaMD", "hots_1024", "hots_512"] {
+            let w = workloads().into_iter().find(|w| w.name() == name).unwrap();
+            assert_eq!(w.kernel_count(), 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn nw_walks_anti_diagonals() {
+        let nw = workloads().into_iter().find(|w| w.name() == "nw").unwrap();
+        assert_eq!(nw.kernel_count(), 510);
+        // Grid sizes vary across occurrences.
+        let g0 = nw.kernel(0u64.into()).total_blocks();
+        let g4 = nw.kernel(4u64.into()).total_blocks();
+        assert_ne!(g0, g4);
+    }
+}

@@ -1,0 +1,404 @@
+use pka_gpu::{Dim3, KernelDescriptor, KernelId};
+use pka_stats::hash::seed_from;
+
+/// The benchmark suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Rodinia 3.1 (27 workloads).
+    Rodinia,
+    /// Parboil (8 workloads).
+    Parboil,
+    /// Polybench-GPU (16 workloads).
+    Polybench,
+    /// CUTLASS GEMM sweeps (20 configurations).
+    Cutlass,
+    /// Baidu DeepBench (69 configurations).
+    Deepbench,
+    /// MLPerf v1.0 reference implementations (7 applications).
+    MlPerf,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Suite::Rodinia => "Rodinia",
+            Suite::Parboil => "Parboil",
+            Suite::Polybench => "Polybench",
+            Suite::Cutlass => "Cutlass",
+            Suite::Deepbench => "Deepbench",
+            Suite::MlPerf => "MLPerf",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A stamping rule that turns one validated descriptor into a family of
+/// per-launch instances.
+///
+/// Each instance gets a unique deterministic seed (derived from the workload
+/// name and launch index) and, optionally, a grid size drawn from a cycle —
+/// the mechanism behind kernels that are "launched several thousand times
+/// with different grid and/or thread block dimensions" and therefore land in
+/// different PKS groups (Section 3.1).
+///
+/// # Examples
+///
+/// ```
+/// use pka_gpu::KernelDescriptor;
+/// use pka_workloads::KernelTemplate;
+///
+/// let base = KernelDescriptor::builder("relu").fp32_per_thread(4).build()?;
+/// let t = KernelTemplate::new(base).with_grid_cycle(vec![128, 256]);
+/// # Ok::<(), pka_gpu::GpuError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTemplate {
+    base: KernelDescriptor,
+    grid_cycle: Vec<u32>,
+}
+
+impl KernelTemplate {
+    /// Wraps a validated descriptor.
+    pub fn new(base: KernelDescriptor) -> Self {
+        Self {
+            base,
+            grid_cycle: Vec::new(),
+        }
+    }
+
+    /// Rotates the grid size (in blocks) through `cycle` as instances are
+    /// stamped.
+    pub fn with_grid_cycle(mut self, cycle: Vec<u32>) -> Self {
+        self.grid_cycle = cycle;
+        self
+    }
+
+    /// Stamps the instance for launch `launch_index` of `workload`
+    /// (`occurrence` counts how many instances of *this template* precede
+    /// it).
+    fn instantiate(&self, workload: &str, launch_index: u64, occurrence: u64) -> KernelDescriptor {
+        let mut builder = KernelDescriptor::builder(self.base.name())
+            .grid(self.base.grid())
+            .block(self.base.block());
+        // Rebuild from the validated base via its public accessors.
+        builder = clone_counts(&self.base, builder);
+        if !self.grid_cycle.is_empty() {
+            let g = self.grid_cycle[(occurrence % self.grid_cycle.len() as u64) as usize];
+            builder = builder.grid(Dim3::linear(g));
+        }
+        builder
+            .seed(seed_from(workload, launch_index))
+            .build()
+            .expect("template base was already validated")
+    }
+}
+
+/// Copies every behavioural field from a validated descriptor into a fresh
+/// builder (grid/block/name are handled by the caller).
+fn clone_counts(
+    base: &KernelDescriptor,
+    builder: pka_gpu::KernelDescriptorBuilder,
+) -> pka_gpu::KernelDescriptorBuilder {
+    use pka_gpu::InstClass as C;
+    builder
+        .regs_per_thread(base.regs_per_thread())
+        .shared_mem_per_block(base.shared_mem_per_block())
+        .fp32_per_thread(base.count(C::Fp32))
+        .fp64_per_thread(base.count(C::Fp64))
+        .int_per_thread(base.count(C::Int))
+        .sfu_per_thread(base.count(C::Sfu))
+        .tensor_per_thread(base.count(C::Tensor))
+        .global_loads_per_thread(base.count(C::LdGlobal))
+        .global_stores_per_thread(base.count(C::StGlobal))
+        .local_loads_per_thread(base.count(C::LdLocal))
+        .local_stores_per_thread(base.count(C::StLocal))
+        .shared_loads_per_thread(base.count(C::LdShared))
+        .shared_stores_per_thread(base.count(C::StShared))
+        .global_atomics_per_thread(base.count(C::AtomicGlobal))
+        .branches_per_thread(base.count(C::Branch))
+        .syncs_per_thread(base.count(C::Sync))
+        .coalescing_sectors(base.coalescing_sectors())
+        .working_set_bytes(base.working_set_bytes())
+        .l1_locality(base.l1_locality())
+        .l2_locality(base.l2_locality())
+        .divergence_efficiency(base.divergence_efficiency())
+        .phases(base.phases().to_vec())
+}
+
+/// One stretch of a workload's launch stream.
+#[derive(Debug, Clone, PartialEq)]
+enum Segment {
+    /// `template` launched `count` times in a row.
+    Run { template: KernelTemplate, count: u64 },
+    /// `templates` launched round-robin, the full cycle repeated `repeats`
+    /// times (the per-iteration kernel pattern of time-stepped and layered
+    /// applications).
+    Cycle {
+        templates: Vec<KernelTemplate>,
+        repeats: u64,
+    },
+}
+
+impl Segment {
+    fn len(&self) -> u64 {
+        match self {
+            Segment::Run { count, .. } => *count,
+            Segment::Cycle { templates, repeats } => templates.len() as u64 * repeats,
+        }
+    }
+
+    fn kernel(&self, workload: &str, launch_index: u64, offset: u64) -> KernelDescriptor {
+        match self {
+            Segment::Run { template, .. } => template.instantiate(workload, launch_index, offset),
+            Segment::Cycle { templates, .. } => {
+                let t = (offset % templates.len() as u64) as usize;
+                let occurrence = offset / templates.len() as u64;
+                templates[t].instantiate(workload, launch_index, occurrence)
+            }
+        }
+    }
+}
+
+/// One of the 147 studied workloads: a named, lazily-expanded kernel launch
+/// stream.
+///
+/// # Examples
+///
+/// ```
+/// use pka_workloads::rodinia;
+///
+/// let gaussian = rodinia::workloads()
+///     .into_iter()
+///     .find(|w| w.name() == "gauss_208")
+///     .expect("exists");
+/// assert_eq!(gaussian.kernel_count(), 414);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    name: String,
+    suite: Suite,
+    segments: Vec<Segment>,
+    /// Cumulative end index of each segment, for O(log n) random access.
+    cumulative: Vec<u64>,
+}
+
+impl Workload {
+    /// Starts building a workload.
+    pub fn builder(name: impl Into<String>, suite: Suite) -> WorkloadBuilder {
+        WorkloadBuilder {
+            name: name.into(),
+            suite,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Workload name (unique across the 147).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The suite this workload belongs to.
+    pub fn suite(&self) -> Suite {
+        self.suite
+    }
+
+    /// Total kernel launches in the stream.
+    pub fn kernel_count(&self) -> u64 {
+        self.cumulative.last().copied().unwrap_or(0)
+    }
+
+    /// Materialises the descriptor for launch `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn kernel(&self, id: KernelId) -> KernelDescriptor {
+        let idx = id.index();
+        assert!(
+            idx < self.kernel_count(),
+            "kernel {idx} out of range for `{}` ({} kernels)",
+            self.name,
+            self.kernel_count()
+        );
+        let seg = self.cumulative.partition_point(|&end| end <= idx);
+        let start = if seg == 0 { 0 } else { self.cumulative[seg - 1] };
+        self.segments[seg].kernel(&self.name, idx, idx - start)
+    }
+
+    /// Iterates over `(id, descriptor)` pairs lazily, in launch order.
+    pub fn iter(&self) -> impl Iterator<Item = (KernelId, KernelDescriptor)> + '_ {
+        (0..self.kernel_count()).map(move |i| (KernelId::new(i), self.kernel(KernelId::new(i))))
+    }
+
+    /// The launch-stream period of the dominant iteration structure, if the
+    /// workload has one: the kernels-per-iteration of its largest cyclic
+    /// segment. This is the contextual knowledge the single-iteration
+    /// methodology (Section 6, NVArchSim-style) requires — PKA itself never
+    /// uses it.
+    pub fn iteration_hint(&self) -> Option<u64> {
+        self.segments
+            .iter()
+            .filter_map(|s| match s {
+                Segment::Cycle { templates, repeats } if *repeats > 1 => {
+                    Some((templates.len() as u64, templates.len() as u64 * repeats))
+                }
+                _ => None,
+            })
+            .max_by_key(|&(_, span)| span)
+            .map(|(period, _)| period)
+    }
+}
+
+/// Builder for [`Workload`].
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    name: String,
+    suite: Suite,
+    segments: Vec<Segment>,
+}
+
+impl WorkloadBuilder {
+    /// Appends `count` consecutive launches of `template`.
+    pub fn run(mut self, template: KernelTemplate, count: u64) -> Self {
+        self.segments.push(Segment::Run { template, count });
+        self
+    }
+
+    /// Appends `repeats` rounds of the template cycle (the per-timestep /
+    /// per-layer launch pattern).
+    pub fn cycle(mut self, templates: Vec<KernelTemplate>, repeats: u64) -> Self {
+        self.segments.push(Segment::Cycle { templates, repeats });
+        self
+    }
+
+    /// Finishes the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no segments were added (a workload must launch something).
+    pub fn build(self) -> Workload {
+        assert!(
+            !self.segments.is_empty(),
+            "workload `{}` has no kernel segments",
+            self.name
+        );
+        let mut cumulative = Vec::with_capacity(self.segments.len());
+        let mut total = 0u64;
+        for s in &self.segments {
+            total += s.len();
+            cumulative.push(total);
+        }
+        Workload {
+            name: self.name,
+            suite: self.suite,
+            segments: self.segments,
+            cumulative,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template(name: &str, fp: u32) -> KernelTemplate {
+        KernelTemplate::new(
+            KernelDescriptor::builder(name)
+                .grid_blocks(8)
+                .block_threads(64)
+                .fp32_per_thread(fp)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn run_segment_counts() {
+        let w = Workload::builder("w", Suite::Rodinia)
+            .run(template("a", 10), 5)
+            .build();
+        assert_eq!(w.kernel_count(), 5);
+        assert_eq!(w.kernel(KernelId::new(0)).name(), "a");
+        assert_eq!(w.kernel(KernelId::new(4)).name(), "a");
+    }
+
+    #[test]
+    fn cycle_segment_alternates() {
+        let w = Workload::builder("w", Suite::Polybench)
+            .cycle(vec![template("x", 1), template("y", 2)], 3)
+            .build();
+        assert_eq!(w.kernel_count(), 6);
+        let names: Vec<String> = w.iter().map(|(_, k)| k.name().to_string()).collect();
+        assert_eq!(names, ["x", "y", "x", "y", "x", "y"]);
+    }
+
+    #[test]
+    fn segments_compose() {
+        let w = Workload::builder("w", Suite::Parboil)
+            .run(template("a", 1), 2)
+            .cycle(vec![template("b", 1), template("c", 1)], 2)
+            .run(template("d", 1), 1)
+            .build();
+        let names: Vec<String> = w.iter().map(|(_, k)| k.name().to_string()).collect();
+        assert_eq!(names, ["a", "a", "b", "c", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn seeds_are_unique_per_launch() {
+        let w = Workload::builder("w", Suite::Rodinia)
+            .run(template("a", 10), 3)
+            .build();
+        let seeds: Vec<u64> = w.iter().map(|(_, k)| k.seed()).collect();
+        assert_ne!(seeds[0], seeds[1]);
+        assert_ne!(seeds[1], seeds[2]);
+    }
+
+    #[test]
+    fn same_launch_is_deterministic() {
+        let w = Workload::builder("w", Suite::Rodinia)
+            .run(template("a", 10), 3)
+            .build();
+        assert_eq!(w.kernel(KernelId::new(1)), w.kernel(KernelId::new(1)));
+    }
+
+    #[test]
+    fn grid_cycle_varies_geometry() {
+        let t = template("g", 4).with_grid_cycle(vec![16, 32, 64]);
+        let w = Workload::builder("w", Suite::MlPerf).run(t, 6).build();
+        let grids: Vec<u64> = w.iter().map(|(_, k)| k.total_blocks()).collect();
+        assert_eq!(grids, [16, 32, 64, 16, 32, 64]);
+    }
+
+    #[test]
+    fn grid_cycle_inside_cycle_counts_occurrences() {
+        // Two templates in a cycle; the first rotates grids per occurrence
+        // of *itself*, not per launch.
+        let a = template("a", 1).with_grid_cycle(vec![8, 16]);
+        let b = template("b", 1);
+        let w = Workload::builder("w", Suite::MlPerf)
+            .cycle(vec![a, b], 3)
+            .build();
+        let grids: Vec<(String, u64)> = w
+            .iter()
+            .map(|(_, k)| (k.name().to_string(), k.total_blocks()))
+            .collect();
+        assert_eq!(grids[0], ("a".into(), 8));
+        assert_eq!(grids[2], ("a".into(), 16));
+        assert_eq!(grids[4], ("a".into(), 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let w = Workload::builder("w", Suite::Rodinia)
+            .run(template("a", 1), 2)
+            .build();
+        let _ = w.kernel(KernelId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "no kernel segments")]
+    fn empty_workload_panics() {
+        let _ = Workload::builder("w", Suite::Rodinia).build();
+    }
+}

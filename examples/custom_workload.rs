@@ -1,0 +1,96 @@
+//! Bring your own workload: define kernels, build a launch stream, and run
+//! the whole PKA pipeline on it.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+//!
+//! Models a hypothetical iterative solver: a compute-heavy update kernel
+//! and a memory-bound halo exchange alternating for 300 timesteps, plus a
+//! one-off reduction at the end. PKA should discover the structure (two or
+//! three groups) without being told anything about it.
+
+use principal_kernel_analysis::core::{Pka, PkaConfig, PkpConfig, PksConfig};
+use principal_kernel_analysis::gpu::{GpuConfig, KernelDescriptor};
+use principal_kernel_analysis::workloads::{KernelTemplate, Suite, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the kernels declaratively.
+    let update = KernelDescriptor::builder("solver_update")
+        .grid_blocks(640)
+        .block_threads(256)
+        .fp32_per_thread(320)
+        .global_loads_per_thread(12)
+        .global_stores_per_thread(4)
+        .shared_loads_per_thread(24)
+        .syncs_per_thread(2)
+        .shared_mem_per_block(8 * 1024)
+        .l1_locality(0.6)
+        .l2_locality(0.7)
+        .build()?;
+    let halo = KernelDescriptor::builder("halo_exchange")
+        .grid_blocks(160)
+        .block_threads(256)
+        .int_per_thread(20)
+        .global_loads_per_thread(32)
+        .global_stores_per_thread(16)
+        .l1_locality(0.05)
+        .l2_locality(0.2)
+        .working_set_bytes(512 << 20)
+        .build()?;
+    let reduce = KernelDescriptor::builder("residual_norm")
+        .grid_blocks(80)
+        .block_threads(256)
+        .fp32_per_thread(48)
+        .global_loads_per_thread(16)
+        .global_atomics_per_thread(1)
+        .build()?;
+
+    // 2. Assemble the launch stream: 300 timesteps of (update, halo), then
+    //    the final reduction.
+    let workload = Workload::builder("custom_solver", Suite::Polybench)
+        .cycle(
+            vec![KernelTemplate::new(update), KernelTemplate::new(halo)],
+            300,
+        )
+        .run(KernelTemplate::new(reduce), 1)
+        .build();
+    println!(
+        "workload: {} ({} kernel launches)",
+        workload.name(),
+        workload.kernel_count()
+    );
+
+    // 3. Run PKA, tuning the two user-facing knobs explicitly.
+    let config = PkaConfig::default()
+        .with_pks(PksConfig::default().with_target_error_pct(5.0))
+        .with_pkp(PkpConfig::default().with_threshold(0.25));
+    let pka = Pka::new(GpuConfig::v100(), config);
+
+    let selection = pka.select_kernels(&workload)?;
+    println!("PKS discovered {} groups:", selection.k());
+    for group in selection.groups() {
+        let rep = workload.kernel(group.representative());
+        println!(
+            "  `{}` x {} (representative: kernel {})",
+            rep.name(),
+            group.count(),
+            group.representative()
+        );
+    }
+
+    let report = pka.evaluate_in_simulation(&workload, true)?;
+    println!();
+    println!(
+        "PKA error vs silicon: {:.1}% (full simulation: {:.1}%)",
+        report.pka_error_pct,
+        report.sim_error_pct.expect("full sim ran")
+    );
+    println!(
+        "simulation reduced {:.0}x ({:.2} h -> {:.3} h projected)",
+        report.pka_speedup(),
+        report.fullsim_hours,
+        report.pka_hours
+    );
+    Ok(())
+}

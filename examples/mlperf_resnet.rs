@@ -1,0 +1,86 @@
+//! The headline result: making a *scaled* MLPerf workload simulable.
+//!
+//! ```text
+//! cargo run --release --example mlperf_resnet
+//! ```
+//!
+//! ResNet-50 inference launches tens of thousands of kernels; full
+//! cycle-level simulation would take years. This example walks the exact
+//! path the paper describes: check that detailed profiling is tractable
+//! (for ResNet it is; for SSD/BERT/GNMT the two-level fallback kicks in
+//! automatically), select principal kernels, simulate only those with PKP
+//! stability-stopping, and project the whole application.
+
+use principal_kernel_analysis::core::{Pka, PkaConfig};
+use principal_kernel_analysis::gpu::GpuConfig;
+use principal_kernel_analysis::profile::Profiler;
+use principal_kernel_analysis::sim::cost::{format_duration, projected_sim_seconds};
+use principal_kernel_analysis::workloads::mlperf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = mlperf::workloads()
+        .into_iter()
+        .find(|w| w.name() == "mlperf_resnet50_64b_infer")
+        .expect("part of the MLPerf suite");
+
+    println!(
+        "workload: {} ({} kernel launches)",
+        workload.name(),
+        workload.kernel_count()
+    );
+
+    // How bad is the problem? Project the cost of the naive approaches.
+    let profiler = Profiler::new(GpuConfig::v100());
+    let silicon = profiler.silicon_run(&workload)?;
+    println!(
+        "silicon runtime:          {}",
+        format_duration(silicon.total_seconds)
+    );
+    println!(
+        "full simulation would be: {}",
+        format_duration(projected_sim_seconds(silicon.total_cycles))
+    );
+    let cost = profiler.profiling_cost(&workload);
+    println!(
+        "detailed profiling:       {} ({})",
+        format_duration(cost.detailed_seconds()),
+        if cost.detailed_is_intractable() {
+            "intractable -> two-level"
+        } else {
+            "tractable"
+        }
+    );
+
+    // The PKA pipeline.
+    let pka = Pka::new(GpuConfig::v100(), PkaConfig::default());
+    let selection = pka.select_kernels(&workload)?;
+    println!();
+    println!(
+        "PKS folded {} launches into {} principal kernels:",
+        workload.kernel_count(),
+        selection.k()
+    );
+    for (i, group) in selection.groups().iter().enumerate() {
+        let rep = workload.kernel(group.representative());
+        println!(
+            "  group {i:>2}: {:>7} launches, representative `{}` (kernel {})",
+            group.count(),
+            rep.name(),
+            group.representative()
+        );
+    }
+
+    let report = pka.evaluate_in_simulation(&workload, false)?;
+    println!();
+    println!(
+        "PKA projection: {} cycles vs silicon {} cycles ({:.1}% error)",
+        report.pka_projected_cycles, report.silicon_cycles, report.pka_error_pct
+    );
+    println!(
+        "simulation cost: {} (PKA) instead of {} (full) -> {:.0}x reduction",
+        format_duration(report.pka_hours * 3600.0),
+        format_duration(report.fullsim_hours * 3600.0),
+        report.pka_speedup()
+    );
+    Ok(())
+}

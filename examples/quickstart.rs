@@ -1,0 +1,72 @@
+//! Quickstart: run Principal Kernel Analysis end-to-end on one workload.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Profiles Rodinia's `gauss_208` on the modelled V100, selects principal
+//! kernels, simulates only those (stopping each at IPC stability), and
+//! compares the projected application cycles against silicon and against
+//! full simulation.
+
+use principal_kernel_analysis::core::{Pka, PkaConfig};
+use principal_kernel_analysis::gpu::GpuConfig;
+use principal_kernel_analysis::sim::cost::format_duration;
+use principal_kernel_analysis::workloads::rodinia;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = rodinia::workloads()
+        .into_iter()
+        .find(|w| w.name() == "gauss_208")
+        .expect("gauss_208 is part of the Rodinia suite");
+
+    println!("workload: {} ({} kernel launches)", workload.name(), workload.kernel_count());
+
+    let pka = Pka::new(GpuConfig::v100(), PkaConfig::default());
+
+    // Step 1: silicon profiling + Principal Kernel Selection.
+    let selection = pka.select_kernels(&workload)?;
+    println!(
+        "PKS: {} groups selected (target error {:.0}%)",
+        selection.k(),
+        pka.config().pks().target_error_pct()
+    );
+    for (i, group) in selection.groups().iter().enumerate() {
+        println!(
+            "  group {i}: representative kernel {} stands in for {} launches",
+            group.representative(),
+            group.count()
+        );
+    }
+
+    // Step 2: full evaluation in simulation (this workload is small enough
+    // to also run the full-simulation baseline for comparison).
+    let report = pka.evaluate_in_simulation(&workload, true)?;
+    println!();
+    println!("silicon reference:   {:>14} cycles", report.silicon_cycles);
+    println!(
+        "full simulation:     {:>14} cycles ({:.1}% vs silicon, {} of simulation)",
+        report.fullsim_cycles.expect("full sim ran"),
+        report.sim_error_pct.expect("full sim ran"),
+        format_duration(report.fullsim_hours * 3600.0),
+    );
+    println!(
+        "PKS only:            {:>14} cycles ({:.1}% vs silicon, {} of simulation)",
+        report.pks_projected_cycles,
+        report.pks_error_pct,
+        format_duration(report.pks_hours * 3600.0),
+    );
+    println!(
+        "PKA (PKS + PKP):     {:>14} cycles ({:.1}% vs silicon, {} of simulation)",
+        report.pka_projected_cycles,
+        report.pka_error_pct,
+        format_duration(report.pka_hours * 3600.0),
+    );
+    println!();
+    println!(
+        "simulation-time speedup: PKS {:.1}x, PKA {:.1}x",
+        report.pks_speedup(),
+        report.pka_speedup()
+    );
+    Ok(())
+}

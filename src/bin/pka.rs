@@ -1,0 +1,287 @@
+//! The `pka` command-line tool: the automated workflow the paper's
+//! artifact ships as shell scripts, as one binary.
+//!
+//! ```text
+//! pka list [--suite NAME]
+//! pka info --workload NAME
+//! pka select --workload NAME [--target-error PCT] [--out FILE.json]
+//! pka simulate --workload NAME [--gpu v100|rtx2060|rtx3070|v100-half]
+//!              [--threshold S] [--selection FILE.json] [--full]
+//! ```
+//!
+//! `select` profiles (one- or two-level automatically), runs Principal
+//! Kernel Selection, prints the groups with clustering diagnostics, and
+//! can persist the selection — the artifact's per-workload "groups,
+//! principal kernels and weights" record. `simulate` runs the sampled
+//! simulation (optionally against a saved selection, optionally next to a
+//! full-simulation baseline).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use principal_kernel_analysis::core::{Pka, PkaConfig, PkpConfig, PksConfig, Selection};
+use principal_kernel_analysis::gpu::GpuConfig;
+use principal_kernel_analysis::ml::{silhouette_score, Matrix};
+use principal_kernel_analysis::profile::Profiler;
+use principal_kernel_analysis::sim::cost::{format_duration, projected_sim_seconds};
+use principal_kernel_analysis::workloads::{all_workloads, Workload};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "list" => cmd_list(&flags),
+        "info" => cmd_info(&flags),
+        "select" => cmd_select(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  pka list [--suite NAME]
+  pka info --workload NAME
+  pka select --workload NAME [--target-error PCT] [--out FILE.json]
+  pka simulate --workload NAME [--gpu v100|rtx2060|rtx3070|v100-half]
+               [--threshold S] [--selection FILE.json] [--full]";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{arg}`"));
+        };
+        if name == "full" {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("--{name} requires a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn find_workload(flags: &HashMap<String, String>) -> Result<Workload, String> {
+    let name = flags
+        .get("workload")
+        .ok_or("--workload NAME is required")?;
+    all_workloads()
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| format!("unknown workload `{name}` (see `pka list`)"))
+}
+
+fn gpu_from(flags: &HashMap<String, String>) -> Result<GpuConfig, String> {
+    match flags.get("gpu").map(String::as_str).unwrap_or("v100") {
+        "v100" => Ok(GpuConfig::v100()),
+        "rtx2060" => Ok(GpuConfig::rtx2060()),
+        "rtx3070" => Ok(GpuConfig::rtx3070()),
+        "v100-half" => Ok(GpuConfig::v100_half_sms()),
+        other => Err(format!("unknown gpu `{other}`")),
+    }
+}
+
+fn cmd_list(flags: &HashMap<String, String>) -> Result<(), String> {
+    let filter = flags.get("suite").map(|s| s.to_lowercase());
+    println!("{:<33} {:<10} {:>10}", "workload", "suite", "kernels");
+    for w in all_workloads() {
+        let suite = w.suite().to_string();
+        if let Some(f) = &filter {
+            if !suite.to_lowercase().contains(f) {
+                continue;
+            }
+        }
+        println!("{:<33} {:<10} {:>10}", w.name(), suite, w.kernel_count());
+    }
+    Ok(())
+}
+
+fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
+    let w = find_workload(flags)?;
+    let profiler = Profiler::new(GpuConfig::v100());
+    let cost = profiler.profiling_cost(&w);
+    let silicon = profiler.silicon_run(&w).map_err(|e| e.to_string())?;
+    println!("workload:            {}", w.name());
+    println!("suite:               {}", w.suite());
+    println!("kernel launches:     {}", w.kernel_count());
+    println!(
+        "iteration structure: {}",
+        w.iteration_hint()
+            .map_or("none".to_string(), |p| format!("{p} kernels/iteration"))
+    );
+    println!(
+        "silicon runtime:     {} ({} cycles)",
+        format_duration(silicon.total_seconds),
+        silicon.total_cycles
+    );
+    println!(
+        "full simulation:     {} (projected)",
+        format_duration(projected_sim_seconds(silicon.total_cycles))
+    );
+    println!(
+        "detailed profiling:  {}{}",
+        format_duration(cost.detailed_seconds()),
+        if cost.detailed_is_intractable() {
+            " -> intractable, two-level profiling will be used"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+fn cmd_select(flags: &HashMap<String, String>) -> Result<(), String> {
+    let w = find_workload(flags)?;
+    let target: f64 = flags
+        .get("target-error")
+        .map(|v| v.parse().map_err(|_| "--target-error must be a number"))
+        .transpose()?
+        .unwrap_or(5.0);
+    let config =
+        PkaConfig::default().with_pks(PksConfig::default().with_target_error_pct(target));
+    let pka = Pka::new(GpuConfig::v100(), config);
+    let selection = pka.select_kernels(&w).map_err(|e| e.to_string())?;
+
+    println!(
+        "{}: {} launches -> {} principal kernels (target error {target}%)",
+        w.name(),
+        w.kernel_count(),
+        selection.k()
+    );
+    println!(
+        "projection error {:.2}%, member dispersion {:.2}%",
+        selection.error_pct(),
+        selection.group_deviation_pct()
+    );
+    // Clustering diagnostics over the profiled prefix.
+    if selection.k() >= 2 {
+        let prefix = selection.labels().len().min(2_000);
+        let rows: Vec<Vec<f64>> = (0..prefix)
+            .map(|i| {
+                principal_kernel_analysis::gpu::KernelMetrics::from_descriptor(
+                    &w.kernel((i as u64).into()),
+                    GpuConfig::v100().generation(),
+                )
+                .to_feature_vector()
+            })
+            .collect();
+        if let Ok(data) = Matrix::from_rows(&rows) {
+            if let Ok(score) = silhouette_score(&data, &selection.labels()[..prefix]) {
+                println!("silhouette (first {prefix} kernels): {score:.3}");
+            }
+        }
+    }
+    for (i, group) in selection.groups().iter().enumerate() {
+        let rep = w.kernel(group.representative());
+        println!(
+            "  group {i:>2}: kernel {:>8} `{}` x {}",
+            group.representative(),
+            rep.name(),
+            group.count()
+        );
+    }
+    if let Some(path) = flags.get("out") {
+        // The file records which workload it was made for so a later
+        // `simulate --selection` cannot silently apply it elsewhere.
+        let payload = serde_json::to_string_pretty(&serde_json::json!({
+            "workload": w.name(),
+            "selection": selection,
+        }))
+        .map_err(|e| format!("serialise selection: {e}"))?;
+        std::fs::write(path, payload).map_err(|e| format!("write {path}: {e}"))?;
+        println!("selection written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let w = find_workload(flags)?;
+    let gpu = gpu_from(flags)?;
+    let threshold: f64 = flags
+        .get("threshold")
+        .map(|v| v.parse().map_err(|_| "--threshold must be a number"))
+        .transpose()?
+        .unwrap_or(0.25);
+    let run_full = flags.contains_key("full");
+    let config = PkaConfig::default().with_pkp(PkpConfig::default().with_threshold(threshold));
+    let pka = Pka::new(gpu, config);
+
+    // An externally supplied selection (e.g. made on Volta) overrides
+    // re-selection — the cross-generation workflow.
+    if let Some(path) = flags.get("selection") {
+        let payload =
+            std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let envelope: serde_json::Value =
+            serde_json::from_str(&payload).map_err(|e| format!("parse {path}: {e}"))?;
+        let made_for = envelope["workload"]
+            .as_str()
+            .ok_or_else(|| format!("{path} is not a selection file (missing `workload`)"))?;
+        if made_for != w.name() {
+            return Err(format!(
+                "{path} was made for `{made_for}`, not `{}`; re-run `pka select`",
+                w.name()
+            ));
+        }
+        let selection: Selection = serde_json::from_value(envelope["selection"].clone())
+            .map_err(|e| format!("parse {path}: {e}"))?;
+        let report = pka
+            .silicon_report_for(&w, &selection)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{} on {} (transferred selection): error {:.2}%, speedup {:.1}x",
+            report.workload, report.gpu, report.error_pct, report.speedup
+        );
+        return Ok(());
+    }
+
+    let report = pka
+        .evaluate_in_simulation(&w, run_full)
+        .map_err(|e| e.to_string())?;
+    println!("workload: {} on {}", report.workload, pka.gpu().name());
+    println!("silicon:  {:>16} cycles", report.silicon_cycles);
+    if let (Some(cycles), Some(err)) = (report.fullsim_cycles, report.sim_error_pct) {
+        println!("full sim: {cycles:>16} cycles ({err:.1}% vs silicon)");
+    }
+    println!(
+        "PKS:      {:>16} cycles ({:.1}% vs silicon, {} of simulation)",
+        report.pks_projected_cycles,
+        report.pks_error_pct,
+        format_duration(report.pks_hours * 3600.0)
+    );
+    println!(
+        "PKA:      {:>16} cycles ({:.1}% vs silicon, {} of simulation, s = {threshold})",
+        report.pka_projected_cycles,
+        report.pka_error_pct,
+        format_duration(report.pka_hours * 3600.0)
+    );
+    println!(
+        "speedup:  PKS {:.1}x, PKA {:.1}x",
+        report.pks_speedup(),
+        report.pka_speedup()
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! # Principal Kernel Analysis
+//!
+//! A Rust reproduction of *"Principal Kernel Analysis: A Tractable
+//! Methodology to Simulate Scaled GPU Workloads"* (MICRO 2021) — the
+//! complete system: the PKA methodology itself plus every substrate it
+//! runs on (a cycle-level GPU timing simulator, an analytical silicon
+//! model, a two-level profiler, a from-scratch ML stack, and synthetic
+//! reproductions of all 147 studied workloads).
+//!
+//! This crate is a facade: it re-exports the workspace crates under short
+//! module names so applications can depend on one crate.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `pka-core` | PKS, PKP, two-level profiling, the PKA pipeline |
+//! | [`gpu`] | `pka-gpu` | Architectures, kernels, occupancy, silicon model |
+//! | [`sim`] | `pka-sim` | The cycle-level timing simulator |
+//! | [`workloads`] | `pka-workloads` | The 147 studied workloads |
+//! | [`profile`] | `pka-profile` | Nsight-style two-level profilers |
+//! | [`ml`] | `pka-ml` | PCA, K-Means, hierarchical clustering, classifiers |
+//! | [`stats`] | `pka-stats` | Online/rolling statistics and error metrics |
+//! | [`baselines`] | `pka-baselines` | TBPoint, first-N instructions, single-iteration |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use principal_kernel_analysis::core::{Pka, PkaConfig};
+//! use principal_kernel_analysis::gpu::GpuConfig;
+//! use principal_kernel_analysis::workloads::rodinia;
+//!
+//! let workload = rodinia::workloads()
+//!     .into_iter()
+//!     .find(|w| w.name() == "gauss_208")
+//!     .expect("exists");
+//! let pka = Pka::new(GpuConfig::v100(), PkaConfig::default());
+//! let report = pka.silicon_pks_report(&workload)?;
+//! println!(
+//!     "{}: {} kernels -> {} groups, {:.1}% error, {:.0}x faster",
+//!     report.workload, report.kernels_total, report.k, report.error_pct, report.speedup
+//! );
+//! assert!(report.error_pct < 6.0);
+//! # Ok::<(), principal_kernel_analysis::core::PkaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pka_baselines as baselines;
+pub use pka_core as core;
+pub use pka_gpu as gpu;
+pub use pka_ml as ml;
+pub use pka_profile as profile;
+pub use pka_sim as sim;
+pub use pka_stats as stats;
+pub use pka_workloads as workloads;

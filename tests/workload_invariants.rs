@@ -1,0 +1,144 @@
+//! Invariants that must hold for every one of the 147 studied workloads —
+//! the contract the PKA pipeline relies on.
+
+use std::collections::BTreeSet;
+
+use principal_kernel_analysis::gpu::{GpuConfig, GpuGeneration, KernelMetrics, Occupancy};
+use principal_kernel_analysis::profile::Profiler;
+use principal_kernel_analysis::workloads::{all_workloads, Suite};
+
+/// A cheap sample of launch indices spanning a stream.
+fn probe_ids(count: u64) -> Vec<u64> {
+    let mut ids: BTreeSet<u64> = [0, count / 3, count / 2, 2 * count / 3, count - 1]
+        .into_iter()
+        .map(|i| i.min(count - 1))
+        .collect();
+    ids.insert(0);
+    ids.into_iter().collect()
+}
+
+#[test]
+fn every_kernel_launches_on_every_studied_gpu() {
+    let configs = [GpuConfig::v100(), GpuConfig::rtx2060(), GpuConfig::rtx3070()];
+    for w in all_workloads() {
+        for id in probe_ids(w.kernel_count()) {
+            let k = w.kernel(id.into());
+            for config in &configs {
+                let occ = Occupancy::compute(&k, config);
+                assert!(
+                    occ.is_ok(),
+                    "{} kernel {id} does not fit on {}: {:?}",
+                    w.name(),
+                    config.name(),
+                    occ.err()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_kernel_produces_finite_metrics() {
+    for w in all_workloads() {
+        for id in probe_ids(w.kernel_count()) {
+            let k = w.kernel(id.into());
+            let m = KernelMetrics::from_descriptor(&k, GpuGeneration::Volta);
+            let v = m.to_feature_vector();
+            assert!(
+                v.iter().all(|x| x.is_finite()),
+                "{} kernel {id} has non-finite features",
+                w.name()
+            );
+            assert!(m.instructions > 0.0, "{} kernel {id}", w.name());
+        }
+    }
+}
+
+#[test]
+fn silicon_executes_every_probed_kernel() {
+    let profiler = Profiler::new(GpuConfig::v100());
+    for w in all_workloads() {
+        for id in probe_ids(w.kernel_count()) {
+            let records = profiler
+                .detailed(&w, id..id + 1)
+                .unwrap_or_else(|e| panic!("{} kernel {id}: {e}", w.name()));
+            assert!(records[0].cycles > 0);
+            assert!(records[0].seconds > 0.0);
+        }
+    }
+}
+
+#[test]
+fn only_mlperf_needs_two_level_profiling() {
+    let profiler = Profiler::new(GpuConfig::v100());
+    for w in all_workloads() {
+        let intractable = profiler.profiling_cost(&w).detailed_is_intractable();
+        match w.suite() {
+            Suite::MlPerf => {
+                // The big three must trip the rule; ResNet and 3D-UNet must
+                // not (the paper profiled them in full).
+                let expects_two_level = w.name().contains("ssd")
+                    || w.name().contains("bert")
+                    || w.name().contains("gnmt");
+                assert_eq!(
+                    intractable,
+                    expects_two_level,
+                    "{}: two-level = {intractable}",
+                    w.name()
+                );
+            }
+            _ => assert!(!intractable, "{} should profile in full", w.name()),
+        }
+    }
+}
+
+#[test]
+fn iteration_hints_exist_exactly_for_cyclic_workloads() {
+    let all = all_workloads();
+    // Every MLPerf app is iteration-structured (that is what makes the
+    // single-iteration baseline applicable to them).
+    for w in all.iter().filter(|w| w.suite() == Suite::MlPerf) {
+        assert!(w.iteration_hint().is_some(), "{}", w.name());
+    }
+    // Single-kernel workloads cannot have one.
+    for name in ["nn", "lavaMD", "gemm", "syrk"] {
+        let w = all.iter().find(|w| w.name() == name).expect("exists");
+        assert!(w.iteration_hint().is_none(), "{name}");
+    }
+}
+
+#[test]
+fn classic_workloads_stay_within_full_simulation_reach() {
+    // The paper's classic suites are sized to complete in simulation;
+    // keep ours bounded so the harness remains runnable.
+    for w in all_workloads().into_iter().filter(|w| w.suite() != Suite::MlPerf) {
+        let insts: u64 = w.iter().map(|(_, k)| k.total_warp_instructions()).sum();
+        assert!(
+            insts < 600_000_000,
+            "{} has {insts} warp instructions — classic suites must stay simulable",
+            w.name()
+        );
+        assert!(w.kernel_count() <= 10_000, "{}", w.name());
+    }
+}
+
+#[test]
+fn mlperf_dwarfs_the_classic_suites() {
+    let all = all_workloads();
+    let max_classic = all
+        .iter()
+        .filter(|w| w.suite() != Suite::MlPerf)
+        .map(|w| w.kernel_count())
+        .max()
+        .expect("non-empty");
+    let min_mlperf_scaled = all
+        .iter()
+        .filter(|w| w.suite() == Suite::MlPerf && !w.name().contains("3dunet"))
+        .map(|w| w.kernel_count())
+        .min()
+        .expect("non-empty");
+    assert!(
+        min_mlperf_scaled > max_classic,
+        "scaled MLPerf streams ({min_mlperf_scaled}) must dwarf classic ones ({max_classic})"
+    );
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Continuous-integration entry point. Mirrors .github/workflows/ci.yml so
+# the same gate runs locally: `./ci.sh`.
+#
+# Stages:
+#   1. release build (the binaries the experiments run through)
+#   2. tier-1 test suite (root package: integration + parity + property tests)
+#   3. tier-1 again, single-threaded — the parity suite spawns its own
+#      worker threads, so this catches any accidental dependence on the
+#      test harness's parallelism
+#   4. workspace tests (member-crate unit suites are NOT part of the root
+#      package run)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier 1)"
+cargo test -q
+
+echo "==> cargo test -q -- --test-threads=1 (tier 1, serial harness)"
+cargo test -q -- --test-threads=1
+
+echo "==> cargo test --workspace -q (member crates)"
+cargo test --workspace -q
+
+echo "CI OK"

@@ -1,7 +1,7 @@
 //! The `tables` binary: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! tables [--quick] [--out DIR] [REPORT...]
+//! tables [--quick] [--out DIR] [--workers N] [REPORT...]
 //! ```
 //!
 //! `REPORT` is any of `fig1 table3 fig4 fig5 fig6 fig7 fig8 table4 fig9
@@ -19,6 +19,7 @@ use pka_bench::{tables, ExperimentRunner, RunnerOptions};
 fn main() {
     let mut quick = false;
     let mut out_dir = PathBuf::from("results");
+    let mut workers = 1usize;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -30,8 +31,17 @@ fn main() {
                     std::process::exit(2);
                 }))
             }
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--workers requires a non-negative integer");
+                        std::process::exit(2);
+                    })
+            }
             "--help" | "-h" => {
-                eprintln!("usage: tables [--quick] [--out DIR] [fig1|table3|fig4|fig5|fig6|fig7|fig8|table4|fig9|fig10|single_iter|all]...");
+                eprintln!("usage: tables [--quick] [--out DIR] [--workers N] [fig1|table3|fig4|fig5|fig6|fig7|fig8|table4|fig9|fig10|single_iter|all]...");
                 return;
             }
             other => wanted.push(other.to_string()),
@@ -43,11 +53,12 @@ fn main() {
     let all = wanted.iter().any(|w| w == "all");
     let want = |name: &str| all || wanted.iter().any(|w| w == name);
 
-    let options = if quick {
+    let mut options = if quick {
         RunnerOptions::quick()
     } else {
         RunnerOptions::default()
     };
+    options.pka = options.pka.with_workers(workers);
     let runner = ExperimentRunner::new(options);
     fs::create_dir_all(&out_dir).expect("create output directory");
 

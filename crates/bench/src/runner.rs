@@ -1,8 +1,8 @@
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use pka_core::{Pka, PkaConfig, PkaError, PkpMonitor, ProjectedKernel, Selection};
-use pka_gpu::GpuConfig;
+use pka_gpu::{GpuConfig, KernelId};
 use pka_profile::{AppSiliconRun, Profiler};
 use pka_sim::Simulator;
 use pka_workloads::Workload;
@@ -69,14 +69,16 @@ pub struct FullSimOutcome {
 /// Memoised executor of the experiment building blocks.
 ///
 /// All caches key on `(gpu name, workload name)`; selections are always
-/// made on Volta and transferred, matching Section 5.2.2.
+/// made on Volta and transferred, matching Section 5.2.2. The caches sit
+/// behind mutexes so the runner is `Sync` and report generation can share
+/// one runner across worker threads.
 pub struct ExperimentRunner {
     options: RunnerOptions,
     volta: Pka,
-    silicon_cache: RefCell<HashMap<(String, String), AppSiliconRun>>,
-    selection_cache: RefCell<HashMap<String, Selection>>,
-    fullsim_cache: RefCell<HashMap<(String, String), Option<FullSimOutcome>>>,
-    sampled_cache: RefCell<HashMap<(String, String), SampledOutcome>>,
+    silicon_cache: Mutex<HashMap<(String, String), AppSiliconRun>>,
+    selection_cache: Mutex<HashMap<String, Selection>>,
+    fullsim_cache: Mutex<HashMap<(String, String), Option<FullSimOutcome>>>,
+    sampled_cache: Mutex<HashMap<(String, String), SampledOutcome>>,
 }
 
 impl ExperimentRunner {
@@ -85,10 +87,10 @@ impl ExperimentRunner {
         Self {
             options,
             volta: Pka::new(GpuConfig::v100(), options.pka),
-            silicon_cache: RefCell::new(HashMap::new()),
-            selection_cache: RefCell::new(HashMap::new()),
-            fullsim_cache: RefCell::new(HashMap::new()),
-            sampled_cache: RefCell::new(HashMap::new()),
+            silicon_cache: Mutex::new(HashMap::new()),
+            selection_cache: Mutex::new(HashMap::new()),
+            fullsim_cache: Mutex::new(HashMap::new()),
+            sampled_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -120,11 +122,13 @@ impl ExperimentRunner {
     /// Propagates silicon-model failures.
     pub fn silicon(&self, workload: &Workload, gpu: &GpuConfig) -> Result<AppSiliconRun, PkaError> {
         let key = (gpu.name().to_string(), workload.name().to_string());
-        if let Some(run) = self.silicon_cache.borrow().get(&key) {
+        if let Some(run) = self.silicon_cache.lock().unwrap().get(&key) {
             return Ok(*run);
         }
-        let run = Profiler::new(gpu.clone()).silicon_run(workload)?;
-        self.silicon_cache.borrow_mut().insert(key, run);
+        let run = Profiler::new(gpu.clone())
+            .with_executor(self.options.pka.executor())
+            .silicon_run(workload)?;
+        self.silicon_cache.lock().unwrap().insert(key, run);
         Ok(run)
     }
 
@@ -134,12 +138,13 @@ impl ExperimentRunner {
     ///
     /// Propagates profiling and clustering failures.
     pub fn selection(&self, workload: &Workload) -> Result<Selection, PkaError> {
-        if let Some(sel) = self.selection_cache.borrow().get(workload.name()) {
+        if let Some(sel) = self.selection_cache.lock().unwrap().get(workload.name()) {
             return Ok(sel.clone());
         }
         let sel = self.volta.select_kernels(workload)?;
         self.selection_cache
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .insert(workload.name().to_string(), sel.clone());
         Ok(sel)
     }
@@ -155,19 +160,26 @@ impl ExperimentRunner {
         gpu: &GpuConfig,
     ) -> Result<Option<FullSimOutcome>, PkaError> {
         let key = (gpu.name().to_string(), workload.name().to_string());
-        if let Some(out) = self.fullsim_cache.borrow().get(&key) {
+        if let Some(out) = self.fullsim_cache.lock().unwrap().get(&key) {
             return Ok(*out);
         }
         let out = if self.fullsim_tractable(workload) {
             let sim = Simulator::new(gpu.clone(), self.options.pka.sim_options());
+            let ids: Vec<u64> = (0..workload.kernel_count()).collect();
+            let runs = self.options.pka.executor().try_map(&ids, |_, &id| {
+                let kernel = workload.kernel(KernelId::new(id));
+                let r = sim.run_kernel(&kernel)?;
+                Ok::<_, PkaError>((r.cycles, r.instructions, r.dram_util_pct))
+            })?;
+            // Fold in launch-stream order so the weighted DRAM float is
+            // bitwise identical to a sequential run.
             let mut cycles = 0u64;
             let mut instructions = 0u64;
             let mut dram_weighted = 0.0f64;
-            for (_, kernel) in workload.iter() {
-                let r = sim.run_kernel(&kernel)?;
-                cycles += r.cycles;
-                instructions += r.instructions;
-                dram_weighted += r.dram_util_pct * r.cycles as f64;
+            for (c, i, dram) in runs {
+                cycles += c;
+                instructions += i;
+                dram_weighted += dram * c as f64;
             }
             Some(FullSimOutcome {
                 cycles,
@@ -177,7 +189,7 @@ impl ExperimentRunner {
         } else {
             None
         };
-        self.fullsim_cache.borrow_mut().insert(key, out);
+        self.fullsim_cache.lock().unwrap().insert(key, out);
         Ok(out)
     }
 
@@ -193,11 +205,26 @@ impl ExperimentRunner {
         gpu: &GpuConfig,
     ) -> Result<SampledOutcome, PkaError> {
         let key = (gpu.name().to_string(), workload.name().to_string());
-        if let Some(out) = self.sampled_cache.borrow().get(&key) {
+        if let Some(out) = self.sampled_cache.lock().unwrap().get(&key) {
             return Ok(out.clone());
         }
         let selection = self.selection(workload)?;
         let sim = Simulator::new(gpu.clone(), self.options.pka.sim_options());
+
+        // One work item per representative (full run + fresh PKP monitor);
+        // weighted reductions fold in representative order below.
+        let reps: Vec<_> = selection.representative_ids();
+        let rep_runs = self.options.pka.executor().try_map(&reps, |_, &id| {
+            let kernel = workload.kernel(id);
+            let full = sim.run_kernel(&kernel)?;
+            let mut monitor = PkpMonitor::new(
+                self.options.pka.pkp(),
+                self.options.pka.sim_options().sample_interval(),
+            );
+            let stopped = sim.run_kernel_monitored(&kernel, &mut monitor)?;
+            let projected = ProjectedKernel::from_monitored(&stopped, &monitor);
+            Ok::<_, PkaError>((full.cycles, full.instructions_total, projected))
+        })?;
 
         let mut pks_rep = Vec::with_capacity(selection.k());
         let mut pka_rep = Vec::with_capacity(selection.k());
@@ -206,19 +233,10 @@ impl ExperimentRunner {
         let mut pka_spent = 0u64;
         let mut dram_weighted = 0.0f64;
         let mut dram_weight = 0.0f64;
-        for id in selection.representative_ids() {
-            let kernel = workload.kernel(id);
-            let full = sim.run_kernel(&kernel)?;
-            pks_rep.push(full.cycles);
-            pks_spent += full.cycles;
-            rep_instructions.push(full.instructions_total);
-
-            let mut monitor = PkpMonitor::new(
-                self.options.pka.pkp(),
-                self.options.pka.sim_options().sample_interval(),
-            );
-            let stopped = sim.run_kernel_monitored(&kernel, &mut monitor)?;
-            let projected = ProjectedKernel::from_monitored(&stopped, &monitor);
+        for (full_cycles, full_instructions, projected) in rep_runs {
+            pks_rep.push(full_cycles);
+            pks_spent += full_cycles;
+            rep_instructions.push(full_instructions);
             pka_rep.push(projected.cycles);
             pka_spent += projected.simulated_cycles;
             dram_weighted += projected.dram_util_pct * projected.cycles as f64;
@@ -238,7 +256,7 @@ impl ExperimentRunner {
             pka_dram_util_pct: dram_weighted / dram_weight.max(1e-12),
             projected_instructions,
         };
-        self.sampled_cache.borrow_mut().insert(key, out.clone());
+        self.sampled_cache.lock().unwrap().insert(key, out.clone());
         Ok(out)
     }
 
@@ -268,7 +286,7 @@ mod tests {
         let a = runner.silicon(&w, &gpu).unwrap();
         let b = runner.silicon(&w, &gpu).unwrap();
         assert_eq!(a, b);
-        assert_eq!(runner.silicon_cache.borrow().len(), 1);
+        assert_eq!(runner.silicon_cache.lock().unwrap().len(), 1);
 
         let s1 = runner.selection(&w).unwrap();
         let s2 = runner.selection(&w).unwrap();

@@ -222,7 +222,7 @@ pub fn fig4(runner: &ExperimentRunner) -> Result<Report, PkaError> {
 /// Propagates simulator failures.
 pub fn fig5() -> Result<Report, PkaError> {
     let gpu = GpuConfig::v100();
-    let options = SimOptions::default().with_sample_interval(100);
+    let options = SimOptions::default().with_sample_interval(100)?;
     let sim = Simulator::new(gpu, options);
     let all = all_workloads();
     let atax = all.iter().find(|w| w.name() == "atax").expect("exists");

@@ -1,0 +1,34 @@
+//! Report-level parity: a table generated through a parallel runner must be
+//! byte-identical to the sequential one — JSON record set and formatted
+//! text both.
+
+use pka_bench::{tables, ExperimentRunner, RunnerOptions};
+
+fn runner_with_workers(workers: usize) -> ExperimentRunner {
+    let mut options = RunnerOptions::default();
+    options.pka = options.pka.with_workers(workers);
+    ExperimentRunner::new(options)
+}
+
+#[test]
+fn table3_is_identical_for_any_worker_count() {
+    let sequential = tables::table3(&runner_with_workers(1)).expect("sequential table3");
+    for workers in [2, 4] {
+        let parallel = tables::table3(&runner_with_workers(workers)).expect("parallel table3");
+        assert_eq!(
+            sequential.data, parallel.data,
+            "table3 records diverged at {workers} workers"
+        );
+        assert_eq!(
+            sequential.text, parallel.text,
+            "table3 text diverged at {workers} workers"
+        );
+        // The serialized bytes — what lands in results/table3.json — match
+        // too: Value equality plus sorted-key serialization makes this
+        // redundant in theory, which is exactly what this assertion pins.
+        assert_eq!(
+            serde_json::to_string_pretty(&sequential.data).unwrap(),
+            serde_json::to_string_pretty(&parallel.data).unwrap()
+        );
+    }
+}

@@ -54,6 +54,7 @@ mod pks;
 mod two_level;
 
 pub use error::PkaError;
+pub use pka_stats::Executor;
 pub use features::feature_matrix;
 pub use pipeline::{Pka, PkaConfig, SiliconPksReport, SimulationReport};
 pub use pkp::{PkpConfig, PkpMonitor, ProjectedKernel};

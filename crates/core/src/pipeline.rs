@@ -2,6 +2,7 @@ use pka_gpu::GpuConfig;
 use pka_profile::Profiler;
 use pka_sim::{cost, SimOptions, Simulator};
 use pka_stats::error::abs_pct_error;
+use pka_stats::Executor;
 use pka_workloads::Workload;
 
 use crate::{PkaError, Pks, PkpConfig, PkpMonitor, PksConfig, ProjectedKernel, Selection, TwoLevel, TwoLevelConfig};
@@ -24,6 +25,7 @@ pub struct PkaConfig {
     pkp: PkpConfig,
     two_level: TwoLevelConfig,
     sim: SimOptions,
+    exec: Executor,
 }
 
 impl PkaConfig {
@@ -71,6 +73,31 @@ impl PkaConfig {
     /// The simulator options.
     pub fn sim_options(&self) -> SimOptions {
         self.sim
+    }
+
+    /// Fans profiling, clustering and per-representative simulation out over
+    /// `workers` threads (`0` = one per hardware thread, `1` = sequential).
+    ///
+    /// Every parallel path is deterministic: selections, projected cycles
+    /// and error tables are bitwise identical for any worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.exec = if workers == 1 {
+            Executor::sequential()
+        } else {
+            Executor::new(workers)
+        };
+        self
+    }
+
+    /// Overrides the executor directly.
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The executor the pipeline fans out on.
+    pub fn executor(&self) -> Executor {
+        self.exec
     }
 }
 
@@ -164,7 +191,7 @@ pub struct Pka {
 impl Pka {
     /// Creates the pipeline for `gpu`.
     pub fn new(gpu: GpuConfig, config: PkaConfig) -> Self {
-        let profiler = Profiler::new(gpu.clone());
+        let profiler = Profiler::new(gpu.clone()).with_executor(config.exec);
         Self {
             gpu,
             config,
@@ -196,12 +223,16 @@ impl Pka {
     pub fn select_kernels(&self, workload: &Workload) -> Result<Selection, PkaError> {
         let cost = self.profiler.profiling_cost(workload);
         if cost.detailed_is_intractable() {
-            TwoLevel::new(self.config.two_level).analyze(workload, &self.profiler)
+            TwoLevel::new(self.config.two_level)
+                .with_executor(self.config.exec)
+                .analyze(workload, &self.profiler)
         } else {
             let records = self
                 .profiler
                 .detailed(workload, 0..workload.kernel_count())?;
-            Pks::new(self.config.pks).select(&records)
+            Pks::new(self.config.pks)
+                .with_executor(self.config.exec)
+                .select(&records)
         }
     }
 
@@ -229,13 +260,18 @@ impl Pka {
         selection: &Selection,
     ) -> Result<SiliconPksReport, PkaError> {
         let silicon = self.profiler.silicon_run(workload)?;
-        // Run only the representatives on this GPU.
+        // Run only the representatives on this GPU, one per work item; fold
+        // the float seconds in representative order for bitwise stability.
+        let reps: Vec<_> = selection.representative_ids();
+        let rep_runs = self.config.exec.try_map(&reps, |_, id| {
+            let records = self.profiler.detailed(workload, id.index()..id.index() + 1)?;
+            Ok::<_, PkaError>((records[0].cycles, records[0].seconds))
+        })?;
         let mut rep_cycles = Vec::with_capacity(selection.k());
         let mut rep_seconds = 0.0;
-        for id in selection.representative_ids() {
-            let records = self.profiler.detailed(workload, id.index()..id.index() + 1)?;
-            rep_cycles.push(records[0].cycles);
-            rep_seconds += records[0].seconds;
+        for (cycles, seconds) in rep_runs {
+            rep_cycles.push(cycles);
+            rep_seconds += seconds;
         }
         let projected = selection.project_with(&rep_cycles);
         Ok(SiliconPksReport {
@@ -265,14 +301,20 @@ impl Pka {
         let silicon = self.profiler.silicon_run(workload)?;
         let simulator = Simulator::new(self.gpu.clone(), self.config.sim);
 
-        // Baseline: full simulation of every kernel.
+        // Baseline: full simulation of every kernel, one per work item;
+        // weighted DRAM utilisation folds in launch-stream order.
         let (fullsim_cycles, fullsim_dram, sim_error) = if run_full_sim {
+            let ids: Vec<u64> = (0..workload.kernel_count()).collect();
+            let runs = self.config.exec.try_map(&ids, |_, &id| {
+                let kernel = workload.kernel(pka_gpu::KernelId::new(id));
+                let r = simulator.run_kernel(&kernel)?;
+                Ok::<_, PkaError>((r.cycles, r.dram_util_pct))
+            })?;
             let mut total = 0u64;
             let mut dram_weighted = 0.0f64;
-            for (_, kernel) in workload.iter() {
-                let r = simulator.run_kernel(&kernel)?;
-                total += r.cycles;
-                dram_weighted += r.dram_util_pct * r.cycles as f64;
+            for (cycles, dram_util_pct) in runs {
+                total += cycles;
+                dram_weighted += dram_util_pct * cycles as f64;
             }
             let dram = dram_weighted / total.max(1) as f64;
             (
@@ -284,6 +326,21 @@ impl Pka {
             (None, None, None)
         };
 
+        // Each representative is one work item: PKS simulates it to
+        // completion, PKA re-simulates it under a fresh PKP monitor. The
+        // monitor is item-local state, so items stay independent; the
+        // weighted DRAM reduction folds in representative order.
+        let reps: Vec<_> = selection.representative_ids();
+        let rep_runs = self.config.exec.try_map(&reps, |_, &id| {
+            let kernel = workload.kernel(id);
+            let full = simulator.run_kernel(&kernel)?;
+            let mut monitor =
+                PkpMonitor::new(self.config.pkp, self.config.sim.sample_interval());
+            let stopped = simulator.run_kernel_monitored(&kernel, &mut monitor)?;
+            let projected = ProjectedKernel::from_monitored(&stopped, &monitor);
+            Ok::<_, PkaError>((full.cycles, projected))
+        })?;
+
         // PKS-only: representatives simulated to completion.
         let mut pks_rep_cycles = Vec::with_capacity(selection.k());
         let mut pks_spent = 0u64;
@@ -292,17 +349,9 @@ impl Pka {
         let mut pka_spent = 0u64;
         let mut pka_dram_weighted = 0.0f64;
         let mut pka_weight = 0.0f64;
-
-        for id in selection.representative_ids() {
-            let kernel = workload.kernel(id);
-            let full = simulator.run_kernel(&kernel)?;
-            pks_rep_cycles.push(full.cycles);
-            pks_spent += full.cycles;
-
-            let mut monitor =
-                PkpMonitor::new(self.config.pkp, self.config.sim.sample_interval());
-            let stopped = simulator.run_kernel_monitored(&kernel, &mut monitor)?;
-            let projected = ProjectedKernel::from_monitored(&stopped, &monitor);
+        for (full_cycles, projected) in rep_runs {
+            pks_rep_cycles.push(full_cycles);
+            pks_spent += full_cycles;
             pka_rep_cycles.push(projected.cycles);
             pka_spent += projected.simulated_cycles;
             pka_dram_weighted += projected.dram_util_pct * projected.cycles as f64;

@@ -363,4 +363,217 @@ mod tests {
         assert_eq!(p.cycles, full.cycles);
         assert_eq!(p.speedup(), 1.0);
     }
+
+    #[test]
+    fn paper_defaults_are_pinned() {
+        // Section 3.2's published operating point: s = 0.25 over the last
+        // 3000 cycles, wave constraint on. Changing these silently would
+        // invalidate every reproduced table.
+        let config = PkpConfig::default();
+        assert_eq!(config.threshold(), 0.25);
+        assert_eq!(config.window_cycles(), 3000);
+        assert!(config.wave_constraint());
+    }
+}
+
+#[cfg(test)]
+mod stopping_rule_properties {
+    use super::*;
+    use pka_sim::IpcSample;
+    use proptest::prelude::*;
+
+    /// Drives a monitor with a synthetic IPC stream and the given block
+    /// geometry (blocks retire linearly over the stream) and returns the
+    /// sample index at which it stopped, with the completion state there.
+    fn drive(
+        monitor: &mut PkpMonitor,
+        ipc: &[f64],
+        blocks_total: u64,
+        wave_blocks: u64,
+        sample_interval: u64,
+    ) -> Option<(usize, u64)> {
+        let n = ipc.len() as u64;
+        for (i, &sample_ipc) in ipc.iter().enumerate() {
+            let blocks_completed = blocks_total * (i as u64 + 1) / n;
+            let ctx = SampleContext {
+                sample: IpcSample {
+                    cycle: (i as u64 + 1) * sample_interval,
+                    ipc: sample_ipc,
+                    l2_miss_pct: 10.0,
+                    dram_util_pct: 20.0,
+                },
+                instructions: (i as u64 + 1) * 1000,
+                blocks_completed,
+                blocks_total,
+                wave_blocks,
+            };
+            if monitor.observe(&ctx) == SimControl::Stop {
+                return Some((i, blocks_completed));
+            }
+        }
+        None
+    }
+
+    /// A synthetic projectable result; only the completion state and cycle
+    /// counts matter for the cycle projection.
+    fn result_with_blocks(
+        cycles: u64,
+        overhead: u64,
+        completed: u64,
+        total: u64,
+        wave: u64,
+    ) -> KernelSimResult {
+        KernelSimResult {
+            cycles,
+            instructions: 4 * cycles,
+            instructions_total: 4 * cycles * total.max(1) / completed.max(1),
+            launch_overhead_cycles: overhead,
+            warp_ipc: 4.0,
+            ipc_series: Vec::new(),
+            dram_util_pct: 30.0,
+            l2_miss_rate_pct: 15.0,
+            l1_miss_rate_pct: 25.0,
+            blocks_completed: completed,
+            blocks_total: total,
+            wave_blocks: wave,
+            early_stop: completed < total,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The full-wave constraint (Section 3.2): a grid of at least one
+        /// wave never stops before `wave_blocks` thread blocks have
+        /// retired, no matter how flat the IPC stream is.
+        #[test]
+        fn never_stops_before_one_full_wave(
+            base in 0.5f64..4.0,
+            noise in 0.0f64..0.05,
+            wave_blocks in 1u64..32,
+            waves in 1u64..6,
+            len in 20usize..80,
+            seed in any::<u64>(),
+        ) {
+            let blocks_total = wave_blocks * waves; // >= one wave
+            let ipc: Vec<f64> = (0..len)
+                .map(|i| {
+                    let wobble = (seed.wrapping_mul(i as u64 + 1) % 1000) as f64 / 1000.0;
+                    base * (1.0 + noise * (wobble - 0.5))
+                })
+                .collect();
+            let mut monitor = PkpMonitor::new(PkpConfig::default(), 200);
+            if let Some((_, completed_at_stop)) =
+                drive(&mut monitor, &ipc, blocks_total, wave_blocks, 200)
+            {
+                prop_assert!(
+                    completed_at_stop >= wave_blocks,
+                    "stopped with {completed_at_stop} of {wave_blocks} wave blocks retired"
+                );
+                prop_assert!(monitor.stopped_at().is_some());
+            }
+        }
+
+        /// The sub-wave carve-out: grids smaller than one wave may stop on
+        /// stability alone, and a flat stream makes them do so.
+        #[test]
+        fn sub_wave_grids_stop_without_a_retired_wave(
+            base in 0.5f64..4.0,
+            wave_blocks in 8u64..64,
+        ) {
+            let blocks_total = wave_blocks - 1; // strictly sub-wave
+            let ipc = vec![base; 40]; // perfectly flat -> rel std dev 0
+            let mut monitor = PkpMonitor::new(PkpConfig::default(), 200);
+            let stop = drive(&mut monitor, &ipc, blocks_total, wave_blocks, 200);
+            prop_assert!(stop.is_some(), "flat sub-wave stream must stop");
+            let (i, completed) = stop.unwrap();
+            // It stopped as soon as the window filled, before any full wave
+            // could possibly retire.
+            prop_assert!(completed < wave_blocks);
+            prop_assert_eq!(i + 1, monitor.window.window());
+        }
+
+        /// Disabling the wave constraint can only make the stop earlier.
+        #[test]
+        fn wave_constraint_never_hastens_the_stop(
+            base in 0.5f64..4.0,
+            wave_blocks in 2u64..32,
+            waves in 1u64..5,
+        ) {
+            let blocks_total = wave_blocks * waves;
+            let ipc = vec![base; 60];
+            let mut with_wave = PkpMonitor::new(PkpConfig::default(), 200);
+            let mut without = PkpMonitor::new(
+                PkpConfig::default().with_wave_constraint(false),
+                200,
+            );
+            let a = drive(&mut with_wave, &ipc, blocks_total, wave_blocks, 200);
+            let b = drive(&mut without, &ipc, blocks_total, wave_blocks, 200);
+            prop_assert!(b.is_some(), "unconstrained flat stream must stop");
+            if let (Some((ia, _)), Some((ib, _))) = (a, b) {
+                prop_assert!(ib <= ia, "unconstrained stopped later: {ib} > {ia}");
+            }
+        }
+
+        /// A stream whose level keeps moving never stops. (A *fast*
+        /// alternation is not such a stream — the monitor's EMA smoothing
+        /// legitimately flattens it — so the adversary here is a steep
+        /// geometric ramp, which no smoothing can make look stationary.)
+        #[test]
+        fn unstable_streams_never_stop(
+            base in 0.01f64..1.0,
+            growth in 1.4f64..1.8,
+            wave_blocks in 1u64..16,
+            len in 20usize..100,
+        ) {
+            let ipc: Vec<f64> = (0..len)
+                .map(|i| base * growth.powi(i as i32))
+                .collect();
+            let mut monitor = PkpMonitor::new(PkpConfig::default(), 200);
+            let stop = drive(&mut monitor, &ipc, wave_blocks * 4, wave_blocks, 200);
+            prop_assert!(stop.is_none(), "alternating stream stopped at {stop:?}");
+            prop_assert!(monitor.stopped_at().is_none());
+        }
+
+        /// Linear projection is monotone in the number of unfinished
+        /// blocks: with the same simulated prefix, a grid with more blocks
+        /// left must project at least as many total cycles.
+        #[test]
+        fn projected_cycles_monotone_in_unfinished_blocks(
+            cycles in 1_000u64..1_000_000,
+            overhead_pct in 0u64..50,
+            completed in 1u64..200,
+            extra_small in 0u64..500,
+            extra_more in 1u64..500,
+            wave in 1u64..64,
+        ) {
+            let overhead = cycles * overhead_pct / 100;
+            let small = result_with_blocks(
+                cycles, overhead, completed, completed + extra_small, wave);
+            let large = result_with_blocks(
+                cycles, overhead, completed, completed + extra_small + extra_more, wave);
+            let p_small = small.projected_total_cycles();
+            let p_large = large.projected_total_cycles();
+            prop_assert!(
+                p_large >= p_small,
+                "more unfinished blocks projected fewer cycles: {p_large} < {p_small}"
+            );
+            // Projection never goes below what was actually simulated.
+            prop_assert!(p_small >= cycles);
+        }
+
+        /// A finished kernel projects to exactly its simulated cycles.
+        #[test]
+        fn finished_kernels_project_identity(
+            cycles in 1_000u64..1_000_000,
+            blocks in 1u64..500,
+            wave in 1u64..64,
+        ) {
+            let done = result_with_blocks(cycles, 0, blocks, blocks, wave);
+            prop_assert_eq!(done.projected_total_cycles(), cycles);
+            let p = ProjectedKernel::from_result(&done);
+            prop_assert_eq!(p.cycles, cycles);
+            prop_assert!(!p.projected);
+        }
+    }
 }

@@ -1,9 +1,10 @@
 use pka_gpu::KernelId;
 use serde::{Deserialize, Serialize};
-use pka_ml::{KMeans, Matrix, Pca, StandardScaler};
+use pka_ml::{KMeans, KMeansFit, Matrix, Pca, StandardScaler};
 use pka_profile::DetailedRecord;
 use pka_stats::error::abs_pct_error;
 use pka_stats::hash::UnitStream;
+use pka_stats::Executor;
 
 use crate::{feature_matrix, PkaError};
 
@@ -258,6 +259,16 @@ impl Selection {
     pub fn add_classified_member(&mut self, group: usize) {
         self.groups[group].count += 1;
     }
+
+    /// Adds `n` unprofiled members to group `group` at once — the chunked
+    /// (parallel) classification path folds per-chunk counts through this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn add_classified_members(&mut self, group: usize, n: u64) {
+        self.groups[group].count += n;
+    }
 }
 
 /// Principal Kernel Selection: scaler → PCA → K-Means sweep → smallest K
@@ -265,12 +276,26 @@ impl Selection {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pks {
     config: PksConfig,
+    exec: Executor,
 }
 
 impl Pks {
-    /// Creates a selector.
+    /// Creates a selector running its K sweep sequentially.
     pub fn new(config: PksConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            exec: Executor::sequential(),
+        }
+    }
+
+    /// Fans the independent K=1..max_k clustering runs out over `exec`.
+    ///
+    /// Every K already derives its own RNG stream (`seed ^ k`), so the
+    /// sweep's winner — chosen by scanning the candidates in ascending K —
+    /// is bitwise identical for any worker count.
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// Runs selection over detailed profiling records.
@@ -279,6 +304,11 @@ impl Pks {
     /// total-cycle error is below the target; if no K satisfies it, the
     /// best-scoring K wins. The sweep reuses one PCA fit (the clustering
     /// input does not change with K).
+    ///
+    /// With a parallel [`Executor`] the candidate clusterings are fitted
+    /// concurrently and the winner is picked by the same ascending-K scan;
+    /// the sequential path instead stops fitting at the first K under the
+    /// target. Both return the identical `Selection`.
     ///
     /// # Errors
     ///
@@ -296,17 +326,42 @@ impl Pks {
         let max_k = self.config.max_k.clamp(1, records.len());
 
         let mut best: Option<(f64, Selection)> = None;
-        for k in 1..=max_k {
-            let selection = self.cluster_once(records, &projected, k, reference)?;
+        let mut consider = |selection: Selection| -> Option<Selection> {
             let err = selection.group_deviation_pct();
             if err <= self.config.target_error_pct {
-                return Ok(selection);
+                return Some(selection);
             }
             if best.as_ref().is_none_or(|(b, _)| err < *b) {
                 best = Some((err, selection));
             }
+            None
+        };
+
+        if self.exec.is_sequential() {
+            for k in 1..=max_k {
+                let selection = self.cluster_once(records, &projected, k, reference)?;
+                if let Some(winner) = consider(selection) {
+                    return Ok(winner);
+                }
+            }
+        } else {
+            let configs: Vec<KMeans> = (1..=max_k).map(|k| self.kmeans_for(k)).collect();
+            let fits = KMeans::fit_batch(&configs, &projected, &self.exec)?;
+            // Scan in ascending K, exactly like the sequential loop; the
+            // surplus fits beyond the winning K are discarded unread.
+            for fit in &fits {
+                let selection = self.selection_from_fit(records, fit, &projected, reference);
+                if let Some(winner) = consider(selection) {
+                    return Ok(winner);
+                }
+            }
         }
         Ok(best.expect("max_k >= 1 so at least one clustering ran").1)
+    }
+
+    /// The K-Means configuration the sweep uses for one K.
+    fn kmeans_for(&self, k: usize) -> KMeans {
+        KMeans::new(k).with_seed(self.config.seed ^ k as u64)
     }
 
     fn cluster_once(
@@ -316,9 +371,18 @@ impl Pks {
         k: usize,
         reference: u64,
     ) -> Result<Selection, PkaError> {
-        let fit = KMeans::new(k)
-            .with_seed(self.config.seed ^ k as u64)
-            .fit(projected)?;
+        let fit = self.kmeans_for(k).fit(projected)?;
+        Ok(self.selection_from_fit(records, &fit, projected, reference))
+    }
+
+    /// Builds the selection bookkeeping for one fitted clustering.
+    fn selection_from_fit(
+        &self,
+        records: &[DetailedRecord],
+        fit: &KMeansFit,
+        projected: &Matrix,
+        reference: u64,
+    ) -> Selection {
         let labels = fit.labels().to_vec();
         let medoids = fit.medoids(projected);
 
@@ -401,12 +465,12 @@ impl Pks {
             member_deviation / reference as f64 * 100.0
         };
 
-        Ok(Selection {
+        Selection {
             groups,
             labels,
             reference_cycles: reference,
             member_deviation_pct,
-        })
+        }
     }
 }
 

@@ -1,10 +1,18 @@
+use std::ops::Range;
+
 use pka_gpu::KernelId;
 use pka_ml::classify::{Classifier, Ensemble, GaussianNb, MlpClassifier, SgdClassifier};
 use pka_ml::Matrix;
 use pka_profile::{LightweightRecord, Profiler};
+use pka_stats::Executor;
 use pka_workloads::Workload;
 
 use crate::{Pks, PksConfig, PkaError, Selection};
+
+/// Tail kernels classified per parallel work item. Large enough that the
+/// per-chunk overhead vanishes, small enough to load-balance millions of
+/// lightweight records across workers.
+const CLASSIFY_CHUNK: u64 = 4096;
 
 /// Configuration for the two-level profiling pipeline.
 ///
@@ -71,12 +79,24 @@ impl TwoLevelConfig {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TwoLevel {
     config: TwoLevelConfig,
+    exec: Executor,
 }
 
 impl TwoLevel {
     /// Creates the pipeline.
     pub fn new(config: TwoLevelConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            exec: Executor::sequential(),
+        }
+    }
+
+    /// Fans the detailed prefix, the clustering sweep and the tail
+    /// classification out over `exec` (deterministic: per-chunk group counts
+    /// are folded in stream order).
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// The effective detailed prefix *j* for a workload: everything if the
@@ -95,7 +115,9 @@ impl TwoLevel {
     pub fn analyze(&self, workload: &Workload, profiler: &Profiler) -> Result<Selection, PkaError> {
         let j = self.detailed_prefix(workload);
         let detailed = profiler.detailed(workload, 0..j)?;
-        let mut selection = Pks::new(self.config.pks).select(&detailed)?;
+        let mut selection = Pks::new(self.config.pks)
+            .with_executor(self.exec)
+            .select(&detailed)?;
         if j == workload.kernel_count() {
             return Ok(selection);
         }
@@ -112,16 +134,42 @@ impl TwoLevel {
             Box::new(MlpClassifier::fit(&x, &y, seed ^ 0xff)?),
         ]);
 
-        // Stream the tail — millions of kernels for MLPerf — one record at
-        // a time so memory stays O(1).
-        for id in j..workload.kernel_count() {
-            let kernel = workload.kernel(KernelId::new(id));
-            let record = LightweightRecord::new(KernelId::new(id), &kernel);
-            let group = ensemble.predict(&record.to_feature_vector())?;
-            selection.add_classified_member(group);
+        // Classify the tail — millions of kernels for MLPerf — in chunks:
+        // each chunk streams its records one at a time (memory stays
+        // O(chunks × k)) and reduces to per-group counts, which are folded
+        // back in stream order. Group counts are order-independent sums, so
+        // the result is identical for any worker count.
+        let k = selection.k();
+        let chunks: Vec<Range<u64>> = chunk_ranges(j, workload.kernel_count(), CLASSIFY_CHUNK);
+        let counts = self.exec.try_map(&chunks, |_, chunk| {
+            let mut counts = vec![0u64; k];
+            for id in chunk.clone() {
+                let kernel = workload.kernel(KernelId::new(id));
+                let record = LightweightRecord::new(KernelId::new(id), &kernel);
+                let group = ensemble.predict(&record.to_feature_vector())?;
+                counts[group] += 1;
+            }
+            Ok::<_, PkaError>(counts)
+        })?;
+        for chunk_counts in counts {
+            for (group, &n) in chunk_counts.iter().enumerate() {
+                selection.add_classified_members(group, n);
+            }
         }
         Ok(selection)
     }
+}
+
+/// Splits `[start, end)` into consecutive ranges of at most `chunk` items.
+fn chunk_ranges(start: u64, end: u64, chunk: u64) -> Vec<Range<u64>> {
+    let mut out = Vec::new();
+    let mut lo = start;
+    while lo < end {
+        let hi = end.min(lo + chunk);
+        out.push(lo..hi);
+        lo = hi;
+    }
+    out
 }
 
 /// Builds the classifier feature matrix from lightweight records.

@@ -1,4 +1,5 @@
 use pka_stats::hash::UnitStream;
+use pka_stats::Executor;
 
 use crate::{Matrix, MlError};
 
@@ -54,6 +55,25 @@ impl KMeans {
     pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
         self.max_iterations = max_iterations;
         self
+    }
+
+    /// Fits every configuration in `configs` against the same data — the
+    /// PKS K-sweep's shape — fanning the independent runs out over `exec`.
+    ///
+    /// Each configuration carries its own seed, so the runs share no RNG
+    /// state and the result vector (in `configs` order) is identical for
+    /// any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by `configs` index) error produced by
+    /// [`KMeans::fit`].
+    pub fn fit_batch(
+        configs: &[KMeans],
+        data: &Matrix,
+        exec: &Executor,
+    ) -> Result<Vec<KMeansFit>, MlError> {
+        exec.try_map(configs, |_, config| config.fit(data))
     }
 
     /// Clusters the rows of `data`.
@@ -390,6 +410,25 @@ mod tests {
                 fit.inertia()
             );
             prev = fit.inertia();
+        }
+    }
+
+    #[test]
+    fn fit_batch_matches_sequential_fits_for_any_worker_count() {
+        let data = blobs();
+        let configs: Vec<KMeans> = (1..=6)
+            .map(|k| KMeans::new(k).with_seed(11 ^ k as u64))
+            .collect();
+        let sequential: Vec<KMeansFit> = configs.iter().map(|c| c.fit(&data).unwrap()).collect();
+        for workers in [1, 2, 5] {
+            let batch =
+                KMeans::fit_batch(&configs, &data, &Executor::new(workers)).unwrap();
+            assert_eq!(batch.len(), sequential.len());
+            for (b, s) in batch.iter().zip(&sequential) {
+                assert_eq!(b.labels(), s.labels());
+                assert_eq!(b.centroids(), s.centroids());
+                assert_eq!(b.inertia().to_bits(), s.inertia().to_bits());
+            }
         }
     }
 }

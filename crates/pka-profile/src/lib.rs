@@ -53,6 +53,7 @@ pub use records::{DetailedRecord, LightweightRecord};
 use std::ops::Range;
 
 use pka_gpu::{GpuConfig, GpuError, KernelId, KernelMetrics, SiliconExecutor};
+use pka_stats::Executor;
 use pka_workloads::Workload;
 
 /// A plain end-to-end silicon run of an application (no profiler attached):
@@ -71,6 +72,7 @@ pub struct AppSiliconRun {
 #[derive(Debug, Clone)]
 pub struct Profiler {
     silicon: SiliconExecutor,
+    exec: Executor,
 }
 
 impl Profiler {
@@ -78,7 +80,15 @@ impl Profiler {
     pub fn new(config: GpuConfig) -> Self {
         Self {
             silicon: SiliconExecutor::new(config),
+            exec: Executor::sequential(),
         }
+    }
+
+    /// Fans per-kernel silicon runs out over `exec` (results stay in
+    /// launch-stream order, so totals are bitwise identical to sequential).
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// The architecture being profiled.
@@ -92,12 +102,17 @@ impl Profiler {
     ///
     /// Propagates [`GpuError`] from unlaunchable kernels.
     pub fn silicon_run(&self, workload: &Workload) -> Result<AppSiliconRun, GpuError> {
+        let ids: Vec<u64> = (0..workload.kernel_count()).collect();
+        let runs = self.exec.try_map(&ids, |_, &id| {
+            let kernel = workload.kernel(KernelId::new(id));
+            self.silicon.execute(&kernel).map(|r| (r.cycles, r.seconds))
+        })?;
+        // Fold in launch-stream order so the float total is bitwise stable.
         let mut total_cycles = 0u64;
         let mut total_seconds = 0.0f64;
-        for (_, kernel) in workload.iter() {
-            let r = self.silicon.execute(&kernel)?;
-            total_cycles += r.cycles;
-            total_seconds += r.seconds;
+        for (cycles, seconds) in runs {
+            total_cycles += cycles;
+            total_seconds += seconds;
         }
         Ok(AppSiliconRun {
             total_cycles,
@@ -116,15 +131,14 @@ impl Profiler {
         workload: &Workload,
         range: Range<u64>,
     ) -> Result<Vec<DetailedRecord>, GpuError> {
-        let mut out = Vec::with_capacity((range.end - range.start) as usize);
-        for id in range {
+        let ids: Vec<u64> = range.collect();
+        self.exec.try_map(&ids, |_, &id| {
             let kernel = workload.kernel(KernelId::new(id));
             let silicon = self.silicon.execute(&kernel)?;
             let metrics =
                 KernelMetrics::from_descriptor(&kernel, self.config().generation());
-            out.push(DetailedRecord::new(KernelId::new(id), &kernel, metrics, silicon));
-        }
-        Ok(out)
+            Ok(DetailedRecord::new(KernelId::new(id), &kernel, metrics, silicon))
+        })
     }
 
     /// Lightweight (Nsight Systems + PyProf) profiling of the kernels in

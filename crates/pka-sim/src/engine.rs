@@ -26,6 +26,13 @@ pub enum SimError {
         /// The budget that was exhausted.
         max_cycles: u64,
     },
+    /// A [`SimOptions`] setter was given an out-of-range value.
+    InvalidOption {
+        /// The option that rejected the value.
+        option: &'static str,
+        /// Why the value was rejected.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -35,6 +42,9 @@ impl fmt::Display for SimError {
             SimError::CycleBudgetExhausted { max_cycles } => {
                 write!(f, "simulation exceeded the {max_cycles}-cycle safety budget")
             }
+            SimError::InvalidOption { option, reason } => {
+                write!(f, "invalid simulation option {option}: {reason}")
+            }
         }
     }
 }
@@ -43,7 +53,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::Gpu(e) => Some(e),
-            SimError::CycleBudgetExhausted { .. } => None,
+            SimError::CycleBudgetExhausted { .. } | SimError::InvalidOption { .. } => None,
         }
     }
 }
@@ -62,8 +72,9 @@ impl From<GpuError> for SimError {
 /// ```
 /// use pka_sim::SimOptions;
 ///
-/// let opts = SimOptions::default().with_sample_interval(500);
+/// let opts = SimOptions::default().with_sample_interval(500)?;
 /// assert_eq!(opts.sample_interval(), 500);
+/// # Ok::<(), pka_sim::SimError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimOptions {
@@ -87,13 +98,21 @@ impl SimOptions {
     /// cadence). The paper's PKP window of 3000 cycles corresponds to 15
     /// samples at the default interval of 200.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `interval` is zero.
-    pub fn with_sample_interval(mut self, interval: u64) -> Self {
-        assert!(interval > 0, "sample interval must be positive");
-        self.sample_interval = interval;
-        self
+    /// Returns [`SimError::InvalidOption`] if `interval` is zero — a zero
+    /// interval would make the sampling loop never advance.
+    pub fn with_sample_interval(self, interval: u64) -> Result<Self, SimError> {
+        if interval == 0 {
+            return Err(SimError::InvalidOption {
+                option: "sample_interval",
+                reason: "must be positive",
+            });
+        }
+        Ok(Self {
+            sample_interval: interval,
+            ..self
+        })
     }
 
     /// Sets the hard cycle safety budget.
@@ -990,10 +1009,27 @@ mod tests {
     }
 
     #[test]
+    fn zero_sample_interval_is_rejected_not_panicked() {
+        let err = SimOptions::default().with_sample_interval(0).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::InvalidOption {
+                option: "sample_interval",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("sample_interval"));
+        // A rejected value leaves nothing half-set: the builder is consumed,
+        // and any positive interval still goes through.
+        let opts = SimOptions::default().with_sample_interval(1).unwrap();
+        assert_eq!(opts.sample_interval(), 1);
+    }
+
+    #[test]
     fn ipc_series_is_sampled() {
         let sim = Simulator::new(
             tiny_config(),
-            SimOptions::default().with_sample_interval(100),
+            SimOptions::default().with_sample_interval(100).unwrap(),
         );
         let r = sim.run_kernel(&kernel(32, 200, 8)).unwrap();
         assert!(!r.ipc_series.is_empty());

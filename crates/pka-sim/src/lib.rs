@@ -65,3 +65,15 @@ pub use monitor::{
     SimMonitor,
 };
 pub use trace::{WarpCursor, WarpProgram};
+
+// The PKA pipeline fans per-kernel simulations out across scoped threads,
+// sharing one `Simulator` by reference. These assertions fail to compile if
+// a future change (e.g. interior-mutable caches) silently loses
+// thread-safety rather than surfacing it at the fan-out call sites.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Simulator>();
+    assert_send_sync::<SimOptions>();
+    assert_send_sync::<SimError>();
+    assert_send_sync::<KernelSimResult>();
+};

@@ -1,0 +1,232 @@
+//! Deterministic scoped-thread executor for the PKA pipeline.
+//!
+//! Every parallelizable stage of PKA — per-kernel silicon profiling, the
+//! independent K=1..max_k clustering runs, per-representative simulation —
+//! is a *map over independent items*. [`Executor`] fans those maps out over
+//! `std::thread::scope` workers while guaranteeing the observable result is
+//! **bitwise identical** to a sequential run:
+//!
+//! * results are placed into their item's slot by index, never in
+//!   completion order, so reductions downstream fold in item order;
+//! * [`Executor::try_map`] reports the error of the *smallest-indexed*
+//!   failing item, matching what a sequential early-exit loop would see;
+//! * no RNG state is shared across items — callers derive per-item seeds.
+//!
+//! Worker count `1` (the default) bypasses threads entirely, so the
+//! sequential path is not merely equivalent but literally the same code the
+//! parity tests compare against.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// A scoped-thread work fan-out with deterministic, order-preserving
+/// results.
+///
+/// `Executor` is tiny and `Copy`; embed it in configuration structs and
+/// pass it by value. The worker count is fixed at construction:
+/// [`Executor::new(0)`](Executor::new) resolves to the host's available
+/// parallelism.
+///
+/// # Examples
+///
+/// ```
+/// use pka_stats::Executor;
+///
+/// let exec = Executor::new(4);
+/// let squares = exec.map(&[1u64, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Executor {
+    workers: NonZeroUsize,
+}
+
+impl Default for Executor {
+    /// The sequential executor.
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+impl Executor {
+    /// An executor that runs everything inline on the calling thread.
+    pub fn sequential() -> Self {
+        Self {
+            workers: NonZeroUsize::MIN,
+        }
+    }
+
+    /// An executor with `workers` threads; `0` means one worker per
+    /// available hardware thread.
+    pub fn new(workers: usize) -> Self {
+        let resolved = match NonZeroUsize::new(workers) {
+            Some(n) => n,
+            None => std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN),
+        };
+        Self { workers: resolved }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers.get()
+    }
+
+    /// True when work runs inline on the calling thread.
+    pub fn is_sequential(&self) -> bool {
+        self.workers.get() == 1
+    }
+
+    /// Applies `f` to every item and returns the results in item order.
+    ///
+    /// `f` receives `(index, &item)`. With more than one worker, items are
+    /// claimed from a shared counter and may *execute* in any order; the
+    /// returned vector is always `[f(0, &items[0]), f(1, &items[1]), ...]`.
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        if self.is_sequential() || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let n = items.len();
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, U)>();
+        let workers = self.workers.get().min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if tx.send((i, f(i, &items[i]))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+            for (i, value) in rx {
+                slots[i] = Some(value);
+            }
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every index yields exactly one result"))
+                .collect()
+        })
+    }
+
+    /// Fallible [`map`](Executor::map): all-`Ok` results in item order, or
+    /// the error of the smallest-indexed failing item.
+    ///
+    /// The sequential path short-circuits at the first error exactly like a
+    /// plain `?` loop; the parallel path evaluates every item but selects
+    /// the same error a sequential run would have returned, so callers
+    /// observe identical `Result` values either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by item index) error produced by `f`.
+    pub fn try_map<T, U, E, F>(&self, items: &[T], f: F) -> Result<Vec<U>, E>
+    where
+        T: Sync,
+        U: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<U, E> + Sync,
+    {
+        if self.is_sequential() || items.len() <= 1 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect::<Result<Vec<U>, E>>();
+        }
+        let results = self.map(items, |i, t| f(i, t));
+        let mut out = Vec::with_capacity(results.len());
+        for result in results {
+            match result {
+                Ok(value) => out.push(value),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_resolves_to_available_parallelism() {
+        let auto = Executor::new(0);
+        assert!(auto.workers() >= 1);
+        assert_eq!(Executor::new(3).workers(), 3);
+        assert!(Executor::sequential().is_sequential());
+        assert_eq!(Executor::default(), Executor::sequential());
+    }
+
+    #[test]
+    fn map_preserves_item_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for workers in [1, 2, 4, 8] {
+            let exec = Executor::new(workers);
+            let out = exec.map(&items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3 + 1
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let exec = Executor::new(4);
+        assert_eq!(exec.map(&[] as &[u64], |_, &x| x), Vec::<u64>::new());
+        assert_eq!(exec.map(&[7u64], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn try_map_returns_first_error_by_index() {
+        let items: Vec<u64> = (0..100).collect();
+        for workers in [1, 4] {
+            let exec = Executor::new(workers);
+            let result: Result<Vec<u64>, String> = exec.try_map(&items, |_, &x| {
+                if x % 30 == 7 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            });
+            // Failing indices are 7, 37, 67, 97; a sequential loop stops at 7.
+            assert_eq!(result.unwrap_err(), "bad 7");
+        }
+    }
+
+    #[test]
+    fn float_reduction_is_bitwise_identical_across_worker_counts() {
+        // Awkward magnitudes make float addition order-sensitive; identical
+        // bit patterns across worker counts prove results fold in item
+        // order, not completion order.
+        let items: Vec<f64> = (0..1000)
+            .map(|i| ((i * 2654435761u64 % 1000) as f64 - 500.0) * 1e10f64.powi((i % 7) as i32 - 3))
+            .collect();
+        let sum_with = |workers: usize| -> u64 {
+            let exec = Executor::new(workers);
+            exec.map(&items, |_, &x| x * 1.000000001 + 0.125)
+                .iter()
+                .sum::<f64>()
+                .to_bits()
+        };
+        let sequential = sum_with(1);
+        for workers in [2, 3, 8] {
+            assert_eq!(sum_with(workers), sequential);
+        }
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`summary`] — batch summaries: geometric mean, mean, median, percentiles.
 //! * [`hash`] — stable, platform-independent FNV-1a hashing used to derive
 //!   deterministic per-kernel seeds from workload and kernel names.
+//! * [`exec`] — a scoped-thread [`Executor`] whose parallel maps return
+//!   results in item order, so every PKA stage can fan out across cores
+//!   while staying bitwise identical to its sequential run.
 //! * [`bootstrap`] — seeded bootstrap confidence intervals for the suite
 //!   aggregates the experiment harness reports.
 //!
@@ -37,10 +40,12 @@
 
 pub mod bootstrap;
 pub mod error;
+pub mod exec;
 pub mod hash;
 mod online;
 mod rolling;
 pub mod summary;
 
+pub use exec::Executor;
 pub use online::OnlineStats;
 pub use rolling::RollingStats;

@@ -8,10 +8,12 @@ use std::collections::VecDeque;
 /// quasi-stable once the windowed standard deviation falls below the
 /// user-selected threshold `s`.
 ///
-/// The implementation keeps the window in a ring buffer and maintains running
-/// first and second moments; to bound floating-point drift on very long
-/// streams, the moments are recomputed from scratch every
-/// 65 536 insertions.
+/// The implementation keeps the window in a ring buffer and recomputes the
+/// moments exactly (two-pass) on demand. PKP windows are tiny — the default
+/// 3000-cycle window at a 200-cycle sampling interval holds 15 samples — so
+/// the O(window) query cost is negligible, and unlike running-moment
+/// schemes the result is immune to catastrophic cancellation no matter how
+/// far the stream level sits from zero.
 ///
 /// # Examples
 ///
@@ -29,16 +31,7 @@ use std::collections::VecDeque;
 pub struct RollingStats {
     window: usize,
     buf: VecDeque<f64>,
-    /// Shift applied before accumulating moments; pinned to the first sample
-    /// so `sum_sq` stays small and variance does not suffer catastrophic
-    /// cancellation when the data has a large mean (e.g. IPC ≈ 1e3).
-    offset: f64,
-    sum: f64,
-    sum_sq: f64,
-    pushes_since_rebuild: u32,
 }
-
-const REBUILD_PERIOD: u32 = 1 << 16;
 
 impl RollingStats {
     /// Creates a rolling accumulator over the last `window` samples.
@@ -51,10 +44,6 @@ impl RollingStats {
         Self {
             window,
             buf: VecDeque::with_capacity(window),
-            offset: 0.0,
-            sum: 0.0,
-            sum_sq: 0.0,
-            pushes_since_rebuild: 0,
         }
     }
 
@@ -80,31 +69,15 @@ impl RollingStats {
 
     /// Pushes a sample, evicting the oldest one if the window is full.
     pub fn push(&mut self, x: f64) {
-        if self.buf.is_empty() {
-            self.offset = x;
-        }
         if self.buf.len() == self.window {
-            let old = self.buf.pop_front().expect("window is full") - self.offset;
-            self.sum -= old;
-            self.sum_sq -= old * old;
+            self.buf.pop_front();
         }
-        let shifted = x - self.offset;
         self.buf.push_back(x);
-        self.sum += shifted;
-        self.sum_sq += shifted * shifted;
-        self.pushes_since_rebuild += 1;
-        if self.pushes_since_rebuild >= REBUILD_PERIOD {
-            self.rebuild();
-        }
     }
 
     /// Clears the window.
     pub fn clear(&mut self) {
         self.buf.clear();
-        self.offset = 0.0;
-        self.sum = 0.0;
-        self.sum_sq = 0.0;
-        self.pushes_since_rebuild = 0;
     }
 
     /// Mean of the samples currently in the window, or `0.0` if empty.
@@ -112,19 +85,22 @@ impl RollingStats {
         if self.buf.is_empty() {
             0.0
         } else {
-            self.offset + self.sum / self.buf.len() as f64
+            self.buf.iter().sum::<f64>() / self.buf.len() as f64
         }
     }
 
     /// Population variance of the window contents, or `0.0` if empty.
+    ///
+    /// Computed with the two-pass formula around the window mean, so the
+    /// result is exact up to rounding even when the samples share a huge
+    /// common offset (the `E[x²] − E[x]²` form loses all precision there).
     pub fn variance(&self) -> f64 {
         let n = self.buf.len();
         if n == 0 {
             return 0.0;
         }
-        let shifted_mean = self.sum / n as f64;
-        // Guard against tiny negative values from cancellation.
-        (self.sum_sq / n as f64 - shifted_mean * shifted_mean).max(0.0)
+        let mean = self.mean();
+        self.buf.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64
     }
 
     /// Population standard deviation of the window contents.
@@ -149,15 +125,6 @@ impl RollingStats {
         } else {
             sd / mean.abs()
         }
-    }
-
-    fn rebuild(&mut self) {
-        // Re-pin the offset to the current window so long streams whose level
-        // wanders far from the first sample keep full precision.
-        self.offset = self.buf.front().copied().unwrap_or(0.0);
-        self.sum = self.buf.iter().map(|x| x - self.offset).sum();
-        self.sum_sq = self.buf.iter().map(|x| (x - self.offset).powi(2)).sum();
-        self.pushes_since_rebuild = 0;
     }
 }
 
@@ -229,6 +196,68 @@ mod tests {
         assert!(r.is_empty());
         assert_eq!(r.mean(), 0.0);
         assert_eq!(r.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn large_offset_window_of_zeros_has_exact_zero_variance() {
+        // Regression distilled from a recorded proptest failure: after a
+        // sample near ±1e6, a window of all zeros must report variance 0.
+        // The old running-moment implementation (offset pinned to the first
+        // sample) returned ~1e-4 here from catastrophic cancellation.
+        let xs = [
+            -730657.6364706054,
+            0.0,
+            915433.2212871738,
+            0.0,
+            0.0,
+            0.0,
+            -626979.5805953905,
+            778214.712507199,
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+            474379.78679268557,
+            695958.2280195466,
+            0.0,
+            0.0,
+            0.0,
+            343666.67055749206,
+            0.0,
+            -234067.1792150805,
+            731542.2273515295,
+            591461.0736243472,
+            0.0,
+            249306.42625210717,
+            -350872.2229947506,
+        ];
+        let w = 5;
+        let mut r = RollingStats::new(w);
+        for (i, &x) in xs.iter().enumerate() {
+            r.push(x);
+            let lo = (i + 1).saturating_sub(w);
+            let win = &xs[lo..=i];
+            let mean = win.iter().sum::<f64>() / win.len() as f64;
+            let var = win.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / win.len() as f64;
+            let var_scale = var.abs().max(1.0);
+            assert!(
+                (r.variance() - var).abs() / var_scale < 1e-6,
+                "variance {} vs {} at i={i}",
+                r.variance(),
+                var
+            );
+        }
+        // Once the huge first sample has been evicted and the window holds
+        // only zeros, the variance must be *exactly* zero — the old
+        // implementation kept the first sample as its offset forever and
+        // reported ~1e-4 here.
+        let mut z = RollingStats::new(w);
+        z.push(-730657.6364706054);
+        for _ in 0..w {
+            z.push(0.0);
+        }
+        assert_eq!(z.variance(), 0.0);
+        assert_eq!(z.relative_std_dev(), 0.0);
     }
 
     #[test]

@@ -63,8 +63,24 @@ const USAGE: &str = "usage:
   pka list [--suite NAME]
   pka info --workload NAME
   pka select --workload NAME [--target-error PCT] [--out FILE.json]
+             [--workers N]
   pka simulate --workload NAME [--gpu v100|rtx2060|rtx3070|v100-half]
-               [--threshold S] [--selection FILE.json] [--full]";
+               [--threshold S] [--selection FILE.json] [--full]
+               [--workers N]
+
+`--workers N` fans profiling, clustering and per-representative simulation
+out over N threads (0 = one per hardware thread). Results are bitwise
+identical for any worker count.";
+
+/// Parses the `--workers` flag: absent -> sequential.
+fn workers_from(flags: &HashMap<String, String>) -> Result<usize, String> {
+    match flags.get("workers") {
+        None => Ok(1),
+        Some(v) => v
+            .parse()
+            .map_err(|_| "--workers must be a non-negative integer".to_string()),
+    }
+}
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -161,8 +177,9 @@ fn cmd_select(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|v| v.parse().map_err(|_| "--target-error must be a number"))
         .transpose()?
         .unwrap_or(5.0);
-    let config =
-        PkaConfig::default().with_pks(PksConfig::default().with_target_error_pct(target));
+    let config = PkaConfig::default()
+        .with_pks(PksConfig::default().with_target_error_pct(target))
+        .with_workers(workers_from(flags)?);
     let pka = Pka::new(GpuConfig::v100(), config);
     let selection = pka.select_kernels(&w).map_err(|e| e.to_string())?;
 
@@ -227,7 +244,9 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
         .transpose()?
         .unwrap_or(0.25);
     let run_full = flags.contains_key("full");
-    let config = PkaConfig::default().with_pkp(PkpConfig::default().with_threshold(threshold));
+    let config = PkaConfig::default()
+        .with_pkp(PkpConfig::default().with_threshold(threshold))
+        .with_workers(workers_from(flags)?);
     let pka = Pka::new(gpu, config);
 
     // An externally supplied selection (e.g. made on Volta) overrides

@@ -10,6 +10,8 @@
 #      test harness's parallelism
 #   4. workspace tests (member-crate unit suites are NOT part of the root
 #      package run)
+#   5. bench smoke — the hot-path benchmarks at reduced iteration counts,
+#      plus a jq schema check over the BENCH_pka.json they emit
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -24,5 +26,22 @@ cargo test -q -- --test-threads=1
 
 echo "==> cargo test --workspace -q (member crates)"
 cargo test --workspace -q
+
+echo "==> bench smoke (reduced iterations)"
+BENCH_SMOKE_JSON="$(mktemp -t bench_pka_smoke.XXXXXX.json)"
+trap 'rm -f "$BENCH_SMOKE_JSON"' EXIT
+rm -f "$BENCH_SMOKE_JSON"
+PKA_BENCH_JSON="$BENCH_SMOKE_JSON" PKA_BENCH_SAMPLES=2 PKA_BENCH_WARMUP=1 \
+    cargo bench -q -p pka-bench --bench hot_paths
+if command -v jq >/dev/null 2>&1; then
+    jq -e '
+        type == "array" and length >= 3
+        and all(.[]; has("name") and has("iterations")
+                     and has("median_ns") and has("stddev_ns"))
+    ' "$BENCH_SMOKE_JSON" >/dev/null
+    echo "bench json OK ($(jq length "$BENCH_SMOKE_JSON") records)"
+else
+    echo "jq not found; skipping bench json schema check" >&2
+fi
 
 echo "CI OK"

@@ -1,0 +1,144 @@
+//! The million-kernel perf trajectory: median/stddev measurements of the
+//! three pipeline hot paths, emitted to `BENCH_pka.json`.
+//!
+//! * `kmeans_sweep` — the PKS K-sweep clustering cost on a 50k-kernel
+//!   metric cloud, comparing the bounded (Hamerly-style) assignment
+//!   against the naive Lloyd's reference it must match bitwise.
+//! * `pca_fit` — scale → fit → truncate → project, the PKS projection
+//!   stage, on the same cloud at full Table 2 dimensionality.
+//! * `pkp_engine` — a monitored simulation of a large kernel, the PKP
+//!   per-kernel cost.
+//!
+//! Run with `cargo bench -p pka-bench --bench hot_paths`; CI runs a
+//! reduced-iteration smoke via `PKA_BENCH_SAMPLES` / `PKA_BENCH_WARMUP`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pka_core::{PkpConfig, PkpMonitor};
+use pka_gpu::{GpuConfig, KernelDescriptor};
+use pka_ml::{KMeans, Matrix, Pca, StandardScaler};
+use pka_sim::{SimOptions, Simulator};
+use pka_stats::hash::UnitStream;
+use pka_stats::Executor;
+use std::hint::black_box;
+
+/// Synthetic kernel-metric cloud: `n` points around 24 behavioural centres
+/// in `d`-dimensional space (Table 2 uses 12 metrics; the clustering sweep
+/// runs post-PCA at roughly half that). The centre count brackets the
+/// swept K range, matching the PKS regime where the knee search explores
+/// cluster counts comparable to the real mode count of the data.
+fn metric_cloud(n: usize, d: usize) -> Matrix {
+    let mut rng = UnitStream::new(42);
+    let centres: Vec<Vec<f64>> = (0..24)
+        .map(|c| (0..d).map(|j| ((c * 5 + j * 3) % 13) as f64 * 2.0).collect())
+        .collect();
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let c = &centres[i % 24];
+            c.iter().map(|&x| x + rng.next_range(-0.3, 0.3)).collect()
+        })
+        .collect();
+    Matrix::from_rows(&rows).expect("valid cloud")
+}
+
+/// Full PKS-style K sweep: fit K = 1..=k_max on the same data, the shape
+/// of work `Pks::select` performs when searching for the knee.
+fn kmeans_sweep(data: &Matrix, k_max: usize, exec: Executor) -> f64 {
+    let mut total_inertia = 0.0;
+    for k in 1..=k_max {
+        let fit = KMeans::new(k)
+            .with_seed(0)
+            .with_executor(exec)
+            .fit(data)
+            .expect("sweep fit");
+        total_inertia += fit.inertia();
+    }
+    total_inertia
+}
+
+/// The same sweep through the naive Lloyd's reference path.
+fn kmeans_sweep_reference(data: &Matrix, k_max: usize) -> f64 {
+    let mut total_inertia = 0.0;
+    for k in 1..=k_max {
+        let fit = KMeans::new(k)
+            .with_seed(0)
+            .fit_reference(data)
+            .expect("sweep fit");
+        total_inertia += fit.inertia();
+    }
+    total_inertia
+}
+
+fn bench_kmeans_sweep(c: &mut Criterion) {
+    const N: usize = 50_000;
+    const D: usize = 6;
+    const K_MAX: usize = 20;
+    let data = metric_cloud(N, D);
+    let mut group = c.benchmark_group("kmeans_sweep");
+    group.sample_size(5);
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_with_input(
+        BenchmarkId::new("bounded", N),
+        &data,
+        |b, data| b.iter(|| kmeans_sweep(black_box(data), K_MAX, Executor::sequential())),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("bounded_w4", N),
+        &data,
+        |b, data| b.iter(|| kmeans_sweep(black_box(data), K_MAX, Executor::new(4))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("reference", N),
+        &data,
+        |b, data| b.iter(|| kmeans_sweep_reference(black_box(data), K_MAX)),
+    );
+    group.finish();
+}
+
+fn bench_pca_fit(c: &mut Criterion) {
+    const N: usize = 50_000;
+    const D: usize = 12;
+    let data = metric_cloud(N, D);
+    let mut group = c.benchmark_group("pca_fit");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_with_input(
+        BenchmarkId::new("scale_fit_project", N),
+        &data,
+        |b, data| {
+            b.iter(|| {
+                let (_, scaled) =
+                    StandardScaler::fit_transform(black_box(data)).expect("scale");
+                let fit = Pca::full().fit(&scaled).expect("pca fit");
+                let truncated = fit.truncated_to_variance(0.95);
+                truncated.transform(&scaled).expect("project")
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_pkp_engine(c: &mut Criterion) {
+    let sim = Simulator::new(GpuConfig::v100(), SimOptions::default());
+    let kernel = KernelDescriptor::builder("pkp_bench")
+        .grid_blocks(4000)
+        .block_threads(256)
+        .fp32_per_thread(300)
+        .global_loads_per_thread(8)
+        .build()
+        .expect("valid kernel");
+    let mut group = c.benchmark_group("pkp_engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(kernel.total_warp_instructions()));
+    group.bench_function("monitored_run", |b| {
+        b.iter(|| {
+            let mut monitor =
+                PkpMonitor::new(PkpConfig::default(), sim.options().sample_interval());
+            sim.run_kernel_monitored(black_box(&kernel), &mut monitor)
+                .expect("simulate")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(hot_paths, bench_kmeans_sweep, bench_pca_fit, bench_pkp_engine);
+criterion_main!(hot_paths);

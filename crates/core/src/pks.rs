@@ -279,6 +279,16 @@ pub struct Pks {
     exec: Executor,
 }
 
+/// Row count above which a parallel sweep clusters each K with a
+/// chunk-parallel assignment step instead of fanning the independent K runs
+/// out. At million-kernel scale one K's assignment dominates the sweep, and
+/// walking K in ascending order with early exit at the winner beats
+/// speculatively fitting all `max_k` candidates; below the threshold the
+/// K-level fan-out amortises thread overhead better. Either strategy
+/// returns bitwise-identical selections — each K's fit is worker-count
+/// invariant — so this is purely a scheduling choice.
+const INNER_PARALLEL_ROWS: usize = 8192;
+
 impl Pks {
     /// Creates a selector running its K sweep sequentially.
     pub fn new(config: PksConfig) -> Self {
@@ -337,7 +347,10 @@ impl Pks {
             None
         };
 
-        if self.exec.is_sequential() {
+        if self.exec.is_sequential() || projected.rows() >= INNER_PARALLEL_ROWS {
+            // Ascending-K walk with early exit at the winning K. A parallel
+            // executor is spent *inside* each fit (chunked assignment) —
+            // the million-kernel regime, where a single K dominates.
             for k in 1..=max_k {
                 let selection = self.cluster_once(records, &projected, k, reference)?;
                 if let Some(winner) = consider(selection) {
@@ -360,6 +373,10 @@ impl Pks {
     }
 
     /// The K-Means configuration the sweep uses for one K.
+    ///
+    /// The executor stays sequential here: [`KMeans::fit_batch`] fans these
+    /// configurations out at the K level, and the inner-parallel path wires
+    /// the executor in explicitly via [`Pks::cluster_once`].
     fn kmeans_for(&self, k: usize) -> KMeans {
         KMeans::new(k).with_seed(self.config.seed ^ k as u64)
     }
@@ -371,7 +388,10 @@ impl Pks {
         k: usize,
         reference: u64,
     ) -> Result<Selection, PkaError> {
-        let fit = self.kmeans_for(k).fit(projected)?;
+        let fit = self
+            .kmeans_for(k)
+            .with_executor(self.exec)
+            .fit(projected)?;
         Ok(self.selection_from_fit(records, &fit, projected, reference))
     }
 

@@ -1,18 +1,43 @@
-//! Vendored minimal `criterion` substitute for offline builds.
+//! Vendored minimal `criterion` substitute for offline builds — upgraded
+//! from a smoke harness into a measurement tool.
 //!
 //! Keeps the workspace's `[[bench]]` targets compiling and runnable without
-//! the real crate: each benchmark runs a small fixed number of timed
-//! iterations and prints mean wall-clock time per iteration. No statistics,
-//! plots, or baselines — this is a smoke harness, not a measurement tool.
+//! the real crate, and reports statistics a perf trajectory can be built
+//! on: each benchmark runs a warmup phase followed by a fixed number of
+//! timed samples, and reports the median, mean, sample standard deviation
+//! and minimum across samples. Results are also emitted as machine-readable
+//! JSON (merged into an existing file by benchmark name, so successive
+//! `cargo bench` invocations — and the separate bench binaries of one
+//! invocation — accumulate into a single document).
+//!
+//! Environment knobs:
+//!
+//! * `PKA_BENCH_JSON` — path of the JSON document (default
+//!   `BENCH_pka.json` in the working directory; set to the empty string to
+//!   disable emission).
+//! * `PKA_BENCH_SAMPLES` — overrides every benchmark's sample count; CI
+//!   smoke runs set a small value so the benches finish in seconds.
+//! * `PKA_BENCH_WARMUP` — overrides the warmup iteration count.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
-use std::time::{Duration, Instant};
+use std::time::Instant;
+
+use serde_json::{json, Value};
 
 pub use std::hint::black_box;
 
-/// Throughput annotation for a benchmark group (accepted, reported as-is).
+/// Default timed samples per benchmark (overridable per group and via
+/// `PKA_BENCH_SAMPLES`).
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Default warmup iterations per benchmark (overridable per group and via
+/// `PKA_BENCH_WARMUP`).
+const DEFAULT_WARMUP: usize = 3;
+
+/// Throughput annotation for a benchmark group (reported against the
+/// median sample).
 #[derive(Debug, Clone, Copy)]
 pub enum Throughput {
     /// Elements processed per iteration.
@@ -45,25 +70,79 @@ impl BenchmarkId {
 
 /// The timing driver handed to benchmark closures.
 pub struct Bencher {
-    iterations: u32,
-    total: Duration,
+    warmup: usize,
+    samples: usize,
+    sample_ns: Vec<f64>,
 }
 
 impl Bencher {
-    /// Times `routine` over the configured iteration count.
+    /// Runs `routine` through the warmup phase, then times each of the
+    /// configured samples individually.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        let start = Instant::now();
-        for _ in 0..self.iterations {
+        for _ in 0..self.warmup {
             black_box(routine());
         }
-        self.total = start.elapsed();
+        self.sample_ns.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.sample_ns.push(start.elapsed().as_secs_f64() * 1e9);
+        }
     }
 }
 
-/// Top-level harness state.
+/// Summary statistics over one benchmark's timed samples.
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    iterations: usize,
+    mean_ns: f64,
+    median_ns: f64,
+    stddev_ns: f64,
+    min_ns: f64,
+}
+
+impl Stats {
+    fn from_samples(samples: &[f64]) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return Self {
+                iterations: 0,
+                mean_ns: 0.0,
+                median_ns: 0.0,
+                stddev_ns: 0.0,
+                min_ns: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median_ns = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        let mean_ns = samples.iter().sum::<f64>() / n as f64;
+        let stddev_ns = if n > 1 {
+            let ss: f64 = samples.iter().map(|s| (s - mean_ns) * (s - mean_ns)).sum();
+            (ss / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        Self {
+            iterations: n,
+            mean_ns,
+            median_ns,
+            stddev_ns,
+            min_ns: sorted[0],
+        }
+    }
+}
+
+/// Top-level harness state: collects every benchmark's record and flushes
+/// the merged JSON document when dropped (i.e. at the end of each
+/// `criterion_group!` function).
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    records: Vec<Value>,
 }
 
 impl Criterion {
@@ -72,26 +151,95 @@ impl Criterion {
         let name = name.into();
         println!("group: {name}");
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
             name,
-            sample_size: 10,
+            sample_size: DEFAULT_SAMPLES,
+            warmup: DEFAULT_WARMUP,
             throughput: None,
         }
+    }
+
+    fn record(&mut self, group: &str, id: &str, stats: Stats) {
+        self.records.push(json!({
+            "name": format!("{group}/{id}"),
+            "group": group,
+            "iterations": stats.iterations as u64,
+            "mean_ns": stats.mean_ns,
+            "median_ns": stats.median_ns,
+            "stddev_ns": stats.stddev_ns,
+            "min_ns": stats.min_ns,
+        }));
+    }
+
+    /// Merges this run's records into the JSON document, replacing any
+    /// existing entry with the same `name` and keeping the rest.
+    fn flush_json(&mut self) {
+        if self.records.is_empty() {
+            return;
+        }
+        let path = match std::env::var("PKA_BENCH_JSON") {
+            Ok(p) if p.is_empty() => return,
+            Ok(p) => p,
+            Err(_) => "BENCH_pka.json".to_string(),
+        };
+        let fresh: Vec<&str> = self
+            .records
+            .iter()
+            .filter_map(|r| r.get("name").and_then(Value::as_str))
+            .collect();
+        let mut merged: Vec<Value> = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| serde_json::from_str::<Value>(&s).ok())
+            .and_then(|v| v.as_array().cloned())
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|entry| {
+                entry
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .is_none_or(|name| !fresh.contains(&name))
+            })
+            .collect();
+        merged.append(&mut self.records);
+        match serde_json::to_string_pretty(&Value::Array(merged)) {
+            Ok(mut doc) => {
+                doc.push('\n');
+                if let Err(e) = std::fs::write(&path, doc) {
+                    eprintln!("warning: could not write {path}: {e}");
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialise bench results: {e}"),
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.flush_json();
     }
 }
 
 /// A group of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    warmup: usize,
     throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed iterations per benchmark.
+    /// Sets the number of timed samples per benchmark
+    /// (`PKA_BENCH_SAMPLES` overrides this for reduced-iteration runs).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warmup iteration count per benchmark
+    /// (`PKA_BENCH_WARMUP` overrides it).
+    pub fn warmup_iterations(&mut self, n: usize) -> &mut Self {
+        self.warmup = n;
         self
     }
 
@@ -104,12 +252,9 @@ impl BenchmarkGroup<'_> {
     /// Runs one benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchId>, mut f: F) {
         let id = id.into();
-        let mut b = Bencher {
-            iterations: self.sample_size as u32,
-            total: Duration::ZERO,
-        };
+        let mut b = self.bencher();
         f(&mut b);
-        self.report(&id.0, b);
+        self.report(&id.0, &b);
     }
 
     /// Runs one benchmark with an explicit input value.
@@ -118,34 +263,46 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let mut b = Bencher {
-            iterations: self.sample_size as u32,
-            total: Duration::ZERO,
-        };
+        let mut b = self.bencher();
         f(&mut b, input);
-        self.report(&id.0, b);
+        self.report(&id.0, &b);
     }
 
     /// Ends the group.
     pub fn finish(self) {}
 
-    fn report(&self, id: &str, b: Bencher) {
-        let per_iter = b.total.as_secs_f64() / b.iterations.max(1) as f64;
+    fn bencher(&self) -> Bencher {
+        let samples = env_override("PKA_BENCH_SAMPLES")
+            .unwrap_or(self.sample_size)
+            .max(1);
+        let warmup = env_override("PKA_BENCH_WARMUP").unwrap_or(self.warmup);
+        Bencher {
+            warmup,
+            samples,
+            sample_ns: Vec::with_capacity(samples),
+        }
+    }
+
+    fn report(&mut self, id: &str, b: &Bencher) {
+        let stats = Stats::from_samples(&b.sample_ns);
         let throughput = match self.throughput {
-            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
-                format!("  ({:.0} elem/s)", n as f64 / per_iter)
+            Some(Throughput::Elements(n)) if stats.median_ns > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / (stats.median_ns * 1e-9))
             }
-            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
-                format!("  ({:.0} B/s)", n as f64 / per_iter)
+            Some(Throughput::Bytes(n)) if stats.median_ns > 0.0 => {
+                format!("  ({:.0} B/s)", n as f64 / (stats.median_ns * 1e-9))
             }
             _ => String::new(),
         };
         println!(
-            "  {}/{id}: {:.3} ms/iter over {} iters{throughput}",
+            "  {}/{id}: median {:.3} ms  (±{:.3} ms, min {:.3} ms, N={}){throughput}",
             self.name,
-            per_iter * 1e3,
-            b.iterations
+            stats.median_ns * 1e-6,
+            stats.stddev_ns * 1e-6,
+            stats.min_ns * 1e-6,
+            stats.iterations,
         );
+        self.criterion.record(&self.name, id, stats);
     }
 }
 
@@ -170,6 +327,10 @@ impl From<BenchmarkId> for BenchId {
     }
 }
 
+fn env_override(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
 /// Declares a benchmark group entry point, mirroring the real macro.
 #[macro_export]
 macro_rules! criterion_group {
@@ -189,4 +350,49 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_median_and_stddev() {
+        let s = Stats::from_samples(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.iterations, 3);
+        assert_eq!(s.median_ns, 2.0);
+        assert_eq!(s.mean_ns, 2.0);
+        assert_eq!(s.min_ns, 1.0);
+        assert!((s.stddev_ns - 1.0).abs() < 1e-12);
+
+        let even = Stats::from_samples(&[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(even.median_ns, 2.5);
+
+        let single = Stats::from_samples(&[5.0]);
+        assert_eq!(single.stddev_ns, 0.0);
+        assert_eq!(single.median_ns, 5.0);
+    }
+
+    #[test]
+    fn records_render_required_fields() {
+        let mut c = Criterion::default();
+        c.record(
+            "g",
+            "b",
+            Stats {
+                iterations: 7,
+                mean_ns: 2.0,
+                median_ns: 1.5,
+                stddev_ns: 0.5,
+                min_ns: 1.0,
+            },
+        );
+        let r = &c.records[0];
+        assert_eq!(r.get("name").and_then(Value::as_str), Some("g/b"));
+        assert_eq!(r.get("iterations").and_then(Value::as_u64), Some(7));
+        assert_eq!(r.get("median_ns").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(r.get("stddev_ns").and_then(Value::as_f64), Some(0.5));
+        // Drain so the Drop impl does not try to write a file from tests.
+        c.records.clear();
+    }
 }

@@ -3,6 +3,47 @@ use pka_stats::Executor;
 
 use crate::{Matrix, MlError};
 
+/// Rows per assignment chunk. Fixed — never derived from the worker count —
+/// so the chunk grid, and therefore every fold over per-chunk results, is
+/// identical for any [`Executor`].
+const ASSIGN_CHUNK: usize = 2048;
+
+/// Relative safety margin applied every time a Hamerly bound is updated.
+///
+/// Every floating-point operation on the bounds errs by ≲ 2⁻⁵³ relative;
+/// inflating upper bounds (and deflating lower bounds) by `1e-9` per update
+/// keeps them conservative for millions of Lloyd iterations — far beyond
+/// any budget — while costing essentially no pruning power, because real
+/// cluster margins dwarf one part in a billion. Conservative bounds are
+/// what make the pruned path *provably* bitwise identical to the exhaustive
+/// reference: a point is only skipped when its assigned centroid is
+/// strictly closest.
+const BOUND_PAD: f64 = 1e-9;
+
+#[inline]
+fn pad_up(x: f64) -> f64 {
+    x * (1.0 + BOUND_PAD)
+}
+
+#[inline]
+fn pad_down(x: f64) -> f64 {
+    x * (1.0 - BOUND_PAD)
+}
+
+/// Conservative lower bound on `‖x − c‖²` from the two Euclidean norms:
+/// the reverse triangle inequality gives `(‖x‖ − ‖c‖)² ≤ ‖x − c‖²`.
+/// Padded downward so accumulated rounding can never push the computed
+/// bound above the true squared distance — pruning with it stays exact.
+#[inline]
+fn norm_lower_bound(nx: f64, nc: f64) -> f64 {
+    let m = (nx - nc).abs() - (nx + nc) * 1e-12;
+    if m > 0.0 {
+        (m * m) * (1.0 - 1e-12)
+    } else {
+        0.0
+    }
+}
+
 /// K-Means clustering (Lloyd's algorithm with k-means++ seeding).
 ///
 /// *Principal Kernel Selection* sweeps `K` from 1 to 20 over the
@@ -11,6 +52,18 @@ use crate::{Matrix, MlError};
 /// MLPerf workloads (Section 3.1) — Lloyd's algorithm is `O(n · k · d)` per
 /// iteration and needs only `O(k · d)` extra memory, versus the `O(n²)`
 /// distance matrix agglomerative methods require.
+///
+/// The assignment step is *bounded* (Hamerly-style): each point carries an
+/// upper bound on the distance to its assigned centroid and a lower bound
+/// on the distance to every other centroid, maintained across iterations
+/// from cached centroid drifts. Points whose bounds prove the assignment
+/// cannot change skip all distance work — on clustered data that is the
+/// vast majority after the first few iterations. Bounds are padded
+/// conservatively (see [`BOUND_PAD`]), so the fitted labels, centroids and
+/// inertia are **bitwise identical** to the exhaustive reference
+/// implementation ([`fit_reference`](KMeans::fit_reference) — the parity
+/// suite asserts whole-struct equality), and identical for every worker
+/// count of the configured [`Executor`].
 ///
 /// Deterministic: seeding uses an internal splitmix64 stream derived from
 /// [`with_seed`](KMeans::with_seed) (default 0).
@@ -33,6 +86,7 @@ pub struct KMeans {
     k: usize,
     max_iterations: usize,
     seed: u64,
+    exec: Executor,
 }
 
 impl KMeans {
@@ -42,6 +96,7 @@ impl KMeans {
             k,
             max_iterations: 100,
             seed: 0,
+            exec: Executor::sequential(),
         }
     }
 
@@ -57,12 +112,26 @@ impl KMeans {
         self
     }
 
+    /// Fans the assignment step out over `exec` in fixed-size row chunks.
+    ///
+    /// Per-point assignment work is independent given the centroids, and
+    /// the chunk grid never depends on the worker count, so the fit is
+    /// bitwise identical for any `exec` — including the sequential default.
+    /// The update step (centroid means) always folds sequentially in row
+    /// order to preserve the reference summation order exactly.
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Fits every configuration in `configs` against the same data — the
     /// PKS K-sweep's shape — fanning the independent runs out over `exec`.
     ///
     /// Each configuration carries its own seed, so the runs share no RNG
     /// state and the result vector (in `configs` order) is identical for
-    /// any worker count.
+    /// any worker count. Configurations normally keep their own executor
+    /// sequential here: nesting a parallel inner executor under this outer
+    /// fan-out multiplies thread counts without changing any result.
     ///
     /// # Errors
     ///
@@ -89,20 +158,228 @@ impl KMeans {
     /// * [`MlError::InvalidParameter`] if `k` is zero.
     /// * [`MlError::EmptyInput`] if `data` has no rows.
     pub fn fit(&self, data: &Matrix) -> Result<KMeansFit, MlError> {
-        if self.k == 0 {
-            return Err(MlError::InvalidParameter {
-                name: "k",
-                message: "must be at least 1".into(),
-            });
-        }
-        if data.rows() == 0 || data.cols() == 0 {
-            return Err(MlError::EmptyInput);
-        }
+        self.validate(data)?;
+        let n = data.rows();
+        let d = data.cols();
+        let k = self.k.min(n);
+        let mut rng = UnitStream::new(self.seed ^ 0x9e3779b97f4a7c15);
+
+        let point_norms: Vec<f64> = data
+            .iter_rows()
+            .map(|row| Matrix::sq_norm(row).sqrt())
+            .collect();
+        // Everything the assignment workers read lives behind one RwLock:
+        // workers hold read locks only while a round is in flight, the
+        // driver below write-locks only between rounds, so the lock is
+        // never contended — it exists to let the fixed worker closure of
+        // [`Executor::rounds`] observe the driver's between-round mutations.
+        let state = std::sync::RwLock::new(AssignState {
+            centroids: plus_plus_init(data, k, &mut rng, &point_norms),
+            labels: vec![0usize; n],
+            // Hamerly bounds: `upper[i]` ≥ dist(point i, its centroid),
+            // `lower[i]` ≤ dist(point i, every *other* centroid). The
+            // initial values force a full scan on the first pass.
+            upper: vec![f64::INFINITY; n],
+            lower: vec![f64::NEG_INFINITY; n],
+            snap_upper: vec![0.0f64; n],
+            snap_lower: vec![0.0f64; n],
+            cum_drift: vec![0.0f64; k],
+            cum_max: 0.0,
+            s_half: vec![0.0f64; k],
+        });
+
+        let mut old = vec![0.0f64; k * d];
+        // Per-cluster running sums and member counts persist across
+        // iterations: a cluster whose membership did not change keeps — by
+        // construction, bitwise — the row-order fold the reference would
+        // recompute, so only "dirty" clusters are re-summed.
+        let mut sums = vec![0.0f64; k * d];
+        let mut counts = vec![0usize; k];
+        let mut dirty = vec![true; k];
+
+        let fit = self.exec.rounds(
+            n,
+            ASSIGN_CHUNK,
+            |_, range| {
+                let st = state.read().expect("assignment state lock");
+                assign_chunk(data, &st, range)
+            },
+            |run| {
+                for _ in 0..self.max_iterations {
+                    // Assignment round: chunk-parallel, order-preserving.
+                    // Chunks return sparse per-point updates (pruned points
+                    // stay put).
+                    let chunk_results = run();
+                    let mut guard = state.write().expect("assignment state lock");
+                    let st = &mut *guard;
+                    let mut changed = false;
+                    for updates in chunk_results {
+                        for u in updates {
+                            let i = u.index;
+                            if st.labels[i] != u.label {
+                                dirty[st.labels[i]] = true;
+                                dirty[u.label] = true;
+                                st.labels[i] = u.label;
+                                changed = true;
+                            }
+                            st.upper[i] = u.upper;
+                            st.lower[i] = u.lower;
+                            st.snap_upper[i] = st.cum_drift[u.label];
+                            st.snap_lower[i] = st.cum_max;
+                        }
+                    }
+
+                    // Update step: sequential row-order folds over dirty
+                    // clusters, so centroid sums carry the exact rounding of
+                    // the reference implementation.
+                    old.copy_from_slice(&st.centroids.data);
+                    if dirty.iter().any(|&f| f) {
+                        for c in 0..k {
+                            if dirty[c] {
+                                sums[c * d..(c + 1) * d].fill(0.0);
+                                counts[c] = 0;
+                            }
+                        }
+                        for (i, row) in data.iter_rows().enumerate() {
+                            let c = st.labels[i];
+                            if dirty[c] {
+                                counts[c] += 1;
+                                for (s, &x) in sums[c * d..(c + 1) * d].iter_mut().zip(row) {
+                                    *s += x;
+                                }
+                            }
+                        }
+                    }
+                    let mut reseeds: Vec<(usize, usize)> = Vec::new();
+                    for c in 0..k {
+                        if counts[c] == 0 {
+                            // Re-seed the empty cluster on the point
+                            // farthest from its current centroid. Distances
+                            // are computed once per reseed (not twice per
+                            // comparison) against the same mixed old/new
+                            // centroid state the sequential update loop
+                            // exposes at this index.
+                            let dist: Vec<f64> = data
+                                .iter_rows()
+                                .enumerate()
+                                .map(|(i, row)| {
+                                    Matrix::sq_dist_hot(row, st.centroids.row(st.labels[i]))
+                                })
+                                .collect();
+                            let far = (0..n)
+                                .max_by(|&a, &b| {
+                                    dist[a].partial_cmp(&dist[b]).expect("distances are finite")
+                                })
+                                .expect("data is non-empty");
+                            st.centroids.overwrite(c, data.row(far));
+                            reseeds.push((st.labels[far], c));
+                            st.labels[far] = c;
+                            // The reseeded point *is* its centroid:
+                            // distance 0, and nothing below zero bounds the
+                            // second-closest.
+                            st.upper[far] = 0.0;
+                            st.lower[far] = 0.0;
+                            st.snap_upper[far] = st.cum_drift[c];
+                            st.snap_lower[far] = st.cum_max;
+                            changed = true;
+                        } else if dirty[c] {
+                            let row = st.centroids.row_mut(c);
+                            for (j, &s) in sums[c * d..(c + 1) * d].iter().enumerate() {
+                                row[j] = s / counts[c] as f64;
+                            }
+                            st.centroids.refresh_norm(c);
+                        }
+                    }
+                    // Only reseed-induced membership changes carry into the
+                    // next iteration's dirty set; assignment changes are
+                    // folded in at splice time.
+                    dirty.fill(false);
+                    for (a, b) in reseeds {
+                        dirty[a] = true;
+                        dirty[b] = true;
+                    }
+
+                    if !changed {
+                        break;
+                    }
+
+                    // Accumulate how far each centroid travelled (applied
+                    // lazily to the bounds at the next assignment) and
+                    // refresh the half-distance to each centroid's nearest
+                    // neighbour for the `s_half` test.
+                    let mut max_drift = 0.0f64;
+                    for c in 0..k {
+                        let drift = pad_up(
+                            Matrix::sq_dist_hot(st.centroids.row(c), &old[c * d..(c + 1) * d])
+                                .sqrt(),
+                        );
+                        st.cum_drift[c] += drift;
+                        if drift > max_drift {
+                            max_drift = drift;
+                        }
+                    }
+                    st.cum_max += max_drift;
+                    for c in 0..k {
+                        let mut min_sq = f64::INFINITY;
+                        for c2 in 0..k {
+                            if c2 != c {
+                                let sq = Matrix::sq_dist_hot(
+                                    st.centroids.row(c),
+                                    st.centroids.row(c2),
+                                );
+                                if sq < min_sq {
+                                    min_sq = sq;
+                                }
+                            }
+                        }
+                        st.s_half[c] = if min_sq.is_finite() {
+                            pad_down(0.5 * min_sq.sqrt())
+                        } else {
+                            // k = 1: no other centroid exists, every point
+                            // prunes.
+                            f64::INFINITY
+                        };
+                    }
+                }
+
+                let st = state.read().expect("assignment state lock");
+                let inertia = data
+                    .iter_rows()
+                    .enumerate()
+                    .map(|(i, row)| Matrix::sq_dist_hot(row, st.centroids.row(st.labels[i])))
+                    .sum();
+
+                KMeansFit {
+                    centroids: (0..k).map(|c| st.centroids.row(c).to_vec()).collect(),
+                    labels: st.labels.clone(),
+                    inertia,
+                }
+            },
+        );
+        Ok(fit)
+    }
+
+    /// The exhaustive reference implementation: plain Lloyd's, every point
+    /// scanning every centroid every iteration.
+    ///
+    /// This is the parity oracle for [`fit`](KMeans::fit) — the bounded
+    /// path must return a bitwise-identical [`KMeansFit`] (the root
+    /// `kmeans_parity` suite asserts it across seeds × shapes × worker
+    /// counts) — and the baseline the `kmeans_sweep` benchmark measures
+    /// speedups against. It always runs sequentially and ignores the
+    /// configured executor. Not part of the supported API.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`fit`](KMeans::fit).
+    #[doc(hidden)]
+    pub fn fit_reference(&self, data: &Matrix) -> Result<KMeansFit, MlError> {
+        self.validate(data)?;
         let n = data.rows();
         let k = self.k.min(n);
         let mut rng = UnitStream::new(self.seed ^ 0x9e3779b97f4a7c15);
 
-        let mut centroids = plus_plus_init(data, k, &mut rng);
+        let mut centroids = plus_plus_init_reference(data, k, &mut rng);
         let mut labels = vec![0usize; n];
 
         for _ in 0..self.max_iterations {
@@ -128,12 +405,16 @@ impl KMeans {
             for c in 0..k {
                 if counts[c] == 0 {
                     // Re-seed an empty cluster on the point farthest from its
-                    // current centroid.
+                    // current centroid; distances are computed once, not per
+                    // comparison.
+                    let dist: Vec<f64> = data
+                        .iter_rows()
+                        .enumerate()
+                        .map(|(i, row)| Matrix::sq_dist(row, &centroids[labels[i]]))
+                        .collect();
                     let far = (0..n)
                         .max_by(|&a, &b| {
-                            let da = Matrix::sq_dist(data.row(a), &centroids[labels[a]]);
-                            let db = Matrix::sq_dist(data.row(b), &centroids[labels[b]]);
-                            da.partial_cmp(&db).expect("distances are finite")
+                            dist[a].partial_cmp(&dist[b]).expect("distances are finite")
                         })
                         .expect("data is non-empty");
                     centroids[c] = data.row(far).to_vec();
@@ -163,10 +444,249 @@ impl KMeans {
             inertia,
         })
     }
+
+    fn validate(&self, data: &Matrix) -> Result<(), MlError> {
+        if self.k == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "k",
+                message: "must be at least 1".into(),
+            });
+        }
+        if data.rows() == 0 || data.cols() == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        Ok(())
+    }
 }
 
-/// Chooses `k` initial centroids with the k-means++ D² weighting.
-fn plus_plus_init(data: &Matrix, k: usize, rng: &mut UnitStream) -> Vec<Vec<f64>> {
+/// Flat row-major centroid block with cached Euclidean norms.
+///
+/// `Vec<Vec<f64>>` centroids cost a pointer chase per distance call; at
+/// millions of points × K centroids per Lloyd iteration that indirection
+/// dominates. This block keeps all centroids contiguous (`k × d`,
+/// row-major, like [`Matrix`]) and caches each centroid's norm, which
+/// prices the norm-difference pruning bound.
+#[derive(Debug, Clone)]
+struct Centroids {
+    d: usize,
+    data: Vec<f64>,
+    /// Euclidean (not squared) norm per centroid.
+    norms: Vec<f64>,
+}
+
+impl Centroids {
+    fn with_capacity(k: usize, d: usize) -> Self {
+        Self {
+            d,
+            data: Vec::with_capacity(k * d),
+            norms: Vec::with_capacity(k),
+        }
+    }
+
+    fn k(&self) -> usize {
+        self.norms.len()
+    }
+
+    fn row(&self, c: usize) -> &[f64] {
+        &self.data[c * self.d..(c + 1) * self.d]
+    }
+
+    fn row_mut(&mut self, c: usize) -> &mut [f64] {
+        &mut self.data[c * self.d..(c + 1) * self.d]
+    }
+
+    fn push(&mut self, row: &[f64]) {
+        self.data.extend_from_slice(row);
+        self.norms.push(Matrix::sq_norm(row).sqrt());
+    }
+
+    fn overwrite(&mut self, c: usize, row: &[f64]) {
+        self.row_mut(c).copy_from_slice(row);
+        self.norms[c] = Matrix::sq_norm(row).sqrt();
+    }
+
+    fn refresh_norm(&mut self, c: usize) {
+        self.norms[c] = Matrix::sq_norm(self.row(c)).sqrt();
+    }
+}
+
+/// A single point whose bounds (and possibly label) were refreshed by the
+/// assignment step. Pruned points emit nothing.
+struct PointUpdate {
+    index: usize,
+    label: usize,
+    upper: f64,
+    lower: f64,
+}
+
+/// Everything the assignment workers read, mutated by the driver strictly
+/// between rounds (see [`KMeans::fit`]).
+struct AssignState {
+    centroids: Centroids,
+    labels: Vec<usize>,
+    upper: Vec<f64>,
+    lower: Vec<f64>,
+    snap_upper: Vec<f64>,
+    snap_lower: Vec<f64>,
+    /// Per-centroid accumulated padded drift, applied lazily to upper
+    /// bounds at assignment time.
+    cum_drift: Vec<f64>,
+    /// Accumulated per-iteration maximum drifts, applied lazily to lower
+    /// bounds.
+    cum_max: f64,
+    /// Half the distance from each centroid to its nearest other centroid,
+    /// padded down (Hamerly's second pruning test).
+    s_half: Vec<f64>,
+}
+
+/// Extra absolute padding, relative to the drift accumulators, covering the
+/// floating-point error of reconstructing a bound from an accumulator
+/// delta. Summation error over any realistic iteration budget is below
+/// `1e-14` relative; `1e-12` leaves two orders of magnitude to spare.
+const CUM_PAD: f64 = 1e-12;
+
+/// The bounded assignment step over one row range.
+///
+/// Bounds are reconstructed lazily from the per-centroid drift
+/// accumulators (see [`KMeans::fit`]); a point whose reconstructed bounds —
+/// or Hamerly's `s_half` centroid-separation test — prove its assigned
+/// centroid is still strictly closest is skipped without storing anything.
+/// Otherwise its upper bound is tightened with one exact distance, and only
+/// if that still fails does the point pay the full scan — whose comparison
+/// sequence is identical to the reference [`nearest`], so any label it
+/// produces matches the reference bit for bit.
+fn assign_chunk(data: &Matrix, st: &AssignState, range: std::ops::Range<usize>) -> Vec<PointUpdate> {
+    let mut out = Vec::new();
+    for i in range {
+        let label = st.labels[i];
+        let cd = st.cum_drift[label];
+        // Upper bound, padded up: stored bound plus every drift of the
+        // assigned centroid since it was stored.
+        let mut u = pad_up(st.upper[i] + (cd - st.snap_upper[i])) + cd * CUM_PAD;
+        // Lower bound, padded down: stored bound minus the accumulated
+        // per-iteration maximum drifts since it was stored. `±∞` sentinels
+        // ("never scanned" / "no other centroid") pass through unpadded —
+        // padding arithmetic on infinities would produce NaN.
+        let mut l = {
+            let base = st.lower[i] - (st.cum_max - st.snap_lower[i]);
+            if base.is_finite() {
+                base - BOUND_PAD * base.abs() - st.cum_max * CUM_PAD
+            } else {
+                base
+            }
+        };
+        if u < l || u < st.s_half[label] {
+            continue;
+        }
+        let row = data.row(i);
+        let mut best = label;
+        // Tighten the upper bound with one exact distance before paying
+        // for the full scan — unless the point has never been scanned
+        // (`l` still at its −∞ sentinel), where the scan is inevitable
+        // and the tightening distance would be wasted.
+        if l.is_finite() {
+            u = pad_up(Matrix::sq_dist_hot(row, st.centroids.row(label)).sqrt());
+        }
+        if !(u < l || u < st.s_half[label]) {
+            let (winner, best_d, second_d) = scan(row, &st.centroids);
+            best = winner;
+            u = pad_up(best_d.sqrt());
+            l = pad_down(second_d.sqrt());
+        }
+        out.push(PointUpdate {
+            index: i,
+            label: best,
+            upper: u,
+            lower: l,
+        });
+    }
+    out
+}
+
+/// Exhaustive scan over flat centroids: `(closest, its squared distance,
+/// second-closest squared distance)`.
+///
+/// The comparison sequence — strict `<` against the running best, in
+/// ascending centroid order — matches [`nearest`] exactly, so the winner is
+/// always the reference winner.
+fn scan(point: &[f64], centroids: &Centroids) -> (usize, f64, f64) {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    let mut second_d = f64::INFINITY;
+    // `Matrix` rejects zero-column inputs, so `d >= 1` here.
+    for (c, row) in centroids.data.chunks_exact(centroids.d).enumerate() {
+        let d = Matrix::sq_dist_hot(point, row);
+        if d < best_d {
+            second_d = best_d;
+            best_d = d;
+            best = c;
+        } else if d < second_d {
+            second_d = d;
+        }
+    }
+    (best, best_d, second_d)
+}
+
+/// Chooses `k` initial centroids with the k-means++ D² weighting, into flat
+/// storage.
+///
+/// Draw-for-draw and value-for-value identical to
+/// [`plus_plus_init_reference`]: the cached-norm lower bound only skips
+/// `sq_dist` calls that provably cannot lower `d2[i]`, so the D² weights —
+/// and therefore every RNG draw and chosen index — are unchanged.
+fn plus_plus_init(
+    data: &Matrix,
+    k: usize,
+    rng: &mut UnitStream,
+    point_norms: &[f64],
+) -> Centroids {
+    let n = data.rows();
+    let mut centroids = Centroids::with_capacity(k, data.cols());
+    let first = rng.next_index(n);
+    centroids.push(data.row(first));
+    let mut d2: Vec<f64> = {
+        let c0 = centroids.row(0);
+        data.iter_rows()
+            .map(|row| Matrix::sq_dist_hot(row, c0))
+            .collect()
+    };
+
+    while centroids.k() < k {
+        let total: f64 = d2.iter().sum();
+        let chosen = if total <= 0.0 {
+            // All points coincide with an existing centroid; pick uniformly.
+            rng.next_index(n)
+        } else {
+            let mut target = rng.next_f64() * total;
+            let mut idx = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    idx = i;
+                    break;
+                }
+                target -= d;
+            }
+            idx
+        };
+        centroids.push(data.row(chosen));
+        let c = centroids.row(centroids.k() - 1);
+        let c_norm = point_norms[chosen];
+        for (i, row) in data.iter_rows().enumerate() {
+            if norm_lower_bound(point_norms[i], c_norm) > d2[i] {
+                continue;
+            }
+            let d = Matrix::sq_dist_hot(row, c);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+/// The reference k-means++ seeding (nested storage, no pruning), kept
+/// verbatim so [`KMeans::fit_reference`] is a genuinely independent oracle.
+fn plus_plus_init_reference(data: &Matrix, k: usize, rng: &mut UnitStream) -> Vec<Vec<f64>> {
     let n = data.rows();
     let first = (rng.next_f64() * n as f64) as usize % n;
     let mut centroids: Vec<Vec<f64>> = vec![data.row(first).to_vec()];
@@ -205,7 +725,7 @@ fn nearest(point: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
     let mut best = 0;
     let mut best_d = f64::INFINITY;
     for (c, centroid) in centroids.iter().enumerate() {
-        let d = Matrix::sq_dist(point, centroid);
+        let d = Matrix::sq_dist_hot(point, centroid);
         if d < best_d {
             best_d = d;
             best = c;
@@ -305,12 +825,20 @@ mod tests {
             KMeans::new(0).fit(&data),
             Err(MlError::InvalidParameter { .. })
         ));
+        assert!(matches!(
+            KMeans::new(0).fit_reference(&data),
+            Err(MlError::InvalidParameter { .. })
+        ));
     }
 
     #[test]
     fn empty_data_rejected() {
         assert_eq!(
             KMeans::new(2).fit(&Matrix::zeros(0, 2)),
+            Err(MlError::EmptyInput)
+        );
+        assert_eq!(
+            KMeans::new(2).fit_reference(&Matrix::zeros(0, 2)),
             Err(MlError::EmptyInput)
         );
     }
@@ -341,6 +869,20 @@ mod tests {
         let b = KMeans::new(3).with_seed(42).fit(&data).unwrap();
         assert_eq!(a.labels(), b.labels());
         assert_eq!(a.centroids(), b.centroids());
+    }
+
+    #[test]
+    fn bounded_fit_matches_reference_on_blobs() {
+        let data = blobs();
+        for k in [1, 2, 3, 5, 8] {
+            for seed in [0u64, 7, 42] {
+                let config = KMeans::new(k).with_seed(seed);
+                let bounded = config.fit(&data).unwrap();
+                let reference = config.fit_reference(&data).unwrap();
+                assert_eq!(bounded, reference, "k={k} seed={seed}");
+                assert_eq!(bounded.inertia().to_bits(), reference.inertia().to_bits());
+            }
+        }
     }
 
     #[test]
@@ -414,6 +956,24 @@ mod tests {
     }
 
     #[test]
+    fn norm_lower_bound_never_exceeds_true_distance() {
+        let mut rng = UnitStream::new(5);
+        for _ in 0..2000 {
+            let d = 1 + (rng.next_u64() % 8) as usize;
+            let a: Vec<f64> = (0..d).map(|_| rng.next_range(-1e3, 1e3)).collect();
+            let b: Vec<f64> = (0..d).map(|_| rng.next_range(-1e3, 1e3)).collect();
+            let lb = norm_lower_bound(
+                Matrix::sq_norm(&a).sqrt(),
+                Matrix::sq_norm(&b).sqrt(),
+            );
+            assert!(
+                lb <= Matrix::sq_dist(&a, &b),
+                "bound {lb} above distance for {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
     fn fit_batch_matches_sequential_fits_for_any_worker_count() {
         let data = blobs();
         let configs: Vec<KMeans> = (1..=6)
@@ -429,6 +989,30 @@ mod tests {
                 assert_eq!(b.centroids(), s.centroids());
                 assert_eq!(b.inertia().to_bits(), s.inertia().to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn chunked_fit_is_worker_count_invariant() {
+        // More rows than one assignment chunk, so parallel runs really
+        // splice multiple chunk results.
+        let mut rng = UnitStream::new(77);
+        let rows: Vec<Vec<f64>> = (0..(ASSIGN_CHUNK * 2 + 100))
+            .map(|i| {
+                let c = (i % 4) as f64 * 25.0;
+                vec![c + rng.next_range(-1.0, 1.0), c - rng.next_range(-1.0, 1.0)]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let config = KMeans::new(4).with_seed(9);
+        let sequential = config.fit(&data).unwrap();
+        for workers in [2, 4, 8] {
+            let parallel = config.with_executor(Executor::new(workers)).fit(&data).unwrap();
+            assert_eq!(parallel, sequential, "{workers} workers diverged");
+            assert_eq!(
+                parallel.inertia().to_bits(),
+                sequential.inertia().to_bits()
+            );
         }
     }
 }

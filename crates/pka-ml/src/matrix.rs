@@ -190,7 +190,32 @@ impl Matrix {
     /// Panics if the slices have different lengths.
     pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
         assert_eq!(a.len(), b.len(), "points must share dimensionality");
+        Self::sq_dist_hot(a, b)
+    }
+
+    /// Squared Euclidean distance, hot-path variant: the dimensionality
+    /// check runs only in debug builds.
+    ///
+    /// [`sq_dist`](Self::sq_dist) asserts slice lengths on every call,
+    /// which is measurable in the innermost clustering loops; callers that
+    /// have validated shapes once at setup (K-Means assignment, the
+    /// quality diagnostics) use this variant instead. The arithmetic is
+    /// identical — same operations in the same order — so the two return
+    /// bitwise-equal results.
+    #[inline]
+    pub fn sq_dist_hot(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "points must share dimensionality");
         a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    /// Squared Euclidean norm of a point.
+    ///
+    /// Cached norms price the reverse-triangle-inequality lower bound
+    /// `(‖x‖ − ‖c‖)² ≤ ‖x − c‖²` that lets K-Means skip exact distance
+    /// work.
+    #[inline]
+    pub fn sq_norm(v: &[f64]) -> f64 {
+        v.iter().map(|x| x * x).sum()
     }
 }
 
@@ -270,5 +295,26 @@ mod tests {
     fn sq_dist_basics() {
         assert_eq!(Matrix::sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
         assert_eq!(Matrix::sq_dist(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn sq_dist_hot_matches_checked_variant_bitwise() {
+        let a = [0.3, -1.7, 2.5000001, 9e100];
+        let b = [1.1, 0.0, -2.5, -9e100];
+        assert_eq!(
+            Matrix::sq_dist(&a, &b).to_bits(),
+            Matrix::sq_dist_hot(&a, &b).to_bits()
+        );
+    }
+
+    #[test]
+    fn sq_norm_is_distance_to_origin() {
+        let v = [3.0, 4.0];
+        assert_eq!(Matrix::sq_norm(&v), 25.0);
+        assert_eq!(
+            Matrix::sq_norm(&v).to_bits(),
+            Matrix::sq_dist(&v, &[0.0, 0.0]).to_bits()
+        );
+        assert_eq!(Matrix::sq_norm(&[]), 0.0);
     }
 }

@@ -55,7 +55,9 @@ pub fn silhouette_score(data: &Matrix, labels: &[usize]) -> Result<f64, MlError>
             if i == j {
                 continue;
             }
-            sums[labels[j]] += Matrix::sq_dist(data.row(i), data.row(j)).sqrt();
+            // All rows share `data`'s width, so the checked `sq_dist`
+            // would re-assert the same equality O(n²) times.
+            sums[labels[j]] += Matrix::sq_dist_hot(data.row(i), data.row(j)).sqrt();
         }
         let own = labels[i];
         if counts[own] <= 1 {
@@ -123,7 +125,7 @@ pub fn davies_bouldin_index(data: &Matrix, labels: &[usize]) -> Result<f64, MlEr
     // Mean scatter per cluster.
     let mut scatter = vec![0.0f64; k];
     for (i, row) in data.iter_rows().enumerate() {
-        scatter[labels[i]] += Matrix::sq_dist(row, &centroids[labels[i]]).sqrt();
+        scatter[labels[i]] += Matrix::sq_dist_hot(row, &centroids[labels[i]]).sqrt();
     }
     for (s, &n) in scatter.iter_mut().zip(&counts) {
         if n > 0 {
@@ -139,7 +141,7 @@ pub fn davies_bouldin_index(data: &Matrix, labels: &[usize]) -> Result<f64, MlEr
             if i == j {
                 continue;
             }
-            let sep = Matrix::sq_dist(&centroids[i], &centroids[j]).sqrt();
+            let sep = Matrix::sq_dist_hot(&centroids[i], &centroids[j]).sqrt();
             if sep > 0.0 {
                 worst = worst.max((scatter[i] + scatter[j]) / sep);
             }

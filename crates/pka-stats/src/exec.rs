@@ -18,7 +18,7 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Condvar, Mutex};
 
 /// A scoped-thread work fan-out with deterministic, order-preserving
 /// results.
@@ -122,6 +122,179 @@ impl Executor {
         })
     }
 
+    /// Splits `0..len` into fixed-size chunks and applies `f` to each,
+    /// returning the per-chunk results in chunk order.
+    ///
+    /// The chunk grid depends only on `len` and `chunk_size` — never on the
+    /// worker count — so a fold over the returned vector visits ranges in
+    /// the same order for every `Executor`, and per-chunk float reductions
+    /// stay bitwise identical across worker counts. This is the substrate
+    /// for data-parallel stages whose per-item state lives in slices (the
+    /// bounded K-Means assignment step): each chunk task reads its slice of
+    /// the shared inputs, returns owned results, and the caller splices
+    /// them back in chunk order.
+    ///
+    /// `f` receives `(chunk_index, range)`; every range but possibly the
+    /// last spans exactly `chunk_size` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pka_stats::Executor;
+    ///
+    /// let exec = Executor::new(4);
+    /// let chunk_sums = exec.map_chunks(10, 4, |_, r| r.sum::<usize>());
+    /// assert_eq!(chunk_sums, vec![0 + 1 + 2 + 3, 4 + 5 + 6 + 7, 8 + 9]);
+    /// ```
+    pub fn map_chunks<U, F>(&self, len: usize, chunk_size: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize, std::ops::Range<usize>) -> U + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let chunks: Vec<std::ops::Range<usize>> = (0..len)
+            .step_by(chunk_size)
+            .map(|lo| lo..(lo + chunk_size).min(len))
+            .collect();
+        self.map(&chunks, |i, range| f(i, range.clone()))
+    }
+
+    /// Repeatedly fans a fixed chunked job out over a *persistent* set of
+    /// workers.
+    ///
+    /// [`map_chunks`](Executor::map_chunks) spawns fresh scoped threads on
+    /// every call — fine for one-shot fan-outs, but an iterative algorithm
+    /// dispatching a round per iteration (the bounded K-Means assignment
+    /// step) would pay ~100 µs of thread spawn per iteration. `rounds`
+    /// spawns the workers once, then lets `body` trigger any number of
+    /// rounds through the `run` callback it receives: each `run()` executes
+    /// `f` over the same fixed chunk grid and returns the per-chunk results
+    /// in chunk order, exactly like `map_chunks`.
+    ///
+    /// `f` is fixed for the lifetime of the pool, so per-round inputs must
+    /// reach it through interior mutability (e.g. an `RwLock` the caller
+    /// write-locks between rounds — rounds never overlap with `body` code,
+    /// so the lock is uncontended by construction).
+    ///
+    /// The chunk grid depends only on `(len, chunk_size)`, never on the
+    /// worker count, and results always splice in chunk order — the same
+    /// determinism contract as [`map_chunks`](Executor::map_chunks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero. A panic inside `f` on a worker
+    /// thread is not recovered; callers must pass panic-free jobs.
+    pub fn rounds<T, F, B, R>(&self, len: usize, chunk_size: usize, f: F, body: B) -> R
+    where
+        T: Send,
+        F: Fn(usize, std::ops::Range<usize>) -> T + Sync,
+        B: FnOnce(&mut dyn FnMut() -> Vec<T>) -> R,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let n_chunks = len.div_ceil(chunk_size);
+        let chunk_range = |i: usize| {
+            let lo = i * chunk_size;
+            lo..(lo + chunk_size).min(len)
+        };
+
+        if self.is_sequential() || n_chunks <= 1 {
+            let mut run = || (0..n_chunks).map(|i| f(i, chunk_range(i))).collect();
+            return body(&mut run);
+        }
+
+        struct Ctl<T> {
+            m: Mutex<RoundState<T>>,
+            work: Condvar,
+            done: Condvar,
+        }
+        struct RoundState<T> {
+            round: u64,
+            next_chunk: usize,
+            remaining: usize,
+            results: Vec<Option<T>>,
+            stop: bool,
+        }
+
+        let ctl = Ctl {
+            m: Mutex::new(RoundState {
+                round: 0,
+                next_chunk: usize::MAX,
+                remaining: 0,
+                results: Vec::new(),
+                stop: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        };
+        let workers = self.workers.get().min(n_chunks);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut seen = 0u64;
+                    loop {
+                        let mut st = ctl.m.lock().expect("pool mutex");
+                        loop {
+                            if st.stop {
+                                return;
+                            }
+                            if st.round > seen {
+                                seen = st.round;
+                                break;
+                            }
+                            st = ctl.work.wait(st).expect("pool mutex");
+                        }
+                        drop(st);
+                        loop {
+                            let i = {
+                                let mut st = ctl.m.lock().expect("pool mutex");
+                                if st.next_chunk >= n_chunks {
+                                    break;
+                                }
+                                let i = st.next_chunk;
+                                st.next_chunk += 1;
+                                i
+                            };
+                            let result = f(i, chunk_range(i));
+                            let mut st = ctl.m.lock().expect("pool mutex");
+                            st.results[i] = Some(result);
+                            st.remaining -= 1;
+                            if st.remaining == 0 {
+                                ctl.done.notify_all();
+                            }
+                        }
+                    }
+                });
+            }
+
+            let mut run = || {
+                let mut st = ctl.m.lock().expect("pool mutex");
+                st.round += 1;
+                st.next_chunk = 0;
+                st.remaining = n_chunks;
+                st.results = (0..n_chunks).map(|_| None).collect();
+                ctl.work.notify_all();
+                while st.remaining > 0 {
+                    st = ctl.done.wait(st).expect("pool mutex");
+                }
+                st.results
+                    .drain(..)
+                    .map(|slot| slot.expect("every chunk yields exactly one result"))
+                    .collect()
+            };
+            let out = body(&mut run);
+            let mut st = ctl.m.lock().expect("pool mutex");
+            st.stop = true;
+            ctl.work.notify_all();
+            drop(st);
+            out
+        })
+    }
+
     /// Fallible [`map`](Executor::map): all-`Ok` results in item order, or
     /// the error of the smallest-indexed failing item.
     ///
@@ -207,6 +380,107 @@ mod tests {
             // Failing indices are 7, 37, 67, 97; a sequential loop stops at 7.
             assert_eq!(result.unwrap_err(), "bad 7");
         }
+    }
+
+    #[test]
+    fn map_chunks_covers_the_range_in_order() {
+        for (len, chunk) in [(0usize, 3usize), (1, 3), (9, 3), (10, 3), (10, 100), (257, 16)] {
+            for workers in [1, 2, 8] {
+                let exec = Executor::new(workers);
+                let ranges = exec.map_chunks(len, chunk, |i, r| (i, r));
+                let mut expected_lo = 0;
+                for (i, (idx, r)) in ranges.iter().enumerate() {
+                    assert_eq!(*idx, i);
+                    assert_eq!(r.start, expected_lo, "len={len} chunk={chunk}");
+                    assert!(r.end - r.start <= chunk);
+                    expected_lo = r.end;
+                }
+                assert_eq!(expected_lo, len, "len={len} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_grid_is_worker_count_independent() {
+        // Per-chunk float sums folded in chunk order must be bitwise stable
+        // across worker counts: the grid only depends on (len, chunk_size).
+        let items: Vec<f64> = (0..1003).map(|i| (i as f64) * 1.0000001 + 0.1).collect();
+        let fold = |workers: usize| -> u64 {
+            Executor::new(workers)
+                .map_chunks(items.len(), 64, |_, r| items[r].iter().sum::<f64>())
+                .iter()
+                .sum::<f64>()
+                .to_bits()
+        };
+        let sequential = fold(1);
+        for workers in [2, 3, 8] {
+            assert_eq!(fold(workers), sequential);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn map_chunks_rejects_zero_chunk() {
+        Executor::new(1).map_chunks(4, 0, |_, _| ());
+    }
+
+    #[test]
+    fn rounds_matches_map_chunks_across_workers_and_rounds() {
+        let items: Vec<f64> = (0..1003).map(|i| (i as f64) * 1.0000001 + 0.1).collect();
+        // Per-round inputs flow through interior mutability, as the
+        // contract requires.
+        let scale = std::sync::RwLock::new(1.0f64);
+        for workers in [1, 2, 3, 8] {
+            let exec = Executor::new(workers);
+            let per_round: Vec<Vec<f64>> = exec.rounds(
+                items.len(),
+                64,
+                |_, r| {
+                    let s = *scale.read().unwrap();
+                    items[r].iter().map(|x| x * s).sum::<f64>()
+                },
+                |run| {
+                    (0..4)
+                        .map(|round| {
+                            *scale.write().unwrap() = 1.0 + round as f64;
+                            run()
+                        })
+                        .collect()
+                },
+            );
+            for (round, chunk_sums) in per_round.iter().enumerate() {
+                let s = 1.0 + round as f64;
+                let expected =
+                    Executor::sequential().map_chunks(items.len(), 64, |_, r| {
+                        items[r].iter().map(|x| x * s).sum::<f64>()
+                    });
+                // Bitwise: same chunk grid, same in-chunk fold order.
+                assert_eq!(
+                    chunk_sums.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    expected.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "workers={workers} round={round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_handles_empty_and_single_chunk() {
+        for workers in [1, 4] {
+            let exec = Executor::new(workers);
+            let empty: Vec<Vec<usize>> =
+                exec.rounds(0, 8, |i, _| i, |run| vec![run(), run()]);
+            assert_eq!(empty, vec![Vec::new(), Vec::new()]);
+            let single: Vec<usize> = exec.rounds(5, 8, |_, r| r.len(), |run| run());
+            assert_eq!(single, vec![5]);
+        }
+    }
+
+    #[test]
+    fn rounds_with_zero_rounds_shuts_down_cleanly() {
+        let exec = Executor::new(4);
+        let out: u32 = exec.rounds(100, 8, |i, _| i, |_| 7);
+        assert_eq!(out, 7);
     }
 
     #[test]

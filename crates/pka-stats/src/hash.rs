@@ -126,6 +126,36 @@ impl UnitStream {
         assert!(lo <= hi, "range must be ordered");
         lo + self.next_f64() * (hi - lo)
     }
+
+    /// Next index uniform in `[0, n)`, mapped from one unit draw.
+    ///
+    /// This is the one place the pipeline turns a unit float into an array
+    /// index (k-means++ seeding picks rows with it). Because
+    /// [`next_f64`](Self::next_f64) is strictly below `1.0`, the scaled
+    /// product is already in `[0, n)` and no modulo is applied — the
+    /// historical trailing `% n` was a no-op that suggested (and would have
+    /// masked) a wraparound that cannot occur. The `min` clamp only guards
+    /// the astronomically large `n` whose rounding could hit `n` exactly.
+    ///
+    /// The emitted sequence is pinned by a regression test: golden tables
+    /// (Table 3/4) depend on every draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pka_stats::hash::UnitStream;
+    ///
+    /// let mut s = UnitStream::new(3);
+    /// assert!(s.next_index(10) < 10);
+    /// ```
+    pub fn next_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample an index from an empty range");
+        ((self.next_f64() * n as f64) as usize).min(n - 1)
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +192,41 @@ mod tests {
             let x = s.next_range(5.0, 6.0);
             assert!((5.0..6.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn next_index_matches_the_pre_helper_expression() {
+        // `next_index` replaced the inline `(f * n) as usize % n`; the two
+        // must agree draw for draw or every k-means++ seeding shifts.
+        let mut a = UnitStream::new(99);
+        let mut b = UnitStream::new(99);
+        for n in [1usize, 2, 3, 414, 1500, 1 << 20] {
+            for _ in 0..50 {
+                #[allow(clippy::modulo_one)]
+                let legacy = (b.next_f64() * n as f64) as usize % n;
+                assert_eq!(a.next_index(n), legacy, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_index_sequence_is_pinned() {
+        // Golden sequence for the k-means++ seed stream (seed 0, the
+        // default, xored with the splitmix constant as `KMeans::fit` does).
+        // Any change here shifts the Table 3/4 golden files.
+        let mut s = UnitStream::new(0 ^ 0x9e3779b97f4a7c15);
+        let got: Vec<usize> = (0..8).map(|_| s.next_index(414)).collect();
+        assert_eq!(
+            got,
+            vec![178, 10, 401, 44, 135, 71, 319, 101],
+            "k-means++ index stream drifted"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn next_index_rejects_empty_range() {
+        UnitStream::new(0).next_index(0);
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Bounded-vs-reference K-Means parity: the clustering determinism contract.
+//!
+//! The bounded (Hamerly-style) assignment path in [`KMeans::fit`] prunes
+//! distance computations with conservative triangle-inequality bounds, fans
+//! chunks over worker threads, and re-sums only dirty clusters — yet it
+//! must produce **bitwise identical** fits to the naive Lloyd's reference
+//! (`fit_reference`), for any worker count. These tests compare whole
+//! [`KMeansFit`] structs with `assert_eq!` (labels, every centroid
+//! coordinate, inertia), so a one-ULP divergence anywhere fails the suite.
+//!
+//! [`KMeans::fit`]: principal_kernel_analysis::ml::KMeans::fit
+//! [`KMeansFit`]: principal_kernel_analysis::ml::KMeansFit
+
+use principal_kernel_analysis::ml::{KMeans, KMeansFit, Matrix};
+use principal_kernel_analysis::stats::hash::UnitStream;
+use principal_kernel_analysis::stats::Executor;
+
+/// Worker counts exercised against the naive reference. Chunk grids are
+/// worker-count-invariant, so every count must agree bitwise.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Clustering seeds for the parity matrix.
+const SEEDS: [u64; 3] = [0, 1, 0x9E3779B97F4A7C15];
+
+/// Data shapes `(n, d, k)` spanning below/above the assignment chunk size,
+/// k near n, and non-power-of-two everything.
+const SHAPES: [(usize, usize, usize); 4] = [(60, 2, 3), (200, 5, 7), (513, 3, 16), (97, 4, 5)];
+
+/// Deterministic blob cloud: `n` points of dimension `d` scattered around
+/// `modes` lattice centres.
+fn cloud(n: usize, d: usize, modes: usize, seed: u64) -> Matrix {
+    let mut rng = UnitStream::new(seed ^ 0xC10D);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let c = i % modes;
+            (0..d)
+                .map(|j| ((c * 7 + j * 3) % 11) as f64 * 3.0 + rng.next_range(-0.5, 0.5))
+                .collect()
+        })
+        .collect();
+    Matrix::from_rows(&rows).expect("valid cloud")
+}
+
+/// Asserts the bounded fit equals the reference fit bitwise, for every
+/// worker count.
+fn assert_parity(data: &Matrix, k: usize, seed: u64) {
+    let reference = KMeans::new(k)
+        .with_seed(seed)
+        .fit_reference(data)
+        .expect("reference fit");
+    for &workers in &WORKER_COUNTS {
+        let fit = KMeans::new(k)
+            .with_seed(seed)
+            .with_executor(Executor::new(workers))
+            .fit(data)
+            .expect("bounded fit");
+        assert_eq!(
+            fit, reference,
+            "bounded fit diverged from reference: k={k} seed={seed} workers={workers}"
+        );
+        assert_eq!(
+            fit.inertia().to_bits(),
+            reference.inertia().to_bits(),
+            "inertia bits diverged: k={k} seed={seed} workers={workers}"
+        );
+    }
+}
+
+fn mode_count(fit: &KMeansFit) -> usize {
+    let mut labels: Vec<usize> = fit.labels().to_vec();
+    labels.sort_unstable();
+    labels.dedup();
+    labels.len()
+}
+
+#[test]
+fn bounded_matches_reference_across_seeds_shapes_and_workers() {
+    for &(n, d, k) in &SHAPES {
+        for &seed in &SEEDS {
+            let data = cloud(n, d, k.min(8), seed);
+            assert_parity(&data, k, seed);
+        }
+    }
+}
+
+#[test]
+fn parity_holds_when_k_exceeds_mode_count() {
+    // More centroids than natural modes: centroids oscillate inside tight
+    // blobs, the worst case for bound-based pruning, and empty-cluster
+    // reseeds fire.
+    let data = cloud(150, 3, 4, 9);
+    for k in [6, 10, 16] {
+        assert_parity(&data, k, 0);
+    }
+}
+
+#[test]
+fn parity_on_identical_points() {
+    // Every point identical: all distances tie at zero, so label choice is
+    // purely comparison-order; reseeds fire every iteration.
+    let rows: Vec<Vec<f64>> = (0..40).map(|_| vec![2.5, -1.0, 7.0]).collect();
+    let data = Matrix::from_rows(&rows).expect("valid");
+    for k in [1, 3, 5] {
+        assert_parity(&data, k, 0);
+    }
+}
+
+#[test]
+fn parity_under_reseed_stress() {
+    // Ten points in one spot, two far away, k = 4: at least one cluster
+    // starts or goes empty and must reseed on the farthest point.
+    let mut rows: Vec<Vec<f64>> = (0..10).map(|_| vec![0.0, 0.0]).collect();
+    rows.push(vec![100.0, 100.0]);
+    rows.push(vec![100.0, 100.0]);
+    let data = Matrix::from_rows(&rows).expect("valid");
+    assert_parity(&data, 4, 0);
+    assert_parity(&data, 4, 1);
+}
+
+#[test]
+fn parity_when_k_exceeds_n() {
+    // k capped to n distinct behaviours by construction of ++ init;
+    // whatever the implementations do, they must do it identically.
+    let data = cloud(5, 2, 3, 3);
+    for k in [5, 7] {
+        let reference = KMeans::new(k).with_seed(0).fit_reference(&data);
+        let bounded = KMeans::new(k)
+            .with_seed(0)
+            .with_executor(Executor::new(4))
+            .fit(&data);
+        match (bounded, reference) {
+            (Ok(b), Ok(r)) => {
+                assert_eq!(b, r, "k={k}");
+                assert!(mode_count(&b) <= 5);
+            }
+            (Err(b), Err(r)) => assert_eq!(format!("{b}"), format!("{r}"), "k={k}"),
+            (b, r) => panic!("paths disagree on fallibility: k={k} {b:?} vs {r:?}"),
+        }
+    }
+}
+
+#[test]
+fn sequential_executor_matches_default() {
+    let data = cloud(300, 4, 6, 5);
+    let default_fit = KMeans::new(6).with_seed(2).fit(&data).expect("fit");
+    let seq_fit = KMeans::new(6)
+        .with_seed(2)
+        .with_executor(Executor::sequential())
+        .fit(&data)
+        .expect("fit");
+    assert_eq!(default_fit, seq_fit);
+}

@@ -12,6 +12,9 @@
 #      package run)
 #   5. bench smoke — the hot-path benchmarks at reduced iteration counts,
 #      plus a jq schema check over the BENCH_pka.json they emit
+#   6. observability smoke — a traced `pka simulate` run whose
+#      run_manifest.json is jq-validated (schema, a fired PKP stop rule,
+#      populated stage timings)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -43,5 +46,26 @@ if command -v jq >/dev/null 2>&1; then
 else
     echo "jq not found; skipping bench json schema check" >&2
 fi
+
+echo "==> observability smoke (traced pka simulate)"
+OBS_MANIFEST="$(mktemp -t pka_manifest.XXXXXX.json)"
+OBS_TRACE="$(mktemp -t pka_trace.XXXXXX.jsonl)"
+trap 'rm -f "$BENCH_SMOKE_JSON" "$OBS_MANIFEST" "$OBS_TRACE"' EXIT
+./target/release/pka simulate --workload bfs65536 \
+    --metrics-out "$OBS_MANIFEST" --trace-out "$OBS_TRACE" >/dev/null
+if command -v jq >/dev/null 2>&1; then
+    jq -e '
+        .schema == "pka.run_manifest/v1"
+        and (.counters["pkp.stops"] // 0) > 0
+        and (.counters | length) >= 6
+        and (.stages | length) >= 3
+        and (.wall_ns > 0)
+    ' "$OBS_MANIFEST" >/dev/null
+    echo "run manifest OK ($(jq '.counters | length' "$OBS_MANIFEST") counters)"
+else
+    echo "jq not found; skipping manifest schema check" >&2
+fi
+test -s "$OBS_TRACE"
+echo "trace OK ($(wc -l < "$OBS_TRACE") lines)"
 
 echo "CI OK"

@@ -1,7 +1,8 @@
 //! The `tables` binary: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! tables [--quick] [--out DIR] [--workers N] [REPORT...]
+//! tables [--quick] [--out DIR] [--workers N]
+//!        [--trace-out PATH] [--metrics-out PATH] [-v] [REPORT...]
 //! ```
 //!
 //! `REPORT` is any of `fig1 table3 fig4 fig5 fig6 fig7 fig8 table4 fig9
@@ -9,6 +10,12 @@
 //! full-simulation budget for smoke runs. Each report's text is printed to
 //! stdout and its JSON record set written to `DIR` (default
 //! `results/`).
+//!
+//! The observability flags mirror the `pka` binary: `--trace-out` appends
+//! JSONL span/event records, `--metrics-out` writes a `run_manifest.json`
+//! whose checksums section carries an FNV-1a digest of each generated
+//! report's JSON payload, and `-v` prints a stage summary to stderr.
+//! Collection never changes report contents.
 
 use std::fs;
 use std::path::PathBuf;
@@ -20,6 +27,9 @@ fn main() {
     let mut quick = false;
     let mut out_dir = PathBuf::from("results");
     let mut workers = 1usize;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut verbose = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,11 +50,33 @@ fn main() {
                         std::process::exit(2);
                     })
             }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out requires a path");
+                    std::process::exit(2);
+                })))
+            }
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--metrics-out requires a path");
+                    std::process::exit(2);
+                })))
+            }
+            "-v" | "--verbose" => verbose = true,
             "--help" | "-h" => {
-                eprintln!("usage: tables [--quick] [--out DIR] [--workers N] [fig1|table3|fig4|fig5|fig6|fig7|fig8|table4|fig9|fig10|single_iter|all]...");
+                eprintln!("usage: tables [--quick] [--out DIR] [--workers N] [--trace-out PATH] [--metrics-out PATH] [-v] [fig1|table3|fig4|fig5|fig6|fig7|fig8|table4|fig9|fig10|single_iter|all]...");
                 return;
             }
             other => wanted.push(other.to_string()),
+        }
+    }
+    if trace_out.is_some() || metrics_out.is_some() || verbose {
+        pka_obs::enable();
+        if let Some(path) = &trace_out {
+            pka_obs::trace_to(path).unwrap_or_else(|e| {
+                eprintln!("error: open trace sink {}: {e}", path.display());
+                std::process::exit(2);
+            });
         }
     }
     if wanted.is_empty() {
@@ -95,6 +127,7 @@ fn main() {
         plan.push(("single_iter", Box::new(tables::single_iteration_study)));
     }
 
+    let mut checksums = serde_json::Map::new();
     for (name, generate) in plan {
         let start = Instant::now();
         match generate(&runner) {
@@ -107,6 +140,12 @@ fn main() {
                 let path = out_dir.join(format!("{}.json", report.name));
                 let payload =
                     serde_json::to_string_pretty(&report.data).expect("serialisable report");
+                if pka_obs::enabled() {
+                    checksums.insert(
+                        report.name.clone(),
+                        serde_json::json!(pka_stats::hash::fnv1a(payload.as_bytes())),
+                    );
+                }
                 fs::write(&path, payload).expect("write report json");
             }
             Err(e) => {
@@ -115,4 +154,30 @@ fn main() {
             }
         }
     }
+
+    if let Some(path) = &metrics_out {
+        let config = serde_json::json!({
+            "binary": "tables",
+            "quick": quick,
+            "workers": workers,
+            "reports": wanted.clone(),
+        });
+        // The tables runner always uses the workspace default seeds
+        // (per-K clustering streams derive as `seed ^ k`).
+        let seeds = serde_json::json!({ "pks": 0u64, "classifier": 0u64 });
+        pka_obs::write_manifest(path, config, seeds, serde_json::Value::Object(checksums))
+            .unwrap_or_else(|e| {
+                eprintln!("error: write manifest {}: {e}", path.display());
+                std::process::exit(1);
+            });
+    }
+    if verbose {
+        for line in pka_obs::snapshot().summary_lines() {
+            eprintln!("[obs] {line}");
+        }
+    }
+    pka_obs::close_trace().unwrap_or_else(|e| {
+        eprintln!("error: close trace sink: {e}");
+        std::process::exit(1);
+    });
 }

@@ -123,8 +123,10 @@ impl ExperimentRunner {
     pub fn silicon(&self, workload: &Workload, gpu: &GpuConfig) -> Result<AppSiliconRun, PkaError> {
         let key = (gpu.name().to_string(), workload.name().to_string());
         if let Some(run) = self.silicon_cache.lock().unwrap().get(&key) {
+            cache_obs(true);
             return Ok(*run);
         }
+        cache_obs(false);
         let run = Profiler::new(gpu.clone())
             .with_executor(self.options.pka.executor())
             .silicon_run(workload)?;
@@ -139,8 +141,10 @@ impl ExperimentRunner {
     /// Propagates profiling and clustering failures.
     pub fn selection(&self, workload: &Workload) -> Result<Selection, PkaError> {
         if let Some(sel) = self.selection_cache.lock().unwrap().get(workload.name()) {
+            cache_obs(true);
             return Ok(sel.clone());
         }
+        cache_obs(false);
         let sel = self.volta.select_kernels(workload)?;
         self.selection_cache
             .lock()
@@ -161,8 +165,10 @@ impl ExperimentRunner {
     ) -> Result<Option<FullSimOutcome>, PkaError> {
         let key = (gpu.name().to_string(), workload.name().to_string());
         if let Some(out) = self.fullsim_cache.lock().unwrap().get(&key) {
+            cache_obs(true);
             return Ok(*out);
         }
+        cache_obs(false);
         let out = if self.fullsim_tractable(workload) {
             let sim = Simulator::new(gpu.clone(), self.options.pka.sim_options());
             let ids: Vec<u64> = (0..workload.kernel_count()).collect();
@@ -206,8 +212,10 @@ impl ExperimentRunner {
     ) -> Result<SampledOutcome, PkaError> {
         let key = (gpu.name().to_string(), workload.name().to_string());
         if let Some(out) = self.sampled_cache.lock().unwrap().get(&key) {
+            cache_obs(true);
             return Ok(out.clone());
         }
+        cache_obs(false);
         let selection = self.selection(workload)?;
         let sim = Simulator::new(gpu.clone(), self.options.pka.sim_options());
 
@@ -263,6 +271,17 @@ impl ExperimentRunner {
     /// The Volta pipeline (for direct access to its profiler and config).
     pub fn volta(&self) -> &Pka {
         &self.volta
+    }
+}
+
+/// Tallies a cache lookup across the runner's four result caches.
+fn cache_obs(hit: bool) {
+    if pka_obs::enabled() {
+        if hit {
+            pka_obs::counter("runner.cache_hits").incr();
+        } else {
+            pka_obs::counter("runner.cache_misses").incr();
+        }
     }
 }
 

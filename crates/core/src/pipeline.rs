@@ -221,6 +221,7 @@ impl Pka {
     ///
     /// Propagates profiling and clustering failures.
     pub fn select_kernels(&self, workload: &Workload) -> Result<Selection, PkaError> {
+        let _span = pka_obs::span("pka.select_kernels");
         let cost = self.profiler.profiling_cost(workload);
         if cost.detailed_is_intractable() {
             TwoLevel::new(self.config.two_level)
@@ -259,6 +260,7 @@ impl Pka {
         workload: &Workload,
         selection: &Selection,
     ) -> Result<SiliconPksReport, PkaError> {
+        let _span = pka_obs::span("pka.silicon_report");
         let silicon = self.profiler.silicon_run(workload)?;
         // Run only the representatives on this GPU, one per work item; fold
         // the float seconds in representative order for bitwise stability.
@@ -297,6 +299,7 @@ impl Pka {
         workload: &Workload,
         run_full_sim: bool,
     ) -> Result<SimulationReport, PkaError> {
+        let _span = pka_obs::span("pka.evaluate");
         let selection = self.select_kernels(workload)?;
         let silicon = self.profiler.silicon_run(workload)?;
         let simulator = Simulator::new(self.gpu.clone(), self.config.sim);
@@ -304,6 +307,7 @@ impl Pka {
         // Baseline: full simulation of every kernel, one per work item;
         // weighted DRAM utilisation folds in launch-stream order.
         let (fullsim_cycles, fullsim_dram, sim_error) = if run_full_sim {
+            let _span = pka_obs::span("pka.fullsim_baseline");
             let ids: Vec<u64> = (0..workload.kernel_count()).collect();
             let runs = self.config.exec.try_map(&ids, |_, &id| {
                 let kernel = workload.kernel(pka_gpu::KernelId::new(id));
@@ -330,6 +334,7 @@ impl Pka {
         // completion, PKA re-simulates it under a fresh PKP monitor. The
         // monitor is item-local state, so items stay independent; the
         // weighted DRAM reduction folds in representative order.
+        let _rep_span = pka_obs::span("pka.rep_sim");
         let reps: Vec<_> = selection.representative_ids();
         let rep_runs = self.config.exec.try_map(&reps, |_, &id| {
             let kernel = workload.kernel(id);

@@ -142,6 +142,10 @@ impl PkpMonitor {
 
 impl SimMonitor for PkpMonitor {
     fn observe(&mut self, ctx: &SampleContext) -> SimControl {
+        let obs = pka_obs::enabled();
+        if obs {
+            pkp_obs().evals.incr();
+        }
         let smoothed = match self.ema {
             Some(prev) => prev + EMA_ALPHA * (ctx.sample.ipc - prev),
             None => ctx.sample.ipc,
@@ -149,9 +153,15 @@ impl SimMonitor for PkpMonitor {
         self.ema = Some(smoothed);
         self.window.push(smoothed);
         if !self.window.is_full() {
+            if obs {
+                pkp_obs().held_warmup.incr();
+            }
             return SimControl::Continue;
         }
         if self.window.relative_std_dev() > self.config.threshold {
+            if obs {
+                pkp_obs().held_stddev.incr();
+            }
             return SimControl::Continue;
         }
         // Quasi-stable. Enforce the wave constraint unless the grid is
@@ -159,11 +169,37 @@ impl SimMonitor for PkpMonitor {
         // kernels).
         let sub_wave = ctx.blocks_total < ctx.wave_blocks;
         if self.config.enforce_wave && !sub_wave && ctx.blocks_completed < ctx.wave_blocks {
+            if obs {
+                pkp_obs().held_wave.incr();
+            }
             return SimControl::Continue;
         }
         self.stopped_at = Some(ctx.sample.cycle);
+        if obs {
+            pkp_obs().stops.incr();
+        }
         SimControl::Stop
     }
+}
+
+/// Cached stop-rule counter handles (one relaxed load gates each use).
+struct PkpObs {
+    evals: &'static pka_obs::Counter,
+    held_warmup: &'static pka_obs::Counter,
+    held_stddev: &'static pka_obs::Counter,
+    held_wave: &'static pka_obs::Counter,
+    stops: &'static pka_obs::Counter,
+}
+
+fn pkp_obs() -> &'static PkpObs {
+    static OBS: std::sync::OnceLock<PkpObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| PkpObs {
+        evals: pka_obs::counter("pkp.evals"),
+        held_warmup: pka_obs::counter("pkp.held_warmup"),
+        held_stddev: pka_obs::counter("pkp.held_stddev"),
+        held_wave: pka_obs::counter("pkp.held_wave"),
+        stops: pka_obs::counter("pkp.stops"),
+    })
 }
 
 /// A PKP-projected kernel result: what the full kernel would have reported,

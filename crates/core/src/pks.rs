@@ -325,12 +325,28 @@ impl Pks {
     /// Returns [`PkaError::InvalidInput`] for an empty record set and
     /// propagates ML errors.
     pub fn select(&self, records: &[DetailedRecord]) -> Result<Selection, PkaError> {
+        let _span = pka_obs::span("pks.select");
+        let selection = self.select_inner(records)?;
+        if pka_obs::enabled() {
+            pka_obs::counter("pks.selections").incr();
+            pka_obs::counter("pks.records").add(records.len() as u64);
+            pka_obs::gauge("pks.selected_k").set(selection.k() as i64);
+        }
+        Ok(selection)
+    }
+
+    fn select_inner(&self, records: &[DetailedRecord]) -> Result<Selection, PkaError> {
         let features = feature_matrix(records)?;
-        let (_, scaled) = StandardScaler::fit_transform(&features)?;
-        let pca = Pca::full()
-            .fit(&scaled)?
-            .truncated_to_variance(self.config.pca_variance);
-        let projected = pca.transform(&scaled)?;
+        let projected;
+        {
+            let _span = pka_obs::span("pks.preprocess");
+            let (_, scaled) = StandardScaler::fit_transform(&features)?;
+            let pca = Pca::full()
+                .fit(&scaled)?
+                .truncated_to_variance(self.config.pca_variance);
+            projected = pca.transform(&scaled)?;
+        }
+        let _sweep_span = pka_obs::span("pks.sweep");
 
         let reference: u64 = records.iter().map(|r| r.cycles).sum();
         let max_k = self.config.max_k.clamp(1, records.len());

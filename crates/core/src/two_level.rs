@@ -124,6 +124,7 @@ impl TwoLevel {
 
         // Train the mapping on the detailed prefix's *lightweight* view —
         // at inference time only lightweight features exist.
+        let train_span = pka_obs::span("two_level.train");
         let train_records = profiler.lightweight(workload, 0..j);
         let x = lightweight_matrix(&train_records)?;
         let y = selection.labels().to_vec();
@@ -133,12 +134,14 @@ impl TwoLevel {
             Box::new(GaussianNb::fit(&x, &y)?),
             Box::new(MlpClassifier::fit(&x, &y, seed ^ 0xff)?),
         ]);
+        drop(train_span);
 
         // Classify the tail — millions of kernels for MLPerf — in chunks:
         // each chunk streams its records one at a time (memory stays
         // O(chunks × k)) and reduces to per-group counts, which are folded
         // back in stream order. Group counts are order-independent sums, so
         // the result is identical for any worker count.
+        let _classify_span = pka_obs::span("two_level.classify");
         let k = selection.k();
         let chunks: Vec<Range<u64>> = chunk_ranges(j, workload.kernel_count(), CLASSIFY_CHUNK);
         let counts = self.exec.try_map(&chunks, |_, chunk| {
@@ -148,6 +151,11 @@ impl TwoLevel {
                 let record = LightweightRecord::new(KernelId::new(id), &kernel);
                 let group = ensemble.predict(&record.to_feature_vector())?;
                 counts[group] += 1;
+            }
+            if pka_obs::enabled() {
+                // One flush per chunk (CLASSIFY_CHUNK kernels), not per
+                // prediction.
+                pka_obs::counter("two_level.classified").add(chunk.end - chunk.start);
             }
             Ok::<_, PkaError>(counts)
         })?;

@@ -158,6 +158,7 @@ impl KMeans {
     /// * [`MlError::InvalidParameter`] if `k` is zero.
     /// * [`MlError::EmptyInput`] if `data` has no rows.
     pub fn fit(&self, data: &Matrix) -> Result<KMeansFit, MlError> {
+        let _span = pka_obs::span("kmeans.fit");
         self.validate(data)?;
         let n = data.rows();
         let d = data.cols();
@@ -205,7 +206,10 @@ impl KMeans {
                 assign_chunk(data, &st, range)
             },
             |run| {
+                let mut obs_iterations = 0u64;
+                let mut obs_reseeds = 0u64;
                 for _ in 0..self.max_iterations {
+                    obs_iterations += 1;
                     // Assignment round: chunk-parallel, order-preserving.
                     // Chunks return sparse per-point updates (pruned points
                     // stay put).
@@ -294,6 +298,7 @@ impl KMeans {
                     // next iteration's dirty set; assignment changes are
                     // folded in at splice time.
                     dirty.fill(false);
+                    obs_reseeds += reseeds.len() as u64;
                     for (a, b) in reseeds {
                         dirty[a] = true;
                         dirty[b] = true;
@@ -340,6 +345,13 @@ impl KMeans {
                             f64::INFINITY
                         };
                     }
+                }
+
+                if pka_obs::enabled() {
+                    let obs = obs_counters();
+                    obs.fits.incr();
+                    obs.reseeds.add(obs_reseeds);
+                    obs.iterations.record(obs_iterations);
                 }
 
                 let st = state.read().expect("assignment state lock");
@@ -556,6 +568,11 @@ const CUM_PAD: f64 = 1e-12;
 /// sequence is identical to the reference [`nearest`], so any label it
 /// produces matches the reference bit for bit.
 fn assign_chunk(data: &Matrix, st: &AssignState, range: std::ops::Range<usize>) -> Vec<PointUpdate> {
+    let range_len = range.len();
+    // Full-scan fallbacks are tallied locally; together with `out.len()`
+    // they classify every point in the chunk (prune / tighten / scan), so
+    // the per-point loop itself carries no instrumentation at all.
+    let mut scans = 0u64;
     let mut out = Vec::new();
     for i in range {
         let label = st.labels[i];
@@ -588,6 +605,7 @@ fn assign_chunk(data: &Matrix, st: &AssignState, range: std::ops::Range<usize>) 
             u = pad_up(Matrix::sq_dist_hot(row, st.centroids.row(label)).sqrt());
         }
         if !(u < l || u < st.s_half[label]) {
+            scans += 1;
             let (winner, best_d, second_d) = scan(row, &st.centroids);
             best = winner;
             u = pad_up(best_d.sqrt());
@@ -600,7 +618,34 @@ fn assign_chunk(data: &Matrix, st: &AssignState, range: std::ops::Range<usize>) 
             lower: l,
         });
     }
+    if pka_obs::enabled() {
+        obs_counters().bound_prunes.add((range_len - out.len()) as u64);
+        obs_counters().tighten_hits.add(out.len() as u64 - scans);
+        obs_counters().full_scans.add(scans);
+    }
     out
+}
+
+/// Cached hot-path counter handles, interned once per process.
+struct KmeansObs {
+    bound_prunes: &'static pka_obs::Counter,
+    tighten_hits: &'static pka_obs::Counter,
+    full_scans: &'static pka_obs::Counter,
+    reseeds: &'static pka_obs::Counter,
+    fits: &'static pka_obs::Counter,
+    iterations: &'static pka_obs::Histogram,
+}
+
+fn obs_counters() -> &'static KmeansObs {
+    static OBS: std::sync::OnceLock<KmeansObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| KmeansObs {
+        bound_prunes: pka_obs::counter("kmeans.bound_prunes"),
+        tighten_hits: pka_obs::counter("kmeans.tighten_hits"),
+        full_scans: pka_obs::counter("kmeans.full_scans"),
+        reseeds: pka_obs::counter("kmeans.reseeds"),
+        fits: pka_obs::counter("kmeans.fits"),
+        iterations: pka_obs::histogram("kmeans.iterations", &[1, 2, 4, 8, 16, 32, 64, 100]),
+    })
 }
 
 /// Exhaustive scan over flat centroids: `(closest, its squared distance,

@@ -56,6 +56,7 @@ impl Pca {
     /// * [`MlError::InvalidParameter`] if zero components were requested.
     /// * Propagates eigensolver errors.
     pub fn fit(&self, data: &Matrix) -> Result<PcaFit, MlError> {
+        let _span = pka_obs::span("pca.fit");
         if self.n_components == 0 {
             return Err(MlError::InvalidParameter {
                 name: "n_components",

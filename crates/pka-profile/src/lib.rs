@@ -102,6 +102,7 @@ impl Profiler {
     ///
     /// Propagates [`GpuError`] from unlaunchable kernels.
     pub fn silicon_run(&self, workload: &Workload) -> Result<AppSiliconRun, GpuError> {
+        let _span = pka_obs::span("profile.silicon_run");
         let ids: Vec<u64> = (0..workload.kernel_count()).collect();
         let runs = self.exec.try_map(&ids, |_, &id| {
             let kernel = workload.kernel(KernelId::new(id));
@@ -131,7 +132,11 @@ impl Profiler {
         workload: &Workload,
         range: Range<u64>,
     ) -> Result<Vec<DetailedRecord>, GpuError> {
+        let _span = pka_obs::span("profile.detailed");
         let ids: Vec<u64> = range.collect();
+        if pka_obs::enabled() {
+            pka_obs::counter("profile.detailed_records").add(ids.len() as u64);
+        }
         self.exec.try_map(&ids, |_, &id| {
             let kernel = workload.kernel(KernelId::new(id));
             let silicon = self.silicon.execute(&kernel)?;

@@ -257,8 +257,59 @@ impl Simulator {
         kernel: &KernelDescriptor,
         monitor: &mut dyn SimMonitor,
     ) -> Result<KernelSimResult, SimError> {
-        Engine::new(&self.config, &self.options, kernel)?.run(monitor)
+        if !pka_obs::enabled() {
+            return Engine::new(&self.config, &self.options, kernel)?.run(monitor);
+        }
+        // Stage time is accumulated directly (no span) so a fullsim over
+        // tens of thousands of kernels does not flood the trace sink with
+        // one line per kernel.
+        let start = std::time::Instant::now();
+        let result = Engine::new(&self.config, &self.options, kernel)?.run(monitor);
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        pka_obs::stage("sim.run_kernel").record_ns(ns);
+        if let Ok(r) = &result {
+            let obs = sim_obs();
+            obs.kernels.incr();
+            obs.cycles.add(r.cycles);
+            obs.instructions.add(r.instructions);
+            if r.early_stop {
+                obs.early_stops.incr();
+            }
+            obs.kernel_cycles.record(r.cycles);
+        }
+        result
     }
+}
+
+/// Cached simulator metric handles (kernel-rate hot path: one relaxed load
+/// gates the whole block above).
+struct SimObs {
+    kernels: &'static pka_obs::Counter,
+    cycles: &'static pka_obs::Counter,
+    instructions: &'static pka_obs::Counter,
+    early_stops: &'static pka_obs::Counter,
+    kernel_cycles: &'static pka_obs::Histogram,
+}
+
+fn sim_obs() -> &'static SimObs {
+    static OBS: std::sync::OnceLock<SimObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| SimObs {
+        kernels: pka_obs::counter("sim.kernels"),
+        cycles: pka_obs::counter("sim.cycles"),
+        instructions: pka_obs::counter("sim.instructions"),
+        early_stops: pka_obs::counter("sim.early_stops"),
+        kernel_cycles: pka_obs::histogram(
+            "sim.kernel_cycles",
+            &[
+                10_000,
+                100_000,
+                1_000_000,
+                10_000_000,
+                100_000_000,
+                1_000_000_000,
+            ],
+        ),
+    })
 }
 
 // ---------------------------------------------------------------------------

@@ -92,6 +92,11 @@ impl Executor {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
         let n = items.len();
+        let obs = pka_obs::enabled();
+        if obs {
+            pka_obs::counter("executor.parallel_maps").incr();
+            pka_obs::counter("executor.items").add(n as u64);
+        }
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, U)>();
         let workers = self.workers.get().min(n);
@@ -100,13 +105,20 @@ impl Executor {
                 let tx = tx.clone();
                 let next = &next;
                 let f = &f;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(move || {
+                    let start = obs.then(std::time::Instant::now);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        if tx.send((i, f(i, &items[i]))).is_err() {
+                            break;
+                        }
                     }
-                    if tx.send((i, f(i, &items[i]))).is_err() {
-                        break;
+                    if let Some(start) = start {
+                        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        pka_obs::stage("executor.worker_busy").record_ns(ns);
                     }
                 });
             }
@@ -231,15 +243,26 @@ impl Executor {
             done: Condvar::new(),
         };
         let workers = self.workers.get().min(n_chunks);
+        let obs = pka_obs::enabled();
+        if obs {
+            pka_obs::counter("executor.round_pools").incr();
+        }
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut seen = 0u64;
+                    // Busy time accumulates locally and flushes once at pool
+                    // shutdown, so the per-chunk hot path never touches a
+                    // shared atomic.
+                    let mut busy_ns = 0u64;
                     loop {
                         let mut st = ctl.m.lock().expect("pool mutex");
                         loop {
                             if st.stop {
+                                if busy_ns > 0 {
+                                    pka_obs::stage("executor.worker_busy").record_ns(busy_ns);
+                                }
                                 return;
                             }
                             if st.round > seen {
@@ -259,7 +282,16 @@ impl Executor {
                                 st.next_chunk += 1;
                                 i
                             };
-                            let result = f(i, chunk_range(i));
+                            let result = if obs {
+                                let t0 = std::time::Instant::now();
+                                let r = f(i, chunk_range(i));
+                                busy_ns = busy_ns.saturating_add(
+                                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                                );
+                                r
+                            } else {
+                                f(i, chunk_range(i))
+                            };
                             let mut st = ctl.m.lock().expect("pool mutex");
                             st.results[i] = Some(result);
                             st.remaining -= 1;
@@ -272,6 +304,9 @@ impl Executor {
             }
 
             let mut run = || {
+                if obs {
+                    pka_obs::counter("executor.rounds").incr();
+                }
                 let mut st = ctl.m.lock().expect("pool mutex");
                 st.round += 1;
                 st.next_chunk = 0;

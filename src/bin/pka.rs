@@ -18,6 +18,7 @@
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Mutex;
 
 use principal_kernel_analysis::core::{Pka, PkaConfig, PkpConfig, PksConfig, Selection};
 use principal_kernel_analysis::gpu::GpuConfig;
@@ -39,6 +40,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Err(e) = obs_setup(&flags) {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
     let result = match command.as_str() {
         "list" => cmd_list(&flags),
         "info" => cmd_info(&flags),
@@ -50,6 +55,12 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
+    if result.is_ok() {
+        if let Err(e) = obs_finish(command, &flags) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -59,18 +70,98 @@ fn main() -> ExitCode {
     }
 }
 
+/// Output checksums registered by commands for the run manifest, keyed by
+/// artifact name: FNV-1a over the artifact's canonical serialized form.
+static CHECKSUMS: Mutex<Vec<(String, u64)>> = Mutex::new(Vec::new());
+
+fn record_checksum(name: &str, payload: &str) {
+    if principal_kernel_analysis::obs::enabled() {
+        let digest = principal_kernel_analysis::stats::hash::fnv1a(payload.as_bytes());
+        CHECKSUMS.lock().unwrap().push((name.to_string(), digest));
+    }
+}
+
+/// Enables collection when any observability flag is present and attaches
+/// the JSONL sink for `--trace-out`.
+fn obs_setup(flags: &HashMap<String, String>) -> Result<(), String> {
+    let wants_obs = flags.contains_key("trace-out")
+        || flags.contains_key("metrics-out")
+        || flags.contains_key("verbose");
+    if !wants_obs {
+        return Ok(());
+    }
+    principal_kernel_analysis::obs::enable();
+    if let Some(path) = flags.get("trace-out") {
+        principal_kernel_analysis::obs::trace_to(std::path::Path::new(path))
+            .map_err(|e| format!("open trace sink {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Writes the `--metrics-out` manifest, prints the `-v` stage summary, and
+/// closes the trace sink.
+fn obs_finish(command: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    use principal_kernel_analysis::obs;
+    if !obs::enabled() {
+        return Ok(());
+    }
+    if let Some(path) = flags.get("metrics-out") {
+        let mut sorted_flags: Vec<(&String, &String)> = flags.iter().collect();
+        sorted_flags.sort();
+        let flag_map: serde_json::Map = sorted_flags
+            .into_iter()
+            .map(|(k, v)| (k.clone(), serde_json::Value::String(v.clone())))
+            .collect();
+        let config = serde_json::json!({
+            "binary": "pka",
+            "command": command,
+            "flags": serde_json::Value::Object(flag_map),
+        });
+        // The binary exposes no seed flags; these are the workspace
+        // defaults every run uses (per-K streams derive as `seed ^ k`).
+        let seeds = serde_json::json!({ "pks": 0u64, "classifier": 0u64 });
+        let checksums: serde_json::Map = CHECKSUMS
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), serde_json::json!(*v)))
+            .collect();
+        obs::write_manifest(
+            std::path::Path::new(path),
+            config,
+            seeds,
+            serde_json::Value::Object(checksums),
+        )
+        .map_err(|e| format!("write manifest {path}: {e}"))?;
+    }
+    if flags.contains_key("verbose") {
+        for line in obs::snapshot().summary_lines() {
+            eprintln!("[obs] {line}");
+        }
+    }
+    obs::close_trace().map_err(|e| format!("close trace sink: {e}"))?;
+    Ok(())
+}
+
 const USAGE: &str = "usage:
   pka list [--suite NAME]
   pka info --workload NAME
   pka select --workload NAME [--target-error PCT] [--out FILE.json]
-             [--workers N]
+             [--workers N] [observability flags]
   pka simulate --workload NAME [--gpu v100|rtx2060|rtx3070|v100-half]
                [--threshold S] [--selection FILE.json] [--full]
-               [--workers N]
+               [--workers N] [observability flags]
 
 `--workers N` fans profiling, clustering and per-representative simulation
 out over N threads (0 = one per hardware thread). Results are bitwise
-identical for any worker count.";
+identical for any worker count.
+
+observability flags (any of them turns collection on; results are
+unchanged — observability output is excluded from parity):
+  --trace-out PATH    append span/event records to PATH as JSONL
+  --metrics-out PATH  write a run_manifest.json (config, seeds, stage
+                      timings, counter totals, output checksums)
+  -v, --verbose       print a per-stage time/counter summary to stderr";
 
 /// Parses the `--workers` flag: absent -> sequential.
 fn workers_from(flags: &HashMap<String, String>) -> Result<usize, String> {
@@ -86,6 +177,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
+        if arg == "-v" || arg == "--verbose" {
+            flags.insert("verbose".to_string(), "true".to_string());
+            continue;
+        }
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("unexpected argument `{arg}`"));
         };
@@ -221,6 +316,14 @@ fn cmd_select(flags: &HashMap<String, String>) -> Result<(), String> {
             group.count()
         );
     }
+    if principal_kernel_analysis::obs::enabled() {
+        let canonical = serde_json::to_string(&serde_json::json!({
+            "workload": w.name(),
+            "selection": selection,
+        }))
+        .map_err(|e| format!("serialise selection: {e}"))?;
+        record_checksum("selection", &canonical);
+    }
     if let Some(path) = flags.get("out") {
         // The file records which workload it was made for so a later
         // `simulate --selection` cannot silently apply it elsewhere.
@@ -302,5 +405,15 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
         report.pks_speedup(),
         report.pka_speedup()
     );
+    if principal_kernel_analysis::obs::enabled() {
+        let canonical = format!(
+            "{}:{}:{}:{}",
+            report.silicon_cycles,
+            report.fullsim_cycles.unwrap_or(0),
+            report.pks_projected_cycles,
+            report.pka_projected_cycles
+        );
+        record_checksum("simulation_report", &canonical);
+    }
     Ok(())
 }

@@ -49,6 +49,7 @@ pub use pka_baselines as baselines;
 pub use pka_core as core;
 pub use pka_gpu as gpu;
 pub use pka_ml as ml;
+pub use pka_obs as obs;
 pub use pka_profile as profile;
 pub use pka_sim as sim;
 pub use pka_stats as stats;

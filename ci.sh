@@ -15,6 +15,11 @@
 #   6. observability smoke — a traced `pka simulate` run whose
 #      run_manifest.json is jq-validated (schema, a fired PKP stop rule,
 #      populated stage timings)
+#   7. stream smoke — online PKS over a synthetic 100k-kernel stream with
+#      `--verify-batch` (exact batch-vs-stream selected-K agreement,
+#      projected cycles within 1%), plus a jq schema check over the emitted
+#      `pka.stream_checkpoint/v1` file including the bounded-memory
+#      invariant (max_buffered <= reservoir cap + batch size)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -67,5 +72,27 @@ else
 fi
 test -s "$OBS_TRACE"
 echo "trace OK ($(wc -l < "$OBS_TRACE") lines)"
+
+echo "==> stream smoke (online PKS vs batch on synthetic:100000)"
+STREAM_CKPT="$(mktemp -t pka_stream_ckpt.XXXXXX.json)"
+trap 'rm -f "$BENCH_SMOKE_JSON" "$OBS_MANIFEST" "$OBS_TRACE" "$STREAM_CKPT"' EXIT
+./target/release/pka stream --source synthetic:100000 --prefix 1000 \
+    --checkpoint-every 20000 --checkpoint "$STREAM_CKPT" \
+    --workers 4 --verify-batch >/dev/null
+if command -v jq >/dev/null 2>&1; then
+    jq -e '
+        .schema == "pka.stream_checkpoint/v1"
+        and .records == 100000
+        and .prefix == 1000
+        and .selected_k >= 1
+        and (.centroids | length) == .selected_k
+        and (.reservoir.items | length) <= .reservoir.cap
+        and .max_buffered <= (.reservoir.cap + .config.batch)
+        and (.config | has("pks"))
+    ' "$STREAM_CKPT" >/dev/null
+    echo "stream checkpoint OK (K=$(jq .selected_k "$STREAM_CKPT"), max_buffered=$(jq .max_buffered "$STREAM_CKPT"))"
+else
+    echo "jq not found; skipping stream checkpoint schema check" >&2
+fi
 
 echo "CI OK"

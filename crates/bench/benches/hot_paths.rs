@@ -8,6 +8,9 @@
 //!   stage, on the same cloud at full Table 2 dimensionality.
 //! * `pkp_engine` — a monitored simulation of a large kernel, the PKP
 //!   per-kernel cost.
+//! * `stream_ingest` — end-to-end online PKS over a synthetic workload
+//!   stream (detailed prefix + classified tail), the `pka-stream`
+//!   bounded-memory ingestion cost per kernel.
 //!
 //! Run with `cargo bench -p pka-bench --bench hot_paths`; CI runs a
 //! reduced-iteration smoke via `PKA_BENCH_SAMPLES` / `PKA_BENCH_WARMUP`.
@@ -16,9 +19,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use pka_core::{PkpConfig, PkpMonitor};
 use pka_gpu::{GpuConfig, KernelDescriptor};
 use pka_ml::{KMeans, Matrix, Pca, StandardScaler};
+use pka_profile::Profiler;
 use pka_sim::{SimOptions, Simulator};
 use pka_stats::hash::UnitStream;
 use pka_stats::Executor;
+use pka_stream::{synthetic_workload, StreamConfig, StreamPks, WorkloadSource};
 use std::hint::black_box;
 
 /// Synthetic kernel-metric cloud: `n` points around 24 behavioural centres
@@ -140,5 +145,46 @@ fn bench_pkp_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(hot_paths, bench_kmeans_sweep, bench_pca_fit, bench_pkp_engine);
+fn bench_stream_ingest(c: &mut Criterion) {
+    const N: u64 = 20_000;
+    const PREFIX: u64 = 500;
+    let workload = synthetic_workload(N);
+    let config = StreamConfig::default()
+        .with_prefix(PREFIX)
+        .with_checkpoint_every(5_000)
+        .with_reservoir(2_048)
+        .with_batch(1_024);
+    let mut group = c.benchmark_group("stream_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N));
+    for (label, workers) in [("online_pks", 1usize), ("online_pks_w4", 4)] {
+        group.bench_with_input(
+            BenchmarkId::new(label, N),
+            &workload,
+            |b, workload| {
+                b.iter(|| {
+                    let mut source = WorkloadSource::new(
+                        black_box(workload).clone(),
+                        Profiler::new(GpuConfig::v100()),
+                    );
+                    StreamPks::new(config)
+                        .with_executor(Executor::new(workers))
+                        .run(&mut source, |_| Ok(()))
+                        .expect("stream runs")
+                        .report
+                        .records
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    hot_paths,
+    bench_kmeans_sweep,
+    bench_pca_fit,
+    bench_pkp_engine,
+    bench_stream_ingest
+);
 criterion_main!(hot_paths);

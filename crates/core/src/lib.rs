@@ -56,7 +56,7 @@ mod two_level;
 pub use error::PkaError;
 pub use pka_stats::Executor;
 pub use features::feature_matrix;
-pub use pipeline::{Pka, PkaConfig, SiliconPksReport, SimulationReport};
+pub use pipeline::{Pka, PkaConfig, RepProjection, SiliconPksReport, SimulationReport};
 pub use pkp::{PkpConfig, PkpMonitor, ProjectedKernel};
 pub use pks::{KernelGroup, Pks, PksConfig, RepresentativePolicy, Selection};
 pub use two_level::{TwoLevel, TwoLevelConfig};

@@ -124,6 +124,27 @@ pub struct SiliconPksReport {
     pub speedup: f64,
 }
 
+/// Per-representative PKP accounting: how much of the projected kernel was
+/// actually simulated before the stopping rule fired. The table that makes
+/// Table 4's speedups auditable kernel-by-kernel from one trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepProjection {
+    /// The representative kernel.
+    pub kernel_id: pka_gpu::KernelId,
+    /// Simulator cycles actually spent under the PKP monitor.
+    pub simulated_cycles: u64,
+    /// Cycles projected for the kernel (extrapolated past the stop point).
+    pub projected_cycles: u64,
+}
+
+impl RepProjection {
+    /// `simulated / projected`: the fraction of the kernel that was
+    /// simulated (1.0 when PKP never stopped early).
+    pub fn skip_ratio(&self) -> f64 {
+        self.simulated_cycles as f64 / self.projected_cycles.max(1) as f64
+    }
+}
+
 /// One sampled-simulation outcome (PKS-only or full PKA) plus the baseline
 /// full-simulation numbers when they exist.
 #[derive(Debug, Clone, PartialEq)]
@@ -162,6 +183,9 @@ pub struct SimulationReport {
     pub pka_hours: f64,
     /// PKA-projected DRAM utilisation, percent (group-weighted).
     pub pka_dram_util_pct: f64,
+    /// Per-representative `simulated / projected` PKP accounting, in
+    /// representative (group) order.
+    pub per_representative: Vec<RepProjection>,
 }
 
 impl SimulationReport {
@@ -354,13 +378,19 @@ impl Pka {
         let mut pka_spent = 0u64;
         let mut pka_dram_weighted = 0.0f64;
         let mut pka_weight = 0.0f64;
-        for (full_cycles, projected) in rep_runs {
+        let mut per_representative = Vec::with_capacity(selection.k());
+        for (&id, (full_cycles, projected)) in reps.iter().zip(rep_runs) {
             pks_rep_cycles.push(full_cycles);
             pks_spent += full_cycles;
             pka_rep_cycles.push(projected.cycles);
             pka_spent += projected.simulated_cycles;
             pka_dram_weighted += projected.dram_util_pct * projected.cycles as f64;
             pka_weight += projected.cycles as f64;
+            per_representative.push(RepProjection {
+                kernel_id: id,
+                simulated_cycles: projected.simulated_cycles,
+                projected_cycles: projected.cycles,
+            });
         }
 
         let pks_projected = selection.project_with(&pks_rep_cycles);
@@ -384,6 +414,7 @@ impl Pka {
             pka_simulated_cycles: pka_spent,
             pka_hours: cost::projected_sim_hours(pka_spent),
             pka_dram_util_pct: pka_dram_weighted / pka_weight.max(1e-12),
+            per_representative,
         })
     }
 }
@@ -455,6 +486,28 @@ mod tests {
         let pks_vs_full =
             (report.pks_projected_cycles as f64 - fullsim).abs() / fullsim * 100.0;
         assert!(pks_vs_full < 25.0, "pks vs fullsim {pks_vs_full}%");
+    }
+
+    #[test]
+    fn per_representative_table_reconciles_with_totals() {
+        let pka = tiny_pka();
+        let w = find(parboil::workloads(), "cutcp");
+        let report = pka.evaluate_in_simulation(&w, false).unwrap();
+        assert!(!report.per_representative.is_empty());
+        let simulated: u64 = report
+            .per_representative
+            .iter()
+            .map(|r| r.simulated_cycles)
+            .sum();
+        assert_eq!(simulated, report.pka_simulated_cycles);
+        for rep in &report.per_representative {
+            let ratio = rep.skip_ratio();
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&ratio),
+                "skip ratio {ratio} out of range for kernel {:?}",
+                rep.kernel_id
+            );
+        }
     }
 
     #[test]

@@ -177,6 +177,7 @@ impl SimMonitor for PkpMonitor {
         self.stopped_at = Some(ctx.sample.cycle);
         if obs {
             pkp_obs().stops.incr();
+            pkp_obs().stop_cycle.record(ctx.sample.cycle);
         }
         SimControl::Stop
     }
@@ -189,7 +190,16 @@ struct PkpObs {
     held_stddev: &'static pka_obs::Counter,
     held_wave: &'static pka_obs::Counter,
     stops: &'static pka_obs::Counter,
+    stop_cycle: &'static pka_obs::Histogram,
 }
+
+/// Bucket edges (simulated cycles at stop) for the `pkp.stop_cycle`
+/// histogram: log-spaced from the warmup floor to well past any kernel the
+/// studied suites launch, so the stopping rule's firing profile is visible
+/// live, Figure-9 style.
+const STOP_CYCLE_EDGES: &[u64] = &[
+    1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000, 10_000_000,
+];
 
 fn pkp_obs() -> &'static PkpObs {
     static OBS: std::sync::OnceLock<PkpObs> = std::sync::OnceLock::new();
@@ -199,6 +209,7 @@ fn pkp_obs() -> &'static PkpObs {
         held_stddev: pka_obs::counter("pkp.held_stddev"),
         held_wave: pka_obs::counter("pkp.held_wave"),
         stops: pka_obs::counter("pkp.stops"),
+        stop_cycle: pka_obs::histogram("pkp.stop_cycle", STOP_CYCLE_EDGES),
     })
 }
 

@@ -105,6 +105,11 @@ impl PksConfig {
         self.pca_variance
     }
 
+    /// The clustering seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The representative policy.
     pub fn representative(&self) -> RepresentativePolicy {
         self.representative

@@ -594,6 +594,23 @@ pub fn manifest_value(snapshot: &Snapshot, config: Value, seeds: Value, checksum
     Value::Object(body)
 }
 
+/// [`manifest_value`] plus a caller-supplied `report` section for pipeline
+/// outputs that belong next to the metrics (projection tables, stream
+/// summaries). Pass [`Value::Null`] to omit nothing-to-report runs cleanly.
+pub fn manifest_value_with_report(
+    snapshot: &Snapshot,
+    config: Value,
+    seeds: Value,
+    checksums: Value,
+    report: Value,
+) -> Value {
+    let mut value = manifest_value(snapshot, config, seeds, checksums);
+    if let Value::Object(body) = &mut value {
+        body.insert("report".to_string(), report);
+    }
+    value
+}
+
 // ---------------------------------------------------------------------------
 // Global registry facade
 // ---------------------------------------------------------------------------
@@ -630,6 +647,27 @@ pub fn disable() {
 /// Zero all global metric values; interned handles stay valid.
 pub fn reset() {
     global().reset();
+}
+
+/// Intern a dynamically built metric name, returning a `&'static str`
+/// accepted by [`counter`]/[`gauge`]/[`histogram`]/[`stage`].
+///
+/// Names are leaked exactly once and cached, so repeated calls with the
+/// same string are a map lookup, and the leaked-memory footprint is bounded
+/// by the number of *distinct* names (per-worker metrics are bounded by the
+/// worker count). Static call sites should keep passing string literals;
+/// this is only for names with runtime components, e.g.
+/// `executor.worker_busy.w3`.
+pub fn intern(name: &str) -> &'static str {
+    static NAMES: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let names = NAMES.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut guard = names.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(&interned) = guard.get(name) {
+        return interned;
+    }
+    let interned: &'static str = Box::leak(name.to_string().into_boxed_str());
+    guard.insert(name.to_string(), interned);
+    interned
 }
 
 /// Intern (or fetch) a global counter.
@@ -680,7 +718,24 @@ pub fn snapshot() -> Snapshot {
 /// Write the global run manifest to `path` with caller-supplied sections.
 pub fn write_manifest(path: &Path, config: Value, seeds: Value, checksums: Value) -> io::Result<()> {
     let value = manifest_value(&snapshot(), config, seeds, checksums);
-    let mut text = serde_json::to_string_pretty(&value)
+    write_manifest_value(path, &value)
+}
+
+/// [`write_manifest`] plus a `report` section (see
+/// [`manifest_value_with_report`]).
+pub fn write_manifest_with_report(
+    path: &Path,
+    config: Value,
+    seeds: Value,
+    checksums: Value,
+    report: Value,
+) -> io::Result<()> {
+    let value = manifest_value_with_report(&snapshot(), config, seeds, checksums, report);
+    write_manifest_value(path, &value)
+}
+
+fn write_manifest_value(path: &Path, value: &Value) -> io::Result<()> {
+    let mut text = serde_json::to_string_pretty(value)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     text.push('\n');
     std::fs::write(path, text)
@@ -760,6 +815,35 @@ mod tests {
         assert!(std::ptr::eq(a, b));
         a.add(3);
         assert_eq!(b.get(), 3);
+    }
+
+    #[test]
+    fn intern_caches_dynamic_names() {
+        let w3 = intern(&format!("test.intern.w{}", 3));
+        let again = intern("test.intern.w3");
+        assert!(std::ptr::eq(w3, again));
+        // The interned name is a valid handle key.
+        let r = Registry::new();
+        let s = r.stage(w3);
+        s.record_ns(42);
+        assert_eq!(r.stage(intern("test.intern.w3")).total_ns(), 42);
+    }
+
+    #[test]
+    fn manifest_with_report_adds_the_section() {
+        let r = Registry::new();
+        r.counter("test.manifest").add(7);
+        let snap = r.snapshot();
+        let value = manifest_value_with_report(
+            &snap,
+            json!({ "cfg": true }),
+            Value::Null,
+            Value::Null,
+            json!({ "records": 5 }),
+        );
+        assert_eq!(value["schema"].as_str(), Some(MANIFEST_SCHEMA));
+        assert_eq!(value["report"]["records"].as_u64(), Some(5));
+        assert_eq!(value["counters"]["test.manifest"].as_u64(), Some(7));
     }
 
     #[test]

@@ -100,11 +100,13 @@ impl Executor {
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, U)>();
         let workers = self.workers.get().min(n);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
+        let busy: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        let out = std::thread::scope(|scope| {
+            for w in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
                 let f = &f;
+                let busy = &busy;
                 scope.spawn(move || {
                     let start = obs.then(std::time::Instant::now);
                     loop {
@@ -119,6 +121,9 @@ impl Executor {
                     if let Some(start) = start {
                         let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
                         pka_obs::stage("executor.worker_busy").record_ns(ns);
+                        pka_obs::stage(pka_obs::intern(&format!("executor.worker_busy.w{w}")))
+                            .record_ns(ns);
+                        busy.lock().expect("busy vec").push(ns);
                     }
                 });
             }
@@ -131,7 +136,11 @@ impl Executor {
                 .into_iter()
                 .map(|slot| slot.expect("every index yields exactly one result"))
                 .collect()
-        })
+        });
+        if obs {
+            record_busy_spread(&busy.into_inner().expect("busy vec"));
+        }
+        out
     }
 
     /// Splits `0..len` into fixed-size chunks and applies `f` to each,
@@ -248,9 +257,13 @@ impl Executor {
             pka_obs::counter("executor.round_pools").incr();
         }
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
+        let busy: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        let out = std::thread::scope(|scope| {
+            for w in 0..workers {
+                let ctl = &ctl;
+                let f = &f;
+                let busy = &busy;
+                scope.spawn(move || {
                     let mut seen = 0u64;
                     // Busy time accumulates locally and flushes once at pool
                     // shutdown, so the per-chunk hot path never touches a
@@ -262,6 +275,13 @@ impl Executor {
                             if st.stop {
                                 if busy_ns > 0 {
                                     pka_obs::stage("executor.worker_busy").record_ns(busy_ns);
+                                    pka_obs::stage(pka_obs::intern(&format!(
+                                        "executor.worker_busy.w{w}"
+                                    )))
+                                    .record_ns(busy_ns);
+                                }
+                                if obs {
+                                    busy.lock().expect("busy vec").push(busy_ns);
                                 }
                                 return;
                             }
@@ -327,7 +347,11 @@ impl Executor {
             ctl.work.notify_all();
             drop(st);
             out
-        })
+        });
+        if obs {
+            record_busy_spread(&busy.into_inner().expect("busy vec"));
+        }
+        out
     }
 
     /// Fallible [`map`](Executor::map): all-`Ok` results in item order, or
@@ -365,6 +389,26 @@ impl Executor {
         }
         Ok(out)
     }
+}
+
+/// Publish the per-fan-out busy spread: `executor.busy_max_ns` /
+/// `executor.busy_min_ns` gauges plus `executor.busy_ratio_pct`
+/// (`min * 100 / max`, so 100 means perfectly balanced workers and small
+/// values expose chunk imbalance, e.g. in the bounded K-Means assignment
+/// step). Last fan-out wins — gauges are instantaneous by design.
+fn record_busy_spread(busy: &[u64]) {
+    let (Some(&max), Some(&min)) = (busy.iter().max(), busy.iter().min()) else {
+        return;
+    };
+    let clamp = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+    pka_obs::gauge("executor.busy_max_ns").set(clamp(max));
+    pka_obs::gauge("executor.busy_min_ns").set(clamp(min));
+    let ratio = if max == 0 {
+        100
+    } else {
+        clamp(min.saturating_mul(100) / max)
+    };
+    pka_obs::gauge("executor.busy_ratio_pct").set(ratio);
 }
 
 #[cfg(test)]

@@ -83,6 +83,27 @@ impl OnlineStats {
         self.mean * self.count as f64
     }
 
+    /// Raw second central moment (`Σ (x - mean)²`) — the Welford `M2`
+    /// accumulator. Exposed so the accumulator can be serialised and
+    /// rebuilt bit-exactly with [`OnlineStats::from_raw`].
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Rebuilds an accumulator from its raw state, the inverse of reading
+    /// `count`/`mean`/[`m2`](OnlineStats::m2)/`min`/`max`. Feeding back
+    /// unmodified values reproduces the original accumulator exactly,
+    /// which is what checkpoint/resume relies on.
+    pub fn from_raw(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Self {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Population variance (divides by `n`), or `0.0` with fewer than one
     /// sample.
     pub fn population_variance(&self) -> f64 {
@@ -231,6 +252,15 @@ mod tests {
         assert_eq!(s.coefficient_of_variation(), 0.0);
         let s: OnlineStats = [5.0, 15.0].into_iter().collect();
         close(s.coefficient_of_variation(), 0.5);
+    }
+
+    #[test]
+    fn raw_roundtrip_is_bit_exact() {
+        let s: OnlineStats = (0..97).map(|i| (i as f64 * 0.71).cos() * 3.0).collect();
+        let rebuilt = OnlineStats::from_raw(s.count(), s.mean(), s.m2(), s.min(), s.max());
+        assert_eq!(rebuilt, s);
+        assert_eq!(rebuilt.mean().to_bits(), s.mean().to_bits());
+        assert_eq!(rebuilt.m2().to_bits(), s.m2().to_bits());
     }
 
     #[test]

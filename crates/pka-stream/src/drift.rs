@@ -1,0 +1,206 @@
+use pka_stats::OnlineStats;
+
+/// Per-group drift detector over distance-to-centroid.
+///
+/// Each PKS group gets one tracker. The tracker watches the stream of
+/// (normalised) distances from tail records to the centroid they were
+/// classified into, in two phases:
+///
+/// 1. **Calibration** — the first `calibration` distances feed a Welford
+///    accumulator; once full, the envelope freezes at
+///    `mean + sigma · std_dev` (a quantile approximation: `sigma = 3`
+///    brackets ≈ 99.7% of a well-behaved group).
+/// 2. **Watch** — each subsequent distance updates an EWMA of the
+///    *exceedance indicator* (`1.0` if the distance breaks the envelope,
+///    else `0.0`) with smoothing `alpha`. When the EWMA crosses `0.5` —
+///    i.e. recent records land outside the calibrated envelope more often
+///    than inside it — the group has drifted and [`Drift::Fired`] is
+///    returned, which the pipeline answers with a bounded re-cluster of
+///    its reservoir sample.
+///
+/// After firing, the tracker resets to calibration so the envelope is
+/// re-learned from post-drift data. All state is `(u64, f64 × few)` per
+/// group: serialisable bit-exactly for checkpoints, O(1) per record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftTracker {
+    calibration: u64,
+    sigma: f64,
+    alpha: f64,
+    baseline: OnlineStats,
+    threshold: Option<f64>,
+    exceed_ewma: f64,
+}
+
+/// Outcome of feeding one distance into a [`DriftTracker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Drift {
+    /// Still calibrating or within the envelope.
+    Steady,
+    /// Sustained envelope exceedance: the group has drifted.
+    Fired,
+}
+
+impl DriftTracker {
+    /// Creates a tracker that calibrates over `calibration` distances and
+    /// fires when the EWMA (smoothing `alpha`) of envelope exceedances
+    /// crosses one half. `sigma` scales the envelope width.
+    pub fn new(calibration: u64, sigma: f64, alpha: f64) -> Self {
+        Self {
+            calibration: calibration.max(2),
+            sigma,
+            alpha,
+            baseline: OnlineStats::new(),
+            threshold: None,
+            exceed_ewma: 0.0,
+        }
+    }
+
+    /// Feeds one distance-to-centroid observation.
+    pub fn observe(&mut self, distance: f64) -> Drift {
+        match self.threshold {
+            None => {
+                self.baseline.push(distance);
+                if self.baseline.count() >= self.calibration {
+                    self.threshold = Some(
+                        self.baseline.mean() + self.sigma * self.baseline.population_std_dev(),
+                    );
+                    self.exceed_ewma = 0.0;
+                }
+                Drift::Steady
+            }
+            Some(threshold) => {
+                let exceeded = if distance > threshold { 1.0 } else { 0.0 };
+                self.exceed_ewma += self.alpha * (exceeded - self.exceed_ewma);
+                if self.exceed_ewma > 0.5 {
+                    self.reset();
+                    Drift::Fired
+                } else {
+                    Drift::Steady
+                }
+            }
+        }
+    }
+
+    /// Drops back to calibration (called automatically on fire, and by the
+    /// pipeline after re-clustering moves the centroid).
+    pub fn reset(&mut self) {
+        self.baseline = OnlineStats::new();
+        self.threshold = None;
+        self.exceed_ewma = 0.0;
+    }
+
+    /// The frozen envelope threshold, once calibrated.
+    pub fn threshold(&self) -> Option<f64> {
+        self.threshold
+    }
+
+    /// Current EWMA of envelope exceedances.
+    pub fn exceed_ewma(&self) -> f64 {
+        self.exceed_ewma
+    }
+
+    /// Raw state for checkpoint serialisation:
+    /// `(calibration, sigma, alpha, baseline, threshold, exceed_ewma)`.
+    pub fn raw_state(&self) -> (u64, f64, f64, &OnlineStats, Option<f64>, f64) {
+        (
+            self.calibration,
+            self.sigma,
+            self.alpha,
+            &self.baseline,
+            self.threshold,
+            self.exceed_ewma,
+        )
+    }
+
+    /// Rebuilds a tracker from checkpointed state — the inverse of
+    /// [`raw_state`](Self::raw_state).
+    pub fn from_raw(
+        calibration: u64,
+        sigma: f64,
+        alpha: f64,
+        baseline: OnlineStats,
+        threshold: Option<f64>,
+        exceed_ewma: f64,
+    ) -> Self {
+        Self {
+            calibration: calibration.max(2),
+            sigma,
+            alpha,
+            baseline,
+            threshold,
+            exceed_ewma,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_stream_never_fires() {
+        let mut t = DriftTracker::new(32, 3.0, 0.05);
+        for i in 0..10_000 {
+            let d = 1.0 + 0.1 * ((i as f64) * 0.7).sin();
+            assert_eq!(t.observe(d), Drift::Steady, "at record {i}");
+        }
+        assert!(t.threshold().is_some());
+    }
+
+    #[test]
+    fn sustained_shift_fires_and_recalibrates() {
+        let mut t = DriftTracker::new(32, 3.0, 0.05);
+        for i in 0..200 {
+            let d = 1.0 + 0.05 * ((i as f64) * 1.3).cos();
+            assert_eq!(t.observe(d), Drift::Steady);
+        }
+        let mut fired_at = None;
+        for i in 0..500 {
+            if t.observe(10.0) == Drift::Fired {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        let fired_at = fired_at.expect("sustained 10x shift must fire");
+        // EWMA(0.05) needs ~14 consecutive exceedances to cross 0.5.
+        assert!(fired_at >= 10 && fired_at < 40, "fired_at={fired_at}");
+        // After firing the tracker is calibrating again.
+        assert_eq!(t.threshold(), None);
+        assert_eq!(t.exceed_ewma(), 0.0);
+    }
+
+    #[test]
+    fn isolated_outliers_do_not_fire() {
+        let mut t = DriftTracker::new(32, 3.0, 0.05);
+        for i in 0..100 {
+            t.observe(1.0 + 0.05 * ((i as f64) * 0.9).sin());
+        }
+        for burst in 0..50 {
+            // One outlier followed by nine normal records, repeatedly.
+            assert_eq!(t.observe(25.0), Drift::Steady, "burst {burst}");
+            for i in 0..9 {
+                assert_eq!(t.observe(1.0 + 0.01 * i as f64), Drift::Steady);
+            }
+        }
+    }
+
+    #[test]
+    fn raw_roundtrip_preserves_behaviour_bitwise() {
+        let mut t = DriftTracker::new(16, 2.5, 0.1);
+        for i in 0..40 {
+            t.observe(1.0 + ((i as f64) * 0.31).sin().abs());
+        }
+        let (c, s, a, b, th, e) = t.raw_state();
+        let mut rebuilt = DriftTracker::from_raw(c, s, a, *b, th, e);
+        assert_eq!(rebuilt, t);
+        for i in 0..100 {
+            let d = 1.0 + ((i as f64) * 0.17).cos().abs() * 2.0;
+            assert_eq!(t.observe(d), rebuilt.observe(d), "diverged at {i}");
+            assert_eq!(
+                t.exceed_ewma().to_bits(),
+                rebuilt.exceed_ewma().to_bits(),
+                "ewma bits diverged at {i}"
+            );
+        }
+    }
+}

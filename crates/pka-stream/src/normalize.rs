@@ -1,0 +1,135 @@
+use pka_stats::OnlineStats;
+
+/// Streaming z-score normalisation: one Welford accumulator per feature.
+///
+/// The batch pipeline fits its scaler over the full record matrix; a stream
+/// cannot. Instead the normalizer observes every record once (a single
+/// `O(d)` update) and normalises with the statistics accumulated *so far*.
+/// During the detailed prefix this converges to exactly the batch scaler's
+/// view of the prefix; over the tail it keeps adapting, which is what lets
+/// the mini-batch centroid updates stay comparable across a drifting
+/// stream.
+///
+/// All state is exposed raw (`stats`) so checkpoints can serialise the
+/// accumulators bit-exactly via [`OnlineStats::m2`] /
+/// [`OnlineStats::from_raw`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingNormalizer {
+    stats: Vec<OnlineStats>,
+}
+
+impl StreamingNormalizer {
+    /// Creates a normalizer for `dims`-dimensional feature vectors.
+    pub fn new(dims: usize) -> Self {
+        Self {
+            stats: vec![OnlineStats::new(); dims],
+        }
+    }
+
+    /// Rebuilds a normalizer from serialised per-feature accumulators.
+    pub fn from_stats(stats: Vec<OnlineStats>) -> Self {
+        Self { stats }
+    }
+
+    /// Number of feature dimensions.
+    pub fn dims(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Records observed so far.
+    pub fn count(&self) -> u64 {
+        self.stats.first().map_or(0, OnlineStats::count)
+    }
+
+    /// Per-feature accumulators, for checkpoint serialisation.
+    pub fn stats(&self) -> &[OnlineStats] {
+        &self.stats
+    }
+
+    /// Folds one feature vector into the running statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has the wrong dimensionality.
+    pub fn observe(&mut self, features: &[f64]) {
+        assert_eq!(features.len(), self.stats.len(), "feature dimensionality");
+        for (stat, &x) in self.stats.iter_mut().zip(features) {
+            stat.push(x);
+        }
+    }
+
+    /// Z-scores `features` in place against the statistics accumulated so
+    /// far. Features with (near-)zero variance are centred only, matching
+    /// the batch scaler's degenerate-column rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has the wrong dimensionality.
+    pub fn normalize(&self, features: &mut [f64]) {
+        assert_eq!(features.len(), self.stats.len(), "feature dimensionality");
+        for (stat, x) in self.stats.iter().zip(features.iter_mut()) {
+            let std = stat.population_std_dev();
+            *x -= stat.mean();
+            if std > 1e-12 {
+                *x /= std;
+            }
+        }
+    }
+
+    /// [`observe`](Self::observe) then [`normalize`](Self::normalize) in
+    /// one call — the per-record tail update.
+    pub fn observe_and_normalize(&mut self, features: &mut [f64]) {
+        self.observe(features);
+        self.normalize(features);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zscores_match_two_pass_after_observing_all() {
+        let rows = [
+            [1.0, 100.0],
+            [2.0, 200.0],
+            [3.0, 300.0],
+            [4.0, 400.0],
+        ];
+        let mut n = StreamingNormalizer::new(2);
+        for row in &rows {
+            n.observe(row);
+        }
+        let mut x = [3.0, 200.0];
+        n.normalize(&mut x);
+        // mean = [2.5, 250], pop std = [~1.118, ~111.8]
+        assert!((x[0] - 0.5 / (1.25f64).sqrt()).abs() < 1e-12);
+        assert!((x[1] + 50.0 / (12500f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_feature_is_centred_not_scaled() {
+        let mut n = StreamingNormalizer::new(1);
+        for _ in 0..10 {
+            n.observe(&[7.0]);
+        }
+        let mut x = [9.0];
+        n.normalize(&mut x);
+        assert_eq!(x[0], 2.0);
+    }
+
+    #[test]
+    fn raw_state_roundtrip_is_exact() {
+        let mut n = StreamingNormalizer::new(3);
+        for i in 0..57 {
+            let f = i as f64;
+            n.observe_and_normalize(&mut [f.sin(), f * 0.3, f.sqrt()]);
+        }
+        let rebuilt = StreamingNormalizer::from_stats(n.stats().to_vec());
+        assert_eq!(rebuilt, n);
+        let (mut a, mut b) = ([0.4, -1.0, 3.3], [0.4, -1.0, 3.3]);
+        n.normalize(&mut a);
+        rebuilt.normalize(&mut b);
+        assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+    }
+}

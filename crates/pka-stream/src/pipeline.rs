@@ -1,0 +1,947 @@
+use pka_core::{Pks, PksConfig, RepresentativePolicy, Selection};
+use pka_ml::classify::{Classifier, Ensemble, GaussianNb, MlpClassifier, SgdClassifier};
+use pka_ml::Matrix;
+use pka_profile::{DetailedRecord, LightweightRecord};
+use pka_stats::hash::{mix64, UnitStream};
+use pka_stats::Executor;
+use serde_json::{Map, Value};
+
+use crate::checkpoint::{Checkpoint, ReservoirItem, ReservoirState};
+use crate::drift::{Drift, DriftTracker};
+use crate::normalize::StreamingNormalizer;
+use crate::source::{KernelSource, SourceRecord};
+use crate::StreamError;
+
+/// Tail records classified per parallel work item. Fixed (never derived
+/// from the worker count) so the chunk grid — and therefore every
+/// classification — is identical for any executor.
+const TAIL_CHUNK: usize = 512;
+
+/// Configuration for the online pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use pka_stream::StreamConfig;
+///
+/// let config = StreamConfig::default().with_prefix(600).with_batch(1024);
+/// assert_eq!(config.prefix(), 600);
+/// assert_eq!(config.batch(), 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    prefix: u64,
+    checkpoint_every: u64,
+    reservoir: usize,
+    batch: usize,
+    drift_sigma: f64,
+    drift_alpha: f64,
+    drift_calibration: u64,
+    recluster_iters: usize,
+    seed: u64,
+    classifier_seed: u64,
+    pks: PksConfig,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            // The paper detail-profiles 20k of SSD training's 5.3M kernels.
+            prefix: 20_000,
+            checkpoint_every: 100_000,
+            reservoir: 4096,
+            batch: 2048,
+            drift_sigma: 3.0,
+            drift_alpha: 0.05,
+            drift_calibration: 256,
+            recluster_iters: 2,
+            seed: 0,
+            classifier_seed: 0,
+            pks: PksConfig::default(),
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Sets the detailed-prefix length *j* (min 1).
+    pub fn with_prefix(mut self, prefix: u64) -> Self {
+        self.prefix = prefix.max(1);
+        self
+    }
+
+    /// Sets how many records elapse between checkpoints (min 1).
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = every.max(1);
+        self
+    }
+
+    /// Sets the reservoir-sample capacity (min 1).
+    pub fn with_reservoir(mut self, cap: usize) -> Self {
+        self.reservoir = cap.max(1);
+        self
+    }
+
+    /// Sets the tail mini-batch size (min 1).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Sets the drift envelope width (standard deviations above the mean).
+    pub fn with_drift_sigma(mut self, sigma: f64) -> Self {
+        self.drift_sigma = sigma;
+        self
+    }
+
+    /// Sets the EWMA smoothing for drift exceedance tracking.
+    pub fn with_drift_alpha(mut self, alpha: f64) -> Self {
+        self.drift_alpha = alpha;
+        self
+    }
+
+    /// Sets how many distances calibrate a drift envelope.
+    pub fn with_drift_calibration(mut self, n: u64) -> Self {
+        self.drift_calibration = n.max(2);
+        self
+    }
+
+    /// Sets the Lloyd iterations per bounded re-cluster.
+    pub fn with_recluster_iters(mut self, iters: usize) -> Self {
+        self.recluster_iters = iters.max(1);
+        self
+    }
+
+    /// Sets the reservoir-sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the classifier training seed (matches
+    /// `TwoLevelConfig::with_classifier_seed`).
+    pub fn with_classifier_seed(mut self, seed: u64) -> Self {
+        self.classifier_seed = seed;
+        self
+    }
+
+    /// Sets the PKS configuration applied to the detailed prefix.
+    pub fn with_pks(mut self, pks: PksConfig) -> Self {
+        self.pks = pks;
+        self
+    }
+
+    /// The detailed-prefix length *j*.
+    pub fn prefix(&self) -> u64 {
+        self.prefix
+    }
+
+    /// Records between checkpoints.
+    pub fn checkpoint_every(&self) -> u64 {
+        self.checkpoint_every
+    }
+
+    /// Reservoir capacity.
+    pub fn reservoir(&self) -> usize {
+        self.reservoir
+    }
+
+    /// Tail mini-batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The PKS configuration.
+    pub fn pks(&self) -> PksConfig {
+        self.pks
+    }
+
+    /// Canonical JSON echo of this configuration, embedded in every
+    /// checkpoint. [`StreamPks::resume`] refuses a checkpoint whose echo
+    /// disagrees with the live configuration — resuming under different
+    /// parameters would silently break byte-for-byte reproducibility.
+    pub fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("prefix".into(), Value::from(self.prefix));
+        m.insert("checkpoint_every".into(), Value::from(self.checkpoint_every));
+        m.insert("reservoir".into(), Value::from(self.reservoir as u64));
+        m.insert("batch".into(), Value::from(self.batch as u64));
+        m.insert("drift_sigma_bits".into(), Value::from(self.drift_sigma.to_bits()));
+        m.insert("drift_alpha_bits".into(), Value::from(self.drift_alpha.to_bits()));
+        m.insert("drift_calibration".into(), Value::from(self.drift_calibration));
+        m.insert("recluster_iters".into(), Value::from(self.recluster_iters as u64));
+        m.insert("seed".into(), Value::from(self.seed));
+        m.insert("classifier_seed".into(), Value::from(self.classifier_seed));
+        let mut pks = Map::new();
+        pks.insert(
+            "target_error_pct_bits".into(),
+            Value::from(self.pks.target_error_pct().to_bits()),
+        );
+        pks.insert("max_k".into(), Value::from(self.pks.max_k() as u64));
+        pks.insert(
+            "pca_variance_bits".into(),
+            Value::from(self.pks.pca_variance().to_bits()),
+        );
+        pks.insert("seed".into(), Value::from(self.pks.seed()));
+        pks.insert(
+            "representative".into(),
+            Value::from(format!("{:?}", self.pks.representative())),
+        );
+        m.insert("pks".into(), Value::Object(pks));
+        Value::Object(m)
+    }
+
+    /// Reconstructs a configuration from a checkpoint's `config` echo — the
+    /// exact inverse of [`StreamConfig::to_value`], so a resume can adopt
+    /// the original run's parameters without the caller re-specifying them.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pka_stream::StreamConfig;
+    ///
+    /// let config = StreamConfig::default().with_prefix(600).with_batch(64);
+    /// let round_tripped = StreamConfig::from_value(&config.to_value()).unwrap();
+    /// assert_eq!(round_tripped, config);
+    /// ```
+    pub fn from_value(value: &Value) -> Result<Self, StreamError> {
+        let bad = |what: &str| StreamError::Checkpoint {
+            message: format!("config echo is missing or malformed: {what}"),
+        };
+        let map = value.as_object().ok_or_else(|| bad("not an object"))?;
+        let int = |key: &str| {
+            map.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| bad(key))
+        };
+        let float_bits = |key: &str| int(key).map(f64::from_bits);
+        let pks_map = map
+            .get("pks")
+            .and_then(Value::as_object)
+            .ok_or_else(|| bad("pks"))?;
+        let pks_int = |key: &str| {
+            pks_map
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| bad(key))
+        };
+        let rep_text = pks_map
+            .get("representative")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("pks.representative"))?;
+        let representative = if rep_text == "FirstChronological" {
+            RepresentativePolicy::FirstChronological
+        } else if rep_text == "ClusterCentre" {
+            RepresentativePolicy::ClusterCentre
+        } else if let Some(seed) = rep_text
+            .strip_prefix("Random(")
+            .and_then(|s| s.strip_suffix(')'))
+            .and_then(|s| s.parse().ok())
+        {
+            RepresentativePolicy::Random(seed)
+        } else {
+            return Err(bad("pks.representative"));
+        };
+        let pks = PksConfig::default()
+            .with_target_error_pct(f64::from_bits(pks_int("target_error_pct_bits")?))
+            .with_max_k(pks_int("max_k")? as usize)
+            .with_pca_variance(f64::from_bits(pks_int("pca_variance_bits")?))
+            .with_seed(pks_int("seed")?)
+            .with_representative(representative);
+        Ok(Self::default()
+            .with_prefix(int("prefix")?)
+            .with_checkpoint_every(int("checkpoint_every")?)
+            .with_reservoir(int("reservoir")? as usize)
+            .with_batch(int("batch")? as usize)
+            .with_drift_sigma(float_bits("drift_sigma_bits")?)
+            .with_drift_alpha(float_bits("drift_alpha_bits")?)
+            .with_drift_calibration(int("drift_calibration")?)
+            .with_recluster_iters(int("recluster_iters")? as usize)
+            .with_seed(int("seed")?)
+            .with_classifier_seed(int("classifier_seed")?)
+            .with_pks(pks))
+    }
+}
+
+/// Summary of one streaming run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// Total records consumed (prefix + tail).
+    pub records: u64,
+    /// Detailed-prefix length actually used.
+    pub prefix: u64,
+    /// Group count selected by PKS over the prefix.
+    pub selected_k: usize,
+    /// Projected total cycles for the whole stream.
+    pub projected_cycles: u64,
+    /// Per-group member counts (prefix members + classified tail).
+    pub group_counts: Vec<u64>,
+    /// Drift firings over the tail.
+    pub drifts: u64,
+    /// Bounded re-cluster passes triggered by drift.
+    pub reclusters: u64,
+    /// Checkpoints emitted through the callback (excludes the final
+    /// snapshot returned in [`StreamOutcome`]).
+    pub checkpoints: u64,
+    /// High-water mark of simultaneously buffered tail records.
+    pub max_buffered: u64,
+}
+
+impl StreamReport {
+    /// The report as a JSON value (for manifests and the CLI).
+    pub fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("records".into(), Value::from(self.records));
+        m.insert("prefix".into(), Value::from(self.prefix));
+        m.insert("selected_k".into(), Value::from(self.selected_k as u64));
+        m.insert("projected_cycles".into(), Value::from(self.projected_cycles));
+        m.insert(
+            "group_counts".into(),
+            Value::Array(self.group_counts.iter().map(|&c| Value::from(c)).collect()),
+        );
+        m.insert("drifts".into(), Value::from(self.drifts));
+        m.insert("reclusters".into(), Value::from(self.reclusters));
+        m.insert("checkpoints".into(), Value::from(self.checkpoints));
+        m.insert("max_buffered".into(), Value::from(self.max_buffered));
+        Value::Object(m)
+    }
+}
+
+/// Everything a streaming run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOutcome {
+    /// Run summary.
+    pub report: StreamReport,
+    /// The selection covering the entire stream — identical to what the
+    /// batch two-level pipeline produces on the same records.
+    pub selection: Selection,
+    /// Snapshot of the pipeline at end of stream (resumable, and the
+    /// object byte-compared by the checkpoint→resume parity test).
+    pub final_checkpoint: Checkpoint,
+}
+
+/// The online PKS pipeline.
+///
+/// [`run`](Self::run) consumes a [`KernelSource`] once: the detailed prefix
+/// is buffered and handed to the *batch* `Pks` (so the selected K and the
+/// classifier ensemble match `pka_core::TwoLevel` exactly), then the tail
+/// streams through in bounded batches — chunk-parallel ensemble
+/// classification followed by a strictly in-order fold that updates the
+/// group counts, streaming normalizer, mini-batch centroids, drift
+/// envelopes and reservoir, and emits checkpoints at exact record
+/// multiples. Memory over the tail is `O(K·d + reservoir + batch)`,
+/// independent of stream length, and every result is bitwise identical for
+/// any worker count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamPks {
+    config: StreamConfig,
+    exec: Executor,
+}
+
+/// Tail-side mutable state (everything a checkpoint snapshots).
+struct TailState {
+    selection: Selection,
+    normalizer: StreamingNormalizer,
+    centroids: Vec<Vec<f64>>,
+    centroid_counts: Vec<u64>,
+    drift: Vec<DriftTracker>,
+    reservoir_items: Vec<ReservoirItem>,
+    reservoir_seen: u64,
+    records: u64,
+    seq: u64,
+    drifts: u64,
+    reclusters: u64,
+    checkpoints_emitted: u64,
+    max_buffered: u64,
+}
+
+impl StreamPks {
+    /// Creates the pipeline (sequential executor).
+    pub fn new(config: StreamConfig) -> Self {
+        Self {
+            config,
+            exec: Executor::sequential(),
+        }
+    }
+
+    /// Fans prefix clustering and tail classification out over `exec`.
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> StreamConfig {
+        self.config
+    }
+
+    /// Runs the pipeline over `source` from its current position to end of
+    /// stream. `on_checkpoint` observes every periodic checkpoint (write it
+    /// to disk, ship it, or ignore it); erroring from the callback aborts
+    /// the run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source, clustering, classification and callback failures.
+    /// An empty source is a [`StreamError::Pipeline`] error.
+    pub fn run<S, F>(&self, source: &mut S, on_checkpoint: F) -> Result<StreamOutcome, StreamError>
+    where
+        S: KernelSource + ?Sized,
+        F: FnMut(&Checkpoint) -> Result<(), StreamError>,
+    {
+        let (mut state, ensemble, source_name) = self.bootstrap(source)?;
+        self.drain_tail(source, &mut state, ensemble.as_ref(), &source_name, on_checkpoint)
+    }
+
+    /// Resumes from `checkpoint` against a restartable `source`.
+    ///
+    /// The detailed prefix is re-derived deterministically (it is not
+    /// stored in checkpoints), validated against the snapshot, and the tail
+    /// state is restored bit-exactly; the source is then fast-forwarded to
+    /// the snapshot position and the run continues as if never interrupted
+    /// — the final checkpoint is byte-identical to an uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the checkpoint is inconsistent with this configuration or
+    /// source, when the source cannot restart, and for anything
+    /// [`run`](Self::run) can fail with.
+    pub fn resume<S, F>(
+        &self,
+        source: &mut S,
+        checkpoint: &Checkpoint,
+        on_checkpoint: F,
+    ) -> Result<StreamOutcome, StreamError>
+    where
+        S: KernelSource + ?Sized,
+        F: FnMut(&Checkpoint) -> Result<(), StreamError>,
+    {
+        let corrupt = |message: String| StreamError::Checkpoint { message };
+        if checkpoint.config != self.config.to_value() {
+            return Err(corrupt(
+                "checkpoint was taken under a different configuration".into(),
+            ));
+        }
+        source.restart()?;
+        if checkpoint.source != source.name() {
+            return Err(corrupt(format!(
+                "checkpoint is for source `{}`, not `{}`",
+                checkpoint.source,
+                source.name()
+            )));
+        }
+        let (mut state, ensemble, source_name) = self.bootstrap(source)?;
+        if state.records != checkpoint.prefix {
+            return Err(corrupt(format!(
+                "source prefix is {} records, checkpoint recorded {}",
+                state.records, checkpoint.prefix
+            )));
+        }
+        if state.selection.k() != checkpoint.selected_k {
+            return Err(corrupt(format!(
+                "re-derived prefix selects K={}, checkpoint recorded K={}",
+                state.selection.k(),
+                checkpoint.selected_k
+            )));
+        }
+        let snapshot: Selection = serde_json::from_value(checkpoint.selection.clone())
+            .map_err(|e| corrupt(format!("checkpoint selection does not parse: {e}")))?;
+        if snapshot.representative_ids() != state.selection.representative_ids() {
+            return Err(corrupt(
+                "checkpoint selection has different representatives than the \
+                 re-derived prefix — wrong stream or corrupted checkpoint"
+                    .into(),
+            ));
+        }
+
+        // Adopt the snapshot wholesale: selection (carries the classified
+        // tail counts), normalizer, centroids, drift, reservoir, counters.
+        state.selection = snapshot;
+        state.normalizer = StreamingNormalizer::from_stats(checkpoint.normalizer.clone());
+        state.centroids = checkpoint.centroids.clone();
+        state.centroid_counts = checkpoint.centroid_counts.clone();
+        state.drift = checkpoint.drift.clone();
+        state.reservoir_items = checkpoint.reservoir.items.clone();
+        state.reservoir_seen = checkpoint.reservoir.seen;
+        state.records = checkpoint.records;
+        state.seq = checkpoint.seq;
+        state.drifts = checkpoint.drifts;
+        state.reclusters = checkpoint.reclusters;
+        state.max_buffered = checkpoint.max_buffered;
+
+        let to_skip = checkpoint.records - checkpoint.prefix;
+        let skipped = source.skip(to_skip)?;
+        if skipped != to_skip {
+            return Err(corrupt(format!(
+                "stream ended while skipping to record {} (skipped {skipped} of {to_skip})",
+                checkpoint.records
+            )));
+        }
+        self.drain_tail(source, &mut state, ensemble.as_ref(), &source_name, on_checkpoint)
+    }
+
+    /// Buffers the detailed prefix, runs batch PKS over it, trains the tail
+    /// ensemble, and seeds the tail state (normalizer, centroids, drift).
+    /// The prefix buffer is dropped before returning — from here on memory
+    /// is bounded.
+    fn bootstrap<S>(
+        &self,
+        source: &mut S,
+    ) -> Result<(TailState, Option<Ensemble>, String), StreamError>
+    where
+        S: KernelSource + ?Sized,
+    {
+        let _span = pka_obs::span("stream.prefix");
+        let source_name = source.name();
+        let j = match source.len_hint() {
+            Some(n) => self.config.prefix.min(n.max(1)),
+            None => self.config.prefix,
+        };
+        let mut prefix: Vec<SourceRecord> = Vec::new();
+        let mut ended = false;
+        while (prefix.len() as u64) < j {
+            match source.next_record(true)? {
+                Some(record) => prefix.push(record),
+                None => {
+                    ended = true;
+                    break;
+                }
+            }
+        }
+        if prefix.is_empty() {
+            return Err(StreamError::Pipeline {
+                message: "stream is empty: nothing to select from".into(),
+            });
+        }
+        let detailed: Vec<DetailedRecord> = prefix
+            .iter()
+            .map(|r| {
+                r.detailed.clone().ok_or_else(|| StreamError::Pipeline {
+                    message: "prefix record lacks its detailed view".into(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let selection = Pks::new(self.config.pks)
+            .with_executor(self.exec)
+            .select(&detailed)?;
+        let k = selection.k();
+
+        // Streaming normalizer and mini-batch centroids, seeded from the
+        // prefix's lightweight view: observe every prefix record, then set
+        // each group's centroid to the mean of its members' normalised
+        // features, weighted by its profiled population.
+        let dims = LightweightRecord::FEATURE_COUNT;
+        let mut normalizer = StreamingNormalizer::new(dims);
+        let features: Vec<Vec<f64>> = prefix
+            .iter()
+            .map(|r| r.lightweight.to_feature_vector())
+            .collect();
+        for f in &features {
+            normalizer.observe(f);
+        }
+        let mut centroids = vec![vec![0.0f64; dims]; k];
+        let mut centroid_counts = vec![0u64; k];
+        for (f, &label) in features.iter().zip(selection.labels()) {
+            let mut x = f.clone();
+            normalizer.normalize(&mut x);
+            centroid_counts[label] += 1;
+            let n = centroid_counts[label] as f64;
+            for (c, xi) in centroids[label].iter_mut().zip(&x) {
+                *c += (xi - *c) / n;
+            }
+        }
+
+        // Train the tail ensemble exactly like the batch two-level pipeline
+        // (same models, same seeds) — unless the stream already ended
+        // inside the prefix, in which case there is no tail to classify.
+        let ensemble = if ended {
+            None
+        } else {
+            let rows: Vec<Vec<f64>> = features;
+            let x = Matrix::from_rows(&rows).map_err(|e| StreamError::Pipeline {
+                message: e.to_string(),
+            })?;
+            let y = selection.labels().to_vec();
+            let seed = self.config.classifier_seed;
+            Some(Ensemble::new(vec![
+                Box::new(SgdClassifier::fit(&x, &y, seed)?),
+                Box::new(GaussianNb::fit(&x, &y)?),
+                Box::new(MlpClassifier::fit(&x, &y, seed ^ 0xff)?),
+            ]))
+        };
+
+        let records = prefix.len() as u64;
+        if pka_obs::enabled() {
+            pka_obs::counter("stream.records").add(records);
+            pka_obs::gauge("stream.selected_k").set(k as i64);
+        }
+        let state = TailState {
+            selection,
+            normalizer,
+            centroids,
+            centroid_counts,
+            drift: vec![
+                DriftTracker::new(
+                    self.config.drift_calibration,
+                    self.config.drift_sigma,
+                    self.config.drift_alpha,
+                );
+                k
+            ],
+            reservoir_items: Vec::new(),
+            reservoir_seen: 0,
+            records,
+            seq: 0,
+            drifts: 0,
+            reclusters: 0,
+            checkpoints_emitted: 0,
+            max_buffered: 0,
+        };
+        Ok((state, ensemble, source_name))
+    }
+
+    /// Streams the tail in bounded batches until end of stream.
+    fn drain_tail<S, F>(
+        &self,
+        source: &mut S,
+        state: &mut TailState,
+        ensemble: Option<&Ensemble>,
+        source_name: &str,
+        mut on_checkpoint: F,
+    ) -> Result<StreamOutcome, StreamError>
+    where
+        S: KernelSource + ?Sized,
+        F: FnMut(&Checkpoint) -> Result<(), StreamError>,
+    {
+        let _span = pka_obs::span("stream.tail");
+        let mut batch: Vec<LightweightRecord> = Vec::with_capacity(self.config.batch);
+        loop {
+            batch.clear();
+            while batch.len() < self.config.batch {
+                match source.next_record(false)? {
+                    Some(record) => batch.push(record.lightweight),
+                    None => break,
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            let ensemble = ensemble.ok_or_else(|| StreamError::Pipeline {
+                message: "source yielded tail records after reporting end of stream".into(),
+            })?;
+            let buffered = batch.len() as u64 + state.reservoir_items.len() as u64;
+            state.max_buffered = state.max_buffered.max(buffered);
+
+            // Chunk-parallel classification over a fixed grid: per-record
+            // (label, features) pairs come back in stream order, so the
+            // fold below is identical for any worker count.
+            let chunks: Vec<std::ops::Range<usize>> = (0..batch.len())
+                .step_by(TAIL_CHUNK)
+                .map(|lo| lo..(lo + TAIL_CHUNK).min(batch.len()))
+                .collect();
+            let classified = self.exec.try_map(&chunks, |_, chunk| {
+                let mut out = Vec::with_capacity(chunk.len());
+                for record in &batch[chunk.clone()] {
+                    let features = record.to_feature_vector();
+                    let label = ensemble.predict(&features)?;
+                    out.push((label, features));
+                }
+                Ok::<_, pka_ml::MlError>(out)
+            })?;
+
+            // Strictly in-order fold: counts, normalizer, centroids, drift,
+            // reservoir, checkpoints.
+            for (label, features) in classified.into_iter().flatten() {
+                self.fold_record(state, label, features)?;
+                if state.records % self.config.checkpoint_every == 0 {
+                    let checkpoint = self.snapshot(state, source_name, true);
+                    on_checkpoint(&checkpoint)?;
+                }
+            }
+            if pka_obs::enabled() {
+                pka_obs::counter("stream.records").add(batch.len() as u64);
+                pka_obs::gauge("stream.max_buffered").set(state.max_buffered as i64);
+            }
+        }
+
+        if pka_obs::enabled() {
+            pka_obs::counter("stream.checkpoints").add(state.checkpoints_emitted);
+            pka_obs::counter("stream.drifts").add(state.drifts);
+            pka_obs::counter("stream.reclusters").add(state.reclusters);
+        }
+        let final_checkpoint = self.snapshot(state, source_name, false);
+        let report = StreamReport {
+            records: state.records,
+            prefix: self.config.prefix.min(state.records),
+            selected_k: state.selection.k(),
+            projected_cycles: state.selection.projected_cycles(),
+            group_counts: state.selection.groups().iter().map(|g| g.count()).collect(),
+            drifts: state.drifts,
+            reclusters: state.reclusters,
+            checkpoints: state.checkpoints_emitted,
+            max_buffered: state.max_buffered,
+        };
+        Ok(StreamOutcome {
+            report,
+            selection: state.selection.clone(),
+            final_checkpoint,
+        })
+    }
+
+    /// Folds one classified tail record into the online state.
+    fn fold_record(
+        &self,
+        state: &mut TailState,
+        label: usize,
+        mut features: Vec<f64>,
+    ) -> Result<(), StreamError> {
+        let t = state.records; // absolute 0-based position of this record
+        state.selection.add_classified_member(label);
+        state.normalizer.observe(&features);
+        state.normalizer.normalize(&mut features);
+
+        // Distance to the group's centroid *before* this record moves it.
+        let distance = state.centroids[label]
+            .iter()
+            .zip(&features)
+            .map(|(c, x)| (x - c) * (x - c))
+            .sum::<f64>()
+            .sqrt();
+
+        // Sculley mini-batch update: the centroid drifts toward the new
+        // member with a per-centroid learning rate of 1/count.
+        state.centroid_counts[label] += 1;
+        let n = state.centroid_counts[label] as f64;
+        for (c, x) in state.centroids[label].iter_mut().zip(&features) {
+            *c += (x - *c) / n;
+        }
+
+        // Reservoir (Algorithm R with a stateless per-record RNG: resume
+        // needs no generator state, only `seen`).
+        state.reservoir_seen += 1;
+        if state.reservoir_items.len() < self.config.reservoir {
+            state.reservoir_items.push(ReservoirItem {
+                pos: t,
+                label,
+                features: features.clone(),
+            });
+        } else {
+            let slot = UnitStream::new(mix64(self.config.seed ^ t))
+                .next_index(state.reservoir_seen as usize);
+            if slot < self.config.reservoir {
+                state.reservoir_items[slot] = ReservoirItem {
+                    pos: t,
+                    label,
+                    features: features.clone(),
+                };
+            }
+        }
+
+        if state.drift[label].observe(distance) == Drift::Fired {
+            state.drifts += 1;
+            self.recluster(state);
+        }
+        state.records += 1;
+        Ok(())
+    }
+
+    /// Bounded re-cluster: a few Lloyd iterations over the reservoir only,
+    /// initialised at the current centroids. Re-centres the drift
+    /// envelopes' reference points without touching classification — group
+    /// membership stays the ensemble's call, so batch parity is preserved.
+    fn recluster(&self, state: &mut TailState) {
+        let k = state.centroids.len();
+        if k == 0 || state.reservoir_items.is_empty() {
+            return;
+        }
+        let dims = state.normalizer.dims();
+        for _ in 0..self.config.recluster_iters {
+            let mut sums = vec![vec![0.0f64; dims]; k];
+            let mut counts = vec![0u64; k];
+            for item in &state.reservoir_items {
+                let nearest = state
+                    .centroids
+                    .iter()
+                    .enumerate()
+                    .map(|(g, c)| {
+                        let d = c
+                            .iter()
+                            .zip(&item.features)
+                            .map(|(ci, xi)| (xi - ci) * (xi - ci))
+                            .sum::<f64>();
+                        (g, d)
+                    })
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(g, _)| g)
+                    .unwrap_or(0);
+                counts[nearest] += 1;
+                for (s, x) in sums[nearest].iter_mut().zip(&item.features) {
+                    *s += x;
+                }
+            }
+            for g in 0..k {
+                if counts[g] > 0 {
+                    for (c, s) in state.centroids[g].iter_mut().zip(&sums[g]) {
+                        *c = s / counts[g] as f64;
+                    }
+                }
+            }
+        }
+        // Moved centroids invalidate every frozen envelope; learning rates
+        // restart from the reservoir populations.
+        for tracker in &mut state.drift {
+            tracker.reset();
+        }
+        let mut counts = vec![0u64; k];
+        for item in &state.reservoir_items {
+            if item.label < k {
+                counts[item.label] += 1;
+            }
+        }
+        for (cc, c) in state.centroid_counts.iter_mut().zip(counts) {
+            *cc = c.max(1);
+        }
+        state.reclusters += 1;
+    }
+
+    /// Builds a checkpoint of the current state. `periodic` bumps the
+    /// emission counters (the final snapshot returned in the outcome gets
+    /// the next sequence number but is not counted as emitted).
+    fn snapshot(&self, state: &mut TailState, source_name: &str, periodic: bool) -> Checkpoint {
+        state.seq += 1;
+        if periodic {
+            state.checkpoints_emitted += 1;
+        }
+        Checkpoint {
+            seq: state.seq,
+            records: state.records,
+            prefix: self.config.prefix.min(state.records),
+            source: source_name.to_string(),
+            selected_k: state.selection.k(),
+            selection: serde_json::to_value(&state.selection)
+                .expect("selection serialises to json"),
+            projected_cycles: state.selection.projected_cycles(),
+            normalizer: state.normalizer.stats().to_vec(),
+            centroids: state.centroids.clone(),
+            centroid_counts: state.centroid_counts.clone(),
+            drift: state.drift.clone(),
+            reservoir: ReservoirState {
+                cap: self.config.reservoir,
+                seen: state.reservoir_seen,
+                items: state.reservoir_items.clone(),
+            },
+            drifts: state.drifts,
+            reclusters: state.reclusters,
+            max_buffered: state.max_buffered,
+            config: self.config.to_value(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{synthetic_workload, WorkloadSource};
+    use pka_gpu::GpuConfig;
+    use pka_profile::Profiler;
+
+    fn source(n: u64) -> WorkloadSource {
+        WorkloadSource::new(synthetic_workload(n), Profiler::new(GpuConfig::v100()))
+    }
+
+    fn small_config() -> StreamConfig {
+        StreamConfig::default()
+            .with_prefix(200)
+            .with_batch(64)
+            .with_reservoir(128)
+            .with_checkpoint_every(500)
+    }
+
+    #[test]
+    fn processes_whole_stream_and_counts_everything() {
+        let mut src = source(2_000);
+        let outcome = StreamPks::new(small_config())
+            .run(&mut src, |_| Ok(()))
+            .unwrap();
+        assert_eq!(outcome.report.records, 2_000);
+        assert_eq!(outcome.report.prefix, 200);
+        assert_eq!(
+            outcome.report.group_counts.iter().sum::<u64>(),
+            2_000,
+            "every kernel lands in a group"
+        );
+        assert_eq!(outcome.report.checkpoints, 4, "at 500/1000/1500/2000");
+        assert!(outcome.report.selected_k >= 1);
+        assert_eq!(
+            outcome.final_checkpoint.projected_cycles,
+            outcome.selection.projected_cycles()
+        );
+    }
+
+    #[test]
+    fn bounded_memory_high_water_mark() {
+        let mut src = source(3_000);
+        let config = small_config();
+        let outcome = StreamPks::new(config).run(&mut src, |_| Ok(())).unwrap();
+        assert!(
+            outcome.report.max_buffered <= (config.reservoir() + config.batch()) as u64,
+            "max_buffered {} exceeds reservoir {} + batch {}",
+            outcome.report.max_buffered,
+            config.reservoir(),
+            config.batch()
+        );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_final_checkpoint() {
+        let run = |workers: usize| {
+            let mut src = source(1_500);
+            StreamPks::new(small_config())
+                .with_executor(Executor::new(workers))
+                .run(&mut src, |_| Ok(()))
+                .unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.report, b.report);
+        assert_eq!(
+            a.final_checkpoint.to_json(),
+            b.final_checkpoint.to_json(),
+            "final checkpoints must be byte-identical across worker counts"
+        );
+    }
+
+    #[test]
+    fn stream_ending_inside_prefix_still_selects() {
+        let mut src = source(150);
+        let outcome = StreamPks::new(small_config())
+            .run(&mut src, |_| Ok(()))
+            .unwrap();
+        assert_eq!(outcome.report.records, 150);
+        assert_eq!(outcome.report.checkpoints, 0);
+        assert_eq!(outcome.report.max_buffered, 0, "no tail was buffered");
+    }
+
+    #[test]
+    fn checkpoint_callback_error_aborts() {
+        let mut src = source(2_000);
+        let result = StreamPks::new(small_config()).run(&mut src, |_| {
+            Err(StreamError::Checkpoint {
+                message: "sink full".into(),
+            })
+        });
+        assert!(matches!(result, Err(StreamError::Checkpoint { .. })));
+    }
+
+    #[test]
+    fn resume_rejects_wrong_config() {
+        let mut src = source(1_200);
+        let outcome = StreamPks::new(small_config())
+            .run(&mut src, |_| Ok(()))
+            .unwrap();
+        let other = StreamPks::new(small_config().with_batch(32));
+        let err = other
+            .resume(&mut src, &outcome.final_checkpoint, |_| Ok(()))
+            .unwrap_err();
+        assert!(matches!(err, StreamError::Checkpoint { .. }), "{err:?}");
+    }
+}

@@ -7,6 +7,9 @@
 //! pka select --workload NAME [--target-error PCT] [--out FILE.json]
 //! pka simulate --workload NAME [--gpu v100|rtx2060|rtx3070|v100-half]
 //!              [--threshold S] [--selection FILE.json] [--full]
+//! pka stream --source <FILE.jsonl|-|synthetic:N|WORKLOAD> [--prefix J]
+//!            [--checkpoint-every N] [--checkpoint FILE.json] [--resume]
+//!            [--verify-batch]
 //! ```
 //!
 //! `select` profiles (one- or two-level automatically), runs Principal
@@ -49,6 +52,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&flags),
         "select" => cmd_select(&flags),
         "simulate" => cmd_simulate(&flags),
+        "stream" => cmd_stream(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -78,6 +82,16 @@ fn record_checksum(name: &str, payload: &str) {
     if principal_kernel_analysis::obs::enabled() {
         let digest = principal_kernel_analysis::stats::hash::fnv1a(payload.as_bytes());
         CHECKSUMS.lock().unwrap().push((name.to_string(), digest));
+    }
+}
+
+/// Structured command output registered for the run manifest's `report`
+/// section (the per-representative PKP table, the stream summary).
+static REPORT: Mutex<Option<serde_json::Value>> = Mutex::new(None);
+
+fn record_report(value: serde_json::Value) {
+    if principal_kernel_analysis::obs::enabled() {
+        *REPORT.lock().unwrap() = Some(value);
     }
 }
 
@@ -126,13 +140,22 @@ fn obs_finish(command: &str, flags: &HashMap<String, String>) -> Result<(), Stri
             .iter()
             .map(|(k, v)| (k.clone(), serde_json::json!(*v)))
             .collect();
-        obs::write_manifest(
-            std::path::Path::new(path),
-            config,
-            seeds,
-            serde_json::Value::Object(checksums),
-        )
-        .map_err(|e| format!("write manifest {path}: {e}"))?;
+        let write_result = match REPORT.lock().unwrap().take() {
+            Some(report) => obs::write_manifest_with_report(
+                std::path::Path::new(path),
+                config,
+                seeds,
+                serde_json::Value::Object(checksums),
+                report,
+            ),
+            None => obs::write_manifest(
+                std::path::Path::new(path),
+                config,
+                seeds,
+                serde_json::Value::Object(checksums),
+            ),
+        };
+        write_result.map_err(|e| format!("write manifest {path}: {e}"))?;
     }
     if flags.contains_key("verbose") {
         for line in obs::snapshot().summary_lines() {
@@ -151,6 +174,23 @@ const USAGE: &str = "usage:
   pka simulate --workload NAME [--gpu v100|rtx2060|rtx3070|v100-half]
                [--threshold S] [--selection FILE.json] [--full]
                [--workers N] [observability flags]
+  pka stream --source <FILE.jsonl|-|synthetic:N|WORKLOAD>
+             [--prefix J] [--checkpoint-every N] [--checkpoint FILE.json]
+             [--resume] [--reservoir N] [--batch N] [--verify-batch]
+             [--gpu ...] [--workers N] [observability flags]
+
+`stream` runs the bounded-memory online PKS pipeline: the first J kernels
+are profiled in detail and clustered exactly like the batch pipeline, then
+the tail streams through classification, mini-batch centroid updates,
+drift detection and reservoir sampling in O(K*d + reservoir + batch)
+memory. `--checkpoint FILE` persists every periodic checkpoint (and the
+final state) as resumable `pka.stream_checkpoint/v1` JSON; `--resume`
+restarts from that file instead of the beginning, adopting the
+checkpoint's embedded configuration (explicit flags still override, but a
+true mismatch is refused). `--verify-batch` re-runs
+the batch two-level pipeline on the same workload-backed source and fails
+unless the selected K matches exactly and projected cycles agree within
+1%.
 
 `--workers N` fans profiling, clustering and per-representative simulation
 out over N threads (0 = one per hardware thread). Results are bitwise
@@ -184,7 +224,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("unexpected argument `{arg}`"));
         };
-        if name == "full" {
+        if name == "full" || name == "resume" || name == "verify-batch" {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -405,6 +445,22 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
         report.pks_speedup(),
         report.pka_speedup()
     );
+    if !report.per_representative.is_empty() {
+        println!("per-representative PKP accounting (simulated / projected):");
+        println!(
+            "  {:>10} {:>16} {:>16} {:>7}",
+            "kernel", "simulated", "projected", "sim%"
+        );
+        for rp in &report.per_representative {
+            println!(
+                "  {:>10} {:>16} {:>16} {:>6.1}%",
+                rp.kernel_id,
+                rp.simulated_cycles,
+                rp.projected_cycles,
+                rp.skip_ratio() * 100.0
+            );
+        }
+    }
     if principal_kernel_analysis::obs::enabled() {
         let canonical = format!(
             "{}:{}:{}:{}",
@@ -414,6 +470,211 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
             report.pka_projected_cycles
         );
         record_checksum("simulation_report", &canonical);
+        let per_rep: Vec<serde_json::Value> = report
+            .per_representative
+            .iter()
+            .map(|rp| {
+                serde_json::json!({
+                    "kernel_id": format!("{}", rp.kernel_id),
+                    "simulated_cycles": rp.simulated_cycles,
+                    "projected_cycles": rp.projected_cycles,
+                    "skip_ratio": rp.skip_ratio(),
+                })
+            })
+            .collect();
+        record_report(serde_json::json!({
+            "command": "simulate",
+            "workload": report.workload.clone(),
+            "silicon_cycles": report.silicon_cycles,
+            "pks_projected_cycles": report.pks_projected_cycles,
+            "pka_projected_cycles": report.pka_projected_cycles,
+            "per_representative": serde_json::Value::Array(per_rep),
+        }));
+    }
+    Ok(())
+}
+
+/// Parses a positive-integer flag, leaving `config` untouched when absent.
+fn int_flag(flags: &HashMap<String, String>, name: &str) -> Result<Option<u64>, String> {
+    flags
+        .get(name)
+        .map(|v| {
+            v.parse::<u64>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("--{name} must be a positive integer"))
+        })
+        .transpose()
+}
+
+fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
+    use principal_kernel_analysis::core::{Executor, TwoLevel, TwoLevelConfig};
+    use principal_kernel_analysis::stream::{
+        synthetic_workload, Checkpoint, JsonlSource, KernelSource, StreamConfig, StreamError,
+        StreamPks, WorkloadSource,
+    };
+
+    let gpu = gpu_from(flags)?;
+    let spec = flags
+        .get("source")
+        .ok_or("--source <FILE.jsonl|-|synthetic:N|WORKLOAD> is required")?;
+
+    // A resume adopts the checkpoint's embedded config echo, so the original
+    // run's parameters need not be re-specified; explicit flags still apply
+    // on top (and `StreamPks::resume` refuses any true mismatch).
+    let resume_cp = if flags.contains_key("resume") {
+        let p = flags
+            .get("checkpoint")
+            .ok_or("--resume requires --checkpoint FILE.json")?;
+        let cp =
+            Checkpoint::read_from(std::path::Path::new(p)).map_err(|e| e.to_string())?;
+        Some(cp)
+    } else {
+        None
+    };
+    let mut config = match &resume_cp {
+        Some(cp) => StreamConfig::from_value(&cp.config).map_err(|e| e.to_string())?,
+        None => StreamConfig::default(),
+    };
+    if let Some(j) = int_flag(flags, "prefix")? {
+        config = config.with_prefix(j);
+    }
+    if let Some(n) = int_flag(flags, "checkpoint-every")? {
+        config = config.with_checkpoint_every(n);
+    }
+    if let Some(n) = int_flag(flags, "reservoir")? {
+        config = config.with_reservoir(n as usize);
+    }
+    if let Some(n) = int_flag(flags, "batch")? {
+        config = config.with_batch(n as usize);
+    }
+    let exec = Executor::new(workers_from(flags)?);
+
+    // A workload-backed source keeps the workload around so `--verify-batch`
+    // can run the batch two-level pipeline over the same kernels.
+    let (mut source, workload): (Box<dyn KernelSource>, Option<Workload>) =
+        if let Some(n) = spec.strip_prefix("synthetic:") {
+            let n: u64 = n
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or("synthetic:N needs a positive integer N")?;
+            let w = synthetic_workload(n);
+            let src = WorkloadSource::new(w.clone(), Profiler::new(gpu.clone()));
+            (Box::new(src), Some(w))
+        } else if spec == "-" {
+            (Box::new(JsonlSource::stdin()), None)
+        } else if std::path::Path::new(spec).is_file() {
+            let src = JsonlSource::open(std::path::Path::new(spec)).map_err(|e| e.to_string())?;
+            (Box::new(src), None)
+        } else if let Some(w) = all_workloads().into_iter().find(|w| w.name() == spec) {
+            let src = WorkloadSource::new(w.clone(), Profiler::new(gpu.clone()));
+            (Box::new(src), Some(w))
+        } else {
+            return Err(format!(
+                "--source `{spec}` is neither a file, `-`, `synthetic:N`, nor a workload name"
+            ));
+        };
+
+    let ckpt_path = flags.get("checkpoint").map(std::path::PathBuf::from);
+    let stream = StreamPks::new(config).with_executor(exec);
+    let on_checkpoint = |cp: &Checkpoint| -> Result<(), StreamError> {
+        match &ckpt_path {
+            Some(p) => cp.write_to(p),
+            None => Ok(()),
+        }
+    };
+    let outcome = match &resume_cp {
+        Some(cp) => stream.resume(&mut *source, cp, on_checkpoint),
+        None => stream.run(&mut *source, on_checkpoint),
+    }
+    .map_err(|e| e.to_string())?;
+
+    let report = &outcome.report;
+    println!("stream:   {spec}");
+    println!(
+        "records:  {} ({} profiled in detail, {} classified)",
+        report.records,
+        report.prefix,
+        report.records - report.prefix
+    );
+    println!("PKS:      K = {} groups", report.selected_k);
+    println!("projected: {:>15} cycles", report.projected_cycles);
+    println!(
+        "tail:     {} drift firings, {} re-clusters, {} checkpoints, max {} records buffered",
+        report.drifts, report.reclusters, report.checkpoints, report.max_buffered
+    );
+    for (i, (group, &count)) in outcome
+        .selection
+        .groups()
+        .iter()
+        .zip(&report.group_counts)
+        .enumerate()
+    {
+        println!(
+            "  group {i:>2}: kernel {:>8} x {count}",
+            group.representative()
+        );
+    }
+    if let Some(p) = &ckpt_path {
+        outcome
+            .final_checkpoint
+            .write_to(p)
+            .map_err(|e| e.to_string())?;
+        println!("checkpoint written to {}", p.display());
+    }
+
+    if flags.contains_key("verify-batch") {
+        let w = workload.as_ref().ok_or(
+            "--verify-batch needs a workload-backed --source (synthetic:N or a workload name)",
+        )?;
+        let two = TwoLevel::new(
+            TwoLevelConfig::default()
+                .with_pks(config.pks())
+                .with_detailed_prefix_cap(config.prefix()),
+        )
+        .with_executor(exec);
+        let batch = two
+            .analyze(w, &Profiler::new(gpu.clone()))
+            .map_err(|e| e.to_string())?;
+        let batch_projected = batch.projected_cycles();
+        let rel_pct = 100.0 * (batch_projected as f64 - report.projected_cycles as f64).abs()
+            / batch_projected.max(1) as f64;
+        println!(
+            "batch parity: K {} vs {} (stream), projected {} vs {} ({rel_pct:.4}% apart)",
+            batch.k(),
+            report.selected_k,
+            batch_projected,
+            report.projected_cycles
+        );
+        if batch.k() != report.selected_k {
+            return Err(format!(
+                "stream selected K={}, batch pipeline selected K={}",
+                report.selected_k,
+                batch.k()
+            ));
+        }
+        if rel_pct > 1.0 {
+            return Err(format!(
+                "stream projected cycles diverge from batch by {rel_pct:.4}% (> 1%)"
+            ));
+        }
+    }
+
+    if principal_kernel_analysis::obs::enabled() {
+        record_checksum("stream_checkpoint", &outcome.final_checkpoint.to_json());
+        let mut value = report.to_value();
+        if let serde_json::Value::Object(m) = &mut value {
+            m.insert(
+                "command".to_string(),
+                serde_json::Value::String("stream".to_string()),
+            );
+            m.insert(
+                "source".to_string(),
+                serde_json::Value::String(spec.clone()),
+            );
+        }
+        record_report(value);
     }
     Ok(())
 }

@@ -20,6 +20,7 @@
 //! | [`ml`] | `pka-ml` | PCA, K-Means, hierarchical clustering, classifiers |
 //! | [`stats`] | `pka-stats` | Online/rolling statistics and error metrics |
 //! | [`baselines`] | `pka-baselines` | TBPoint, first-N instructions, single-iteration |
+//! | [`stream`] | `pka-stream` | Bounded-memory streaming ingestion and online PKS |
 //!
 //! # Quickstart
 //!
@@ -53,4 +54,5 @@ pub use pka_obs as obs;
 pub use pka_profile as profile;
 pub use pka_sim as sim;
 pub use pka_stats as stats;
+pub use pka_stream as stream;
 pub use pka_workloads as workloads;

@@ -20,6 +20,14 @@
 #      projected cycles within 1%), plus a jq schema check over the emitted
 #      `pka.stream_checkpoint/v1` file including the bounded-memory
 #      invariant (max_buffered <= reservoir cap + batch size)
+#   8. live observability smoke — a snapshot-emitting stream run whose
+#      `pka.snapshot/v1` JSONL is jq-validated, `pka trace export` over its
+#      trace (valid Chrome trace-event JSON with worker lanes), and the
+#      `pka obs diff` regression gate: a counters-only diff against the
+#      committed results/ci_baseline_manifest.json, a bench-medians diff
+#      against results/ci_baseline_bench.json (catastrophic-only tolerance
+#      — medians jitter across hosts), and a self-test proving the gate
+#      fires on an injected 1.3x stage-timing regression
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -93,6 +101,66 @@ if command -v jq >/dev/null 2>&1; then
     echo "stream checkpoint OK (K=$(jq .selected_k "$STREAM_CKPT"), max_buffered=$(jq .max_buffered "$STREAM_CKPT"))"
 else
     echo "jq not found; skipping stream checkpoint schema check" >&2
+fi
+
+echo "==> live observability smoke (snapshots, trace export, obs diff gate)"
+LIVE_DIR="$(mktemp -d -t pka_live.XXXXXX)"
+trap 'rm -f "$BENCH_SMOKE_JSON" "$OBS_MANIFEST" "$OBS_TRACE" "$STREAM_CKPT"; rm -rf "$LIVE_DIR"' EXIT
+./target/release/pka stream --source synthetic:100000 --prefix 1000 \
+    --checkpoint-every 20000 --workers 4 \
+    --snapshot-out "$LIVE_DIR/snapshots.jsonl" --snapshot-every 25000 \
+    --trace-out "$LIVE_DIR/trace.jsonl" >/dev/null
+if command -v jq >/dev/null 2>&1; then
+    head -n 1 "$LIVE_DIR/snapshots.jsonl" \
+        | jq -e '.schema == "pka.snapshot/v1" and .type == "header"' >/dev/null
+    jq -es '
+        [.[] | select(.type == "snapshot")]
+        | length >= 4
+        and all(.[]; .phase != "" and .records > 0 and .selected_k >= 1
+                     and (.timing | has("kernels_per_sec")))
+        and (last.records == 100000)
+    ' "$LIVE_DIR/snapshots.jsonl" >/dev/null
+    echo "snapshots OK ($(grep -c '"type":"snapshot"' "$LIVE_DIR/snapshots.jsonl") records)"
+else
+    echo "jq not found; skipping snapshot schema check" >&2
+fi
+
+./target/release/pka trace export "$LIVE_DIR/trace.jsonl" --out "$LIVE_DIR/chrome.json"
+if command -v jq >/dev/null 2>&1; then
+    jq -e '
+        .displayTimeUnit == "ms"
+        and (.traceEvents | length) > 0
+        and ([.traceEvents[] | select(.ph == "M" and .name == "thread_name")]
+             | length) >= 2
+    ' "$LIVE_DIR/chrome.json" >/dev/null
+    echo "chrome trace OK ($(jq '.traceEvents | length' "$LIVE_DIR/chrome.json") events)"
+fi
+
+# Regression gate: counters, checksums and gauges are deterministic for a
+# fixed config, so a counters-only diff against the committed baseline is
+# exact on any host. Bench medians are machine-dependent; that gate only
+# catches catastrophic slowdowns.
+./target/release/pka simulate --workload bfs65536 \
+    --metrics-out "$LIVE_DIR/current_manifest.json" >/dev/null
+./target/release/pka obs diff results/ci_baseline_manifest.json \
+    "$LIVE_DIR/current_manifest.json" --counters-only
+./target/release/pka obs diff results/ci_baseline_bench.json \
+    "$BENCH_SMOKE_JSON" --bench --bench-tol 500
+
+# The gate must actually fire: inject a 1.3x stage-timing regression and
+# require a non-zero exit. Both sides pass through jq so the comparison is
+# not polluted by jq's float re-rendering of 64-bit checksums.
+if command -v jq >/dev/null 2>&1; then
+    jq '.' "$LIVE_DIR/current_manifest.json" > "$LIVE_DIR/manifest_base.json"
+    jq '(.stages[].total_ns) |= (. * 13 / 10 | floor)' \
+        "$LIVE_DIR/current_manifest.json" > "$LIVE_DIR/manifest_regressed.json"
+    if ./target/release/pka obs diff "$LIVE_DIR/manifest_base.json" \
+        "$LIVE_DIR/manifest_regressed.json" > "$LIVE_DIR/diff_out.txt" 2>&1; then
+        echo "obs diff failed to flag an injected 30% stage regression" >&2
+        exit 1
+    fi
+    grep -q "REGRESSION" "$LIVE_DIR/diff_out.txt"
+    echo "obs diff gate OK (injected regression detected)"
 fi
 
 echo "CI OK"

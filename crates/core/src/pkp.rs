@@ -178,6 +178,19 @@ impl SimMonitor for PkpMonitor {
         if obs {
             pkp_obs().stops.incr();
             pkp_obs().stop_cycle.record(ctx.sample.cycle);
+            // Stop-rule firings are rare and load-bearing, so they are
+            // promoted from counters to timestamped trace events. Fields
+            // are deterministic; when the firing happens on an executor
+            // worker, the capture buffer keeps trace order deterministic
+            // too.
+            pka_obs::trace_event_u64(
+                "pkp.stop",
+                &[
+                    ("cycle", ctx.sample.cycle),
+                    ("blocks_completed", ctx.blocks_completed),
+                    ("blocks_total", ctx.blocks_total),
+                ],
+            );
         }
         SimControl::Stop
     }

@@ -66,6 +66,7 @@ impl FirstN {
     ///
     /// Propagates simulator failures.
     pub fn evaluate(&self, workload: &Workload) -> Result<FirstNReport, PkaError> {
+        let _span = pka_obs::span("baseline.first_n");
         let silicon = self.profiler.silicon_run(workload)?;
 
         let mut spent_instructions = 0u64;

@@ -56,6 +56,7 @@ impl SingleIteration {
     /// structure (the method's fundamental limitation), and propagates
     /// simulation failures.
     pub fn evaluate(&self, workload: &Workload) -> Result<SingleIterationReport, PkaError> {
+        let _span = pka_obs::span("baseline.single_iteration");
         let period = workload.iteration_hint().ok_or_else(|| PkaError::InvalidInput {
             message: format!(
                 "`{}` has no iteration structure; single-iteration scaling needs one",

@@ -124,12 +124,17 @@ impl TbPoint {
                 ),
             });
         }
+        let _span = pka_obs::span("baseline.tbpoint");
         let n = workload.kernel_count();
         // TBPoint's per-kernel statistics come from full functional
         // simulation; the detailed metric set is the equivalent here.
-        let records = self.profiler.detailed(workload, 0..n)?;
+        let records = {
+            let _s = pka_obs::span("baseline.tbpoint.profile");
+            self.profiler.detailed(workload, 0..n)?
+        };
         let silicon: u64 = records.iter().map(|r| r.cycles).sum();
 
+        let cluster_span = pka_obs::span("baseline.tbpoint.cluster");
         // Normalised feature space for threshold-comparable distances.
         let features = pka_core::feature_matrix(&records)?;
         let (_, scaled) = StandardScaler::fit_transform(&features)?;
@@ -158,6 +163,7 @@ impl TbPoint {
                 best = Some((candidate_err, t, labels));
             }
         }
+        drop(cluster_span);
         let (_, threshold, labels) = best.expect("at least one threshold swept");
         let clusters = labels.iter().copied().max().map_or(0, |m| m + 1);
 
@@ -171,6 +177,7 @@ impl TbPoint {
                 rep_of[l] = Some(i);
             }
         }
+        let _sim_span = pka_obs::span("baseline.tbpoint.simulate");
         let mut projected = 0u64;
         let mut spent = 0u64;
         for (cluster, rep) in rep_of.into_iter().enumerate() {

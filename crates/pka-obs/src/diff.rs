@@ -1,0 +1,410 @@
+//! Run-manifest and bench-JSON diffing: the engine behind `pka obs diff`.
+//!
+//! Compares two `pka.run_manifest/v1` documents section by section —
+//! counters, gauges, checksums, histogram totals (all deterministic for a
+//! fixed input) and stage timings / wall time (machine-dependent) — and
+//! flags entries whose drift exceeds a per-section threshold. CI uses the
+//! deterministic sections with zero tolerance as a regression gate against
+//! a committed baseline, and the timing sections with a generous threshold
+//! on same-machine before/after pairs.
+
+use std::collections::BTreeSet;
+
+use serde_json::Value;
+
+use crate::MANIFEST_SCHEMA;
+
+/// Per-section drift tolerances, in percent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffThresholds {
+    /// Counters and histogram totals: allowed absolute drift (default 0:
+    /// any change flags).
+    pub counter_pct: f64,
+    /// Gauges: allowed absolute drift (default 0).
+    pub gauge_pct: f64,
+    /// Stage timings and wall time: allowed slowdown (default 25; speedups
+    /// never flag).
+    pub stage_pct: f64,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        Self {
+            counter_pct: 0.0,
+            gauge_pct: 0.0,
+            stage_pct: 25.0,
+        }
+    }
+}
+
+/// One compared entry (a counter, gauge, checksum, histogram, stage, or
+/// bench median).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Section: `counter` / `gauge` / `checksum` / `histogram` / `stage` /
+    /// `wall` / `bench`.
+    pub kind: &'static str,
+    /// Metric name.
+    pub name: String,
+    /// Baseline value rendered as text (`-` when absent).
+    pub base: String,
+    /// Current value rendered as text (`-` when absent).
+    pub current: String,
+    /// Relative drift in percent, when both sides are numeric and the
+    /// baseline is nonzero.
+    pub delta_pct: Option<f64>,
+    /// True when the drift exceeds the section threshold.
+    pub regression: bool,
+}
+
+impl DiffEntry {
+    fn changed(&self) -> bool {
+        self.base != self.current
+    }
+
+    fn render(&self) -> String {
+        let delta = match self.delta_pct {
+            Some(d) => format!(" ({d:+.1}%)"),
+            None => String::new(),
+        };
+        let mark = if self.regression { "  REGRESSION" } else { "" };
+        format!(
+            "{} {}: {} -> {}{delta}{mark}",
+            self.kind, self.name, self.base, self.current
+        )
+    }
+}
+
+/// The full comparison result.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Every compared entry, in section order then name order.
+    pub entries: Vec<DiffEntry>,
+}
+
+impl DiffReport {
+    /// Number of entries past their threshold.
+    pub fn regressions(&self) -> usize {
+        self.entries.iter().filter(|e| e.regression).count()
+    }
+
+    /// Human-readable report: changed entries plus a summary line.
+    pub fn lines(&self) -> Vec<String> {
+        let mut lines: Vec<String> = self
+            .entries
+            .iter()
+            .filter(|e| e.changed() || e.regression)
+            .map(DiffEntry::render)
+            .collect();
+        let changed = self.entries.iter().filter(|e| e.changed()).count();
+        lines.push(format!(
+            "{} entries compared, {} changed, {} regression(s)",
+            self.entries.len(),
+            changed,
+            self.regressions()
+        ));
+        lines
+    }
+}
+
+/// Compare two run manifests. With `counters_only`, the machine-dependent
+/// sections (stages, wall time) are skipped so the diff is exact across
+/// hosts.
+///
+/// # Errors
+///
+/// Returns a message when either document does not declare
+/// `pka.run_manifest/v1`.
+pub fn diff_manifests(
+    base: &Value,
+    current: &Value,
+    thresholds: &DiffThresholds,
+    counters_only: bool,
+) -> Result<DiffReport, String> {
+    for (label, doc) in [("baseline", base), ("current", current)] {
+        let schema = doc["schema"].as_str().unwrap_or("");
+        if schema != MANIFEST_SCHEMA {
+            return Err(format!(
+                "{label}: expected schema `{MANIFEST_SCHEMA}`, got `{schema}`"
+            ));
+        }
+    }
+    let mut report = DiffReport::default();
+    diff_numeric_section(
+        &mut report,
+        "counter",
+        &base["counters"],
+        &current["counters"],
+        |v| v.as_f64(),
+        thresholds.counter_pct,
+        true,
+    );
+    diff_numeric_section(
+        &mut report,
+        "gauge",
+        &base["gauges"],
+        &current["gauges"],
+        |v| v.as_f64(),
+        thresholds.gauge_pct,
+        true,
+    );
+    diff_numeric_section(
+        &mut report,
+        "histogram",
+        &base["histograms"],
+        &current["histograms"],
+        histogram_total,
+        thresholds.counter_pct,
+        true,
+    );
+    diff_checksums(&mut report, &base["checksums"], &current["checksums"]);
+    if !counters_only {
+        diff_numeric_section(
+            &mut report,
+            "stage",
+            &base["stages"],
+            &current["stages"],
+            |v| v["total_ns"].as_f64(),
+            thresholds.stage_pct,
+            false,
+        );
+        push_numeric_entry(
+            &mut report,
+            "wall",
+            "wall_ns",
+            base["wall_ns"].as_f64(),
+            current["wall_ns"].as_f64(),
+            thresholds.stage_pct,
+            false,
+        );
+    }
+    Ok(report)
+}
+
+/// Compare two `BENCH_pka.json` documents (arrays of
+/// `{name, median_ns, ...}` rows) with a slowdown-only tolerance.
+///
+/// # Errors
+///
+/// Returns a message when either document is not a bench array.
+pub fn diff_bench(base: &Value, current: &Value, tol_pct: f64) -> Result<DiffReport, String> {
+    let rows = |label: &str, doc: &Value| -> Result<Vec<(String, f64)>, String> {
+        doc.as_array()
+            .ok_or_else(|| format!("{label}: expected a bench JSON array"))?
+            .iter()
+            .map(|row| {
+                let name = row["name"]
+                    .as_str()
+                    .ok_or_else(|| format!("{label}: bench row missing `name`"))?;
+                let median = row["median_ns"]
+                    .as_f64()
+                    .ok_or_else(|| format!("{label}: bench row missing `median_ns`"))?;
+                Ok((name.to_string(), median))
+            })
+            .collect()
+    };
+    let base_rows = rows("baseline", base)?;
+    let cur_rows = rows("current", current)?;
+    let mut report = DiffReport::default();
+    let names: BTreeSet<&String> = base_rows.iter().chain(&cur_rows).map(|(n, _)| n).collect();
+    for name in names {
+        let b = base_rows.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
+        let c = cur_rows.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
+        push_numeric_entry(&mut report, "bench", name, b, c, tol_pct, false);
+    }
+    Ok(report)
+}
+
+fn histogram_total(v: &Value) -> Option<f64> {
+    let counts = v["counts"].as_array()?;
+    counts.iter().map(Value::as_f64).sum()
+}
+
+fn diff_numeric_section(
+    report: &mut DiffReport,
+    kind: &'static str,
+    base: &Value,
+    current: &Value,
+    extract: impl Fn(&Value) -> Option<f64>,
+    tol_pct: f64,
+    two_sided: bool,
+) {
+    let names: BTreeSet<&String> = [base, current]
+        .iter()
+        .filter_map(|v| v.as_object())
+        .flat_map(|m| m.keys())
+        .collect();
+    for name in names {
+        let b = base.get(name).and_then(&extract);
+        let c = current.get(name).and_then(&extract);
+        push_numeric_entry(report, kind, name, b, c, tol_pct, two_sided);
+    }
+}
+
+fn push_numeric_entry(
+    report: &mut DiffReport,
+    kind: &'static str,
+    name: &str,
+    base: Option<f64>,
+    current: Option<f64>,
+    tol_pct: f64,
+    two_sided: bool,
+) {
+    let render = |v: Option<f64>| match v {
+        // Counters/gauges/medians are integral in practice; keep them terse.
+        Some(v) if v.fract() == 0.0 && v.abs() < 9e15 => format!("{}", v as i64),
+        Some(v) => format!("{v}"),
+        None => "-".to_string(),
+    };
+    let (delta_pct, regression) = match (base, current) {
+        (Some(b), Some(c)) if b != 0.0 => {
+            let delta = (c - b) / b.abs() * 100.0;
+            let past = if two_sided {
+                delta.abs() > tol_pct
+            } else {
+                delta > tol_pct
+            };
+            (Some(delta), past)
+        }
+        (Some(b), Some(c)) => (None, c != b), // new activity from a zero baseline
+        (Some(_), None) => (None, true),      // metric disappeared
+        (None, Some(_)) => (None, false),     // new metric: informational
+        (None, None) => (None, false),
+    };
+    report.entries.push(DiffEntry {
+        kind,
+        name: name.to_string(),
+        base: render(base),
+        current: render(current),
+        delta_pct,
+        regression,
+    });
+}
+
+fn diff_checksums(report: &mut DiffReport, base: &Value, current: &Value) {
+    let names: BTreeSet<&String> = [base, current]
+        .iter()
+        .filter_map(|v| v.as_object())
+        .flat_map(|m| m.keys())
+        .collect();
+    for name in names {
+        let b = base.get(name);
+        let c = current.get(name);
+        let render = |v: Option<&Value>| v.map_or("-".to_string(), Value::to_string);
+        report.entries.push(DiffEntry {
+            kind: "checksum",
+            name: name.clone(),
+            base: render(b),
+            current: render(c),
+            delta_pct: None,
+            // A checksum is a bitwise-determinism witness: any change or
+            // disappearance is a regression; a new checksum is informational.
+            regression: b.is_some() && b != c,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn manifest(stage_ns: u64, counter: u64, checksum: u64) -> Value {
+        json!({
+            "schema": MANIFEST_SCHEMA,
+            "wall_ns": stage_ns * 2,
+            "counters": { "pks.records": counter, "pkp.stops": 12u64 },
+            "gauges": { "pks.selected_k": 9i64 },
+            "histograms": { "pkp.stop_cycle": { "edges": [10u64], "counts": [3u64, 1u64] } },
+            "stages": { "pks.sweep": { "calls": 1u64, "total_ns": stage_ns } },
+            "checksums": { "selection": checksum },
+        })
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let m = manifest(1_000_000, 500, 42);
+        let report = diff_manifests(&m, &m, &DiffThresholds::default(), false).unwrap();
+        assert_eq!(report.regressions(), 0);
+        assert!(report.entries.len() >= 6);
+        assert!(report.lines().last().unwrap().contains("0 regression(s)"));
+    }
+
+    #[test]
+    fn stage_slowdown_past_threshold_flags() {
+        let base = manifest(1_000_000, 500, 42);
+        let slow = manifest(1_300_000, 500, 42); // +30% > 25%
+        let report = diff_manifests(&base, &slow, &DiffThresholds::default(), false).unwrap();
+        let stage = report
+            .entries
+            .iter()
+            .find(|e| e.kind == "stage")
+            .expect("stage entry");
+        assert!(stage.regression, "{stage:?}");
+        assert!((stage.delta_pct.unwrap() - 30.0).abs() < 1e-9);
+        // Speedups never flag.
+        let fast = manifest(500_000, 500, 42);
+        let report = diff_manifests(&base, &fast, &DiffThresholds::default(), false).unwrap();
+        assert_eq!(report.regressions(), 0);
+    }
+
+    #[test]
+    fn counters_only_skips_timing_sections() {
+        let base = manifest(1_000_000, 500, 42);
+        let slow = manifest(9_000_000, 500, 42);
+        let report = diff_manifests(&base, &slow, &DiffThresholds::default(), true).unwrap();
+        assert_eq!(report.regressions(), 0);
+        assert!(report.entries.iter().all(|e| e.kind != "stage" && e.kind != "wall"));
+    }
+
+    #[test]
+    fn counter_drift_and_checksum_mismatch_flag() {
+        let base = manifest(1_000_000, 500, 42);
+        let drifted = manifest(1_000_000, 501, 43);
+        let report = diff_manifests(&base, &drifted, &DiffThresholds::default(), true).unwrap();
+        assert_eq!(report.regressions(), 2);
+        let kinds: Vec<&str> = report
+            .entries
+            .iter()
+            .filter(|e| e.regression)
+            .map(|e| e.kind)
+            .collect();
+        assert_eq!(kinds, vec!["counter", "checksum"]);
+    }
+
+    #[test]
+    fn missing_counter_flags_but_new_counter_does_not() {
+        let base = manifest(1_000_000, 500, 42);
+        let mut cur = manifest(1_000_000, 500, 42);
+        let Value::Object(body) = &mut cur else { unreachable!() };
+        let Some(Value::Object(counters)) = body.get_mut("counters") else { unreachable!() };
+        counters.remove("pkp.stops");
+        counters.insert("stream.records".to_string(), json!(7u64));
+        let report = diff_manifests(&base, &cur, &DiffThresholds::default(), true).unwrap();
+        let removed = report.entries.iter().find(|e| e.name == "pkp.stops").unwrap();
+        assert!(removed.regression);
+        let added = report.entries.iter().find(|e| e.name == "stream.records").unwrap();
+        assert!(!added.regression);
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error() {
+        let m = manifest(1, 1, 1);
+        let bad = json!({ "schema": "other/v1" });
+        assert!(diff_manifests(&m, &bad, &DiffThresholds::default(), false).is_err());
+        assert!(diff_manifests(&bad, &m, &DiffThresholds::default(), false).is_err());
+    }
+
+    #[test]
+    fn bench_diff_flags_slow_medians_only() {
+        let row = |name: &str, median_ns: u64| json!({ "name": name, "median_ns": median_ns });
+        let base = Value::Array(vec![row("kmeans_fit", 1000), row("pkp_engine", 2000)]);
+        // kmeans_fit +40%, pkp_engine -25%.
+        let cur = Value::Array(vec![row("kmeans_fit", 1400), row("pkp_engine", 1500)]);
+        let report = diff_bench(&base, &cur, 25.0).unwrap();
+        assert_eq!(report.regressions(), 1);
+        let slow = report.entries.iter().find(|e| e.regression).unwrap();
+        assert_eq!(slow.name, "kmeans_fit");
+        assert!(diff_bench(&base, &json!({}), 25.0).is_err());
+    }
+}

@@ -14,9 +14,13 @@
 //!    unperturbed.
 //! 2. **Results stay bitwise deterministic.** Observability only *reads*
 //!    pipeline state; counters, spans, and trace lines never feed back into
-//!    any computation. Trace output itself is excluded from parity hashes
-//!    (JSONL line order depends on thread schedule; the manifest does not,
-//!    because all of its maps are sorted `BTreeMap`s).
+//!    any computation. Trace and snapshot JSONL are deterministic up to
+//!    wall-clock fields: the executor flushes worker-emitted lines in item
+//!    order via [`capture_trace`]/[`emit_captured`], and snapshot records
+//!    quarantine volatile data in a `"timing"` sub-object, so canonicalized
+//!    output is byte-identical across worker counts (the manifest is
+//!    deterministic outright, because all of its maps are sorted
+//!    `BTreeMap`s).
 //! 3. **Metric handles are `&'static` and survive [`reset`].** Names are
 //!    interned once (`Box::leak`) and never removed, so call sites may cache
 //!    handles in `OnceLock` statics without invalidation hazards.
@@ -27,6 +31,11 @@
 
 #![forbid(unsafe_code)]
 
+mod diff;
+mod export;
+mod snapshot_sink;
+
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
@@ -36,6 +45,12 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use serde_json::{json, Map, Value};
+
+pub use diff::{diff_bench, diff_manifests, DiffEntry, DiffReport, DiffThresholds};
+pub use export::chrome_trace;
+pub use snapshot_sink::{SnapshotRecord, SNAPSHOT_SCHEMA};
+
+use snapshot_sink::SnapshotSink;
 
 /// Schema identifier stamped into every run manifest.
 pub const MANIFEST_SCHEMA: &str = "pka.run_manifest/v1";
@@ -252,6 +267,7 @@ pub struct Registry {
     histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
     stages: Mutex<BTreeMap<&'static str, &'static Stage>>,
     trace: Mutex<Option<BufWriter<File>>>,
+    snapshots: Mutex<Option<SnapshotSink>>,
 }
 
 impl Registry {
@@ -265,6 +281,7 @@ impl Registry {
             histograms: Mutex::new(BTreeMap::new()),
             stages: Mutex::new(BTreeMap::new()),
             trace: Mutex::new(None),
+            snapshots: Mutex::new(None),
         }
     }
 
@@ -359,7 +376,23 @@ impl Registry {
         Ok(())
     }
 
-    fn emit(&self, line: &Value) {
+    fn emit(&self, line: Value) {
+        // When a capture frame is active on this thread (see
+        // [`capture_trace`]), the line is diverted there so the executor can
+        // re-emit worker output in deterministic item order.
+        let line = match TRACE_BUFFER.with(|b| {
+            let mut stack = b.borrow_mut();
+            match stack.last_mut() {
+                Some(frame) => {
+                    frame.push(line);
+                    None
+                }
+                None => Some(line),
+            }
+        }) {
+            Some(line) => line,
+            None => return,
+        };
         let mut guard = self.trace.lock().unwrap();
         if let Some(w) = guard.as_mut() {
             // A failed trace write must never abort the pipeline; drop the
@@ -373,7 +406,7 @@ impl Registry {
     /// Emit a free-form event record to the trace sink (no-op when disabled
     /// or untraced). `fields` should be an object.
     pub fn trace_event(&self, name: &str, fields: Value) {
-        if !self.enabled() {
+        if !self.enabled() || !self.tracing() {
             return;
         }
         let line = json!({
@@ -383,7 +416,54 @@ impl Registry {
             "thread": current_thread_label(),
             "fields": fields,
         });
-        self.emit(&line);
+        self.emit(line);
+    }
+
+    /// Route live snapshot records (`pka.snapshot/v1`) to a JSONL file at
+    /// `path` (truncating it), with a cadence hint of one record per
+    /// `every` stream records. The first line is a schema header.
+    pub fn snapshot_to(&self, path: &Path, every: u64) -> io::Result<()> {
+        let mut guard = self.snapshots.lock().unwrap();
+        let sink = guard.get_or_insert_with(|| SnapshotSink::new(every));
+        sink.attach(path)
+    }
+
+    /// Mirror snapshot records as a human-readable stderr ticker (usable
+    /// with or without a JSONL sink).
+    pub fn progress_ticker(&self, every: u64) {
+        let mut guard = self.snapshots.lock().unwrap();
+        let sink = guard.get_or_insert_with(|| SnapshotSink::new(every));
+        sink.enable_progress();
+    }
+
+    /// The snapshot cadence in stream records, or 0 when no snapshot sink
+    /// (nor progress ticker) is active. Pipelines read this once per run
+    /// and compare `records % every` in the fold, keeping the disabled
+    /// path at a single integer compare.
+    pub fn snapshot_every(&self) -> u64 {
+        self.snapshots.lock().unwrap().as_ref().map_or(0, SnapshotSink::every)
+    }
+
+    /// Emit one snapshot record. The sink stamps `type`/`seq` and a
+    /// volatile `"timing"` sub-object (elapsed ns, kernels/s, plus
+    /// `extra_timing` entries); everything else is the deterministic
+    /// payload of `record`. No-op when disabled or without a sink.
+    pub fn emit_snapshot(&self, record: &SnapshotRecord, extra_timing: Value) {
+        if !self.enabled() {
+            return;
+        }
+        let t_ns = self.wall_ns();
+        if let Some(sink) = self.snapshots.lock().unwrap().as_mut() {
+            sink.emit(record, extra_timing, t_ns);
+        }
+    }
+
+    /// Flush and detach the snapshot sink, if any.
+    pub fn close_snapshots(&self) -> io::Result<()> {
+        if let Some(mut sink) = self.snapshots.lock().unwrap().take() {
+            sink.close()?;
+        }
+        Ok(())
     }
 
     /// Start a span for `name`. Returns a guard that records the elapsed
@@ -452,6 +532,54 @@ impl Default for Registry {
 
 thread_local! {
     static SPAN_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+
+    // Stack of active capture frames (one per nested `capture_trace` call)
+    // diverting trace lines emitted on this thread.
+    static TRACE_BUFFER: RefCell<Vec<Vec<Value>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Trace lines captured on one thread by [`capture_trace`], ready to be
+/// re-emitted in a deterministic order via [`emit_captured`].
+#[derive(Debug, Default)]
+pub struct CapturedTrace(Vec<Value>);
+
+impl CapturedTrace {
+    /// True when no lines were captured.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of captured lines.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Run `f`, diverting every trace line it emits on this thread (spans,
+/// events) into a buffer instead of the sink. The executor wraps each
+/// work item in a capture and re-emits the buffers in item order, making
+/// trace-file line order independent of thread schedule.
+///
+/// Captures nest: a capture inside a capture forwards its lines to the
+/// enclosing frame when re-emitted on the same thread.
+pub fn capture_trace<R>(f: impl FnOnce() -> R) -> (R, CapturedTrace) {
+    TRACE_BUFFER.with(|b| b.borrow_mut().push(Vec::new()));
+    let result = f();
+    let lines = TRACE_BUFFER.with(|b| b.borrow_mut().pop().unwrap_or_default());
+    (result, CapturedTrace(lines))
+}
+
+/// Re-emit lines captured by [`capture_trace`] to the global trace sink
+/// (or into this thread's enclosing capture frame, preserving order under
+/// nested executors).
+pub fn emit_captured(trace: CapturedTrace) {
+    if trace.0.is_empty() {
+        return;
+    }
+    let registry = global();
+    for line in trace.0 {
+        registry.emit(line);
+    }
 }
 
 fn current_thread_label() -> String {
@@ -492,7 +620,7 @@ impl Drop for Span {
                 "depth": inner.depth,
                 "thread": current_thread_label(),
             });
-            inner.registry.emit(&line);
+            inner.registry.emit(line);
         }
     }
 }
@@ -708,6 +836,48 @@ pub fn close_trace() -> io::Result<()> {
 /// Emit a free-form event to the global trace sink.
 pub fn trace_event(name: &str, fields: Value) {
     global().trace_event(name, fields)
+}
+
+/// [`trace_event`] for emitters without a JSON dependency: fields are
+/// unsigned-integer key/value pairs.
+pub fn trace_event_u64(name: &str, fields: &[(&str, u64)]) {
+    let registry = global();
+    if !registry.enabled() || !registry.tracing() {
+        return;
+    }
+    let mut m = Map::new();
+    for &(k, v) in fields {
+        m.insert(k.to_string(), Value::from(v));
+    }
+    registry.trace_event(name, Value::Object(m));
+}
+
+/// Attach a global `pka.snapshot/v1` JSONL sink with cadence `every`.
+pub fn snapshot_to(path: &Path, every: u64) -> io::Result<()> {
+    global().snapshot_to(path, every)
+}
+
+/// Enable the global stderr progress ticker with cadence `every`.
+pub fn progress_ticker(every: u64) {
+    global().progress_ticker(every)
+}
+
+/// The global snapshot cadence (0 when snapshots are off).
+pub fn snapshot_every() -> u64 {
+    match GLOBAL.get() {
+        Some(r) => r.snapshot_every(),
+        None => 0,
+    }
+}
+
+/// Emit one record to the global snapshot sink.
+pub fn emit_snapshot(record: &SnapshotRecord, extra_timing: Value) {
+    global().emit_snapshot(record, extra_timing)
+}
+
+/// Flush and detach the global snapshot sink.
+pub fn close_snapshots() -> io::Result<()> {
+    global().close_snapshots()
 }
 
 /// Snapshot every global metric.
@@ -937,6 +1107,102 @@ mod tests {
         assert!(lines
             .iter()
             .any(|l| l["type"].as_str() == Some("event") && l["fields"]["k"].as_u64() == Some(1)));
+    }
+
+    #[test]
+    fn captured_trace_lines_re_emit_in_caller_order() {
+        let _guard = lock();
+        let r = global();
+        r.reset();
+        let path = std::env::temp_dir().join("pka_obs_test_capture.jsonl");
+        r.trace_to(&path).expect("open sink");
+        r.enable();
+        // Simulate the executor: workers capture out of order, the
+        // coordinator re-emits in item order.
+        let mut captures: Vec<Option<CapturedTrace>> = (0..3).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for i in [2usize, 0, 1] {
+                handles.push((i, scope.spawn(move || {
+                    capture_trace(|| {
+                        trace_event("test.capture", json!({ "item": i }));
+                    })
+                    .1
+                })));
+            }
+            for (i, h) in handles {
+                captures[i] = Some(h.join().expect("worker"));
+            }
+        });
+        for c in captures {
+            emit_captured(c.expect("captured"));
+        }
+        r.disable();
+        r.close_trace().expect("close");
+        let body = std::fs::read_to_string(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+        let items: Vec<u64> = body
+            .lines()
+            .filter_map(|l| serde_json::from_str::<Value>(l).ok())
+            .filter(|v| v["name"].as_str() == Some("test.capture"))
+            .map(|v| v["fields"]["item"].as_u64().unwrap())
+            .collect();
+        assert_eq!(items, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nested_captures_forward_to_enclosing_frame() {
+        let _guard = lock();
+        let r = global();
+        r.reset();
+        let path = std::env::temp_dir().join("pka_obs_test_capture_nested.jsonl");
+        r.trace_to(&path).expect("open sink");
+        r.enable();
+        let ((), outer) = capture_trace(|| {
+            trace_event("test.nested", json!({ "at": "before" }));
+            let ((), inner) = capture_trace(|| {
+                trace_event("test.nested", json!({ "at": "inner" }));
+            });
+            emit_captured(inner); // lands in the outer frame, not the sink
+            trace_event("test.nested", json!({ "at": "after" }));
+        });
+        assert_eq!(outer.len(), 3);
+        emit_captured(outer);
+        r.disable();
+        r.close_trace().expect("close");
+        let body = std::fs::read_to_string(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+        let ats: Vec<String> = body
+            .lines()
+            .filter_map(|l| serde_json::from_str::<Value>(l).ok())
+            .filter(|v| v["name"].as_str() == Some("test.nested"))
+            .map(|v| v["fields"]["at"].as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(ats, vec!["before", "inner", "after"]);
+    }
+
+    #[test]
+    fn snapshot_sink_respects_enabled_gate_and_cadence() {
+        let r = Registry::new();
+        let path = std::env::temp_dir().join("pka_obs_test_registry_snap.jsonl");
+        r.snapshot_to(&path, 500).expect("open sink");
+        assert_eq!(r.snapshot_every(), 500);
+        let rec = SnapshotRecord {
+            phase: "tail".to_string(),
+            records: 500,
+            ..SnapshotRecord::default()
+        };
+        r.emit_snapshot(&rec, Value::Null); // disabled: dropped
+        r.enable();
+        r.emit_snapshot(&rec, Value::Null);
+        r.close_snapshots().expect("close");
+        let body = std::fs::read_to_string(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(body.lines().count(), 2, "header + one record: {body}");
+        let rec_line: Value = serde_json::from_str(body.lines().nth(1).unwrap()).unwrap();
+        assert_eq!(rec_line["type"].as_str(), Some("snapshot"));
+        assert_eq!(rec_line["seq"].as_u64(), Some(0));
+        assert!(rec_line["timing"]["t_ns"].as_u64().is_some());
     }
 
     #[test]

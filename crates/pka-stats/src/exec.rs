@@ -10,7 +10,15 @@
 //!   completion order, so reductions downstream fold in item order;
 //! * [`Executor::try_map`] reports the error of the *smallest-indexed*
 //!   failing item, matching what a sequential early-exit loop would see;
-//! * no RNG state is shared across items — callers derive per-item seeds.
+//! * no RNG state is shared across items — callers derive per-item seeds;
+//! * with a trace sink attached, spans and events emitted *inside* work
+//!   items are captured per item ([`pka_obs::capture_trace`]) and flushed
+//!   in item order, so trace JSONL line order matches a sequential run
+//!   regardless of thread schedule.
+//!
+//! Worker threads are named `pka-w<N>`, matching the per-worker
+//! `executor.worker_busy.w<N>` stages, so trace viewers get one stable
+//! lane per worker.
 //!
 //! Worker count `1` (the default) bypasses threads entirely, so the
 //! sequential path is not merely equivalent but literally the same code the
@@ -97,8 +105,12 @@ impl Executor {
             pka_obs::counter("executor.parallel_maps").incr();
             pka_obs::counter("executor.items").add(n as u64);
         }
+        // With a sink attached, per-item trace output is captured on the
+        // worker and re-emitted in item order below, keeping trace files
+        // byte-comparable across worker counts.
+        let tracing = obs && pka_obs::global().tracing();
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, U)>();
+        let (tx, rx) = mpsc::channel::<(usize, U, pka_obs::CapturedTrace)>();
         let workers = self.workers.get().min(n);
         let busy: Mutex<Vec<u64>> = Mutex::new(Vec::new());
         let out = std::thread::scope(|scope| {
@@ -107,30 +119,47 @@ impl Executor {
                 let next = &next;
                 let f = &f;
                 let busy = &busy;
-                scope.spawn(move || {
-                    let start = obs.then(std::time::Instant::now);
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
+                std::thread::Builder::new()
+                    .name(format!("pka-w{w}"))
+                    .spawn_scoped(scope, move || {
+                        let start = obs.then(std::time::Instant::now);
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let (value, trace) = if tracing {
+                                pka_obs::capture_trace(|| f(i, &items[i]))
+                            } else {
+                                (f(i, &items[i]), pka_obs::CapturedTrace::default())
+                            };
+                            if tx.send((i, value, trace)).is_err() {
+                                break;
+                            }
                         }
-                        if tx.send((i, f(i, &items[i]))).is_err() {
-                            break;
+                        if let Some(start) = start {
+                            let ns =
+                                u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            pka_obs::stage("executor.worker_busy").record_ns(ns);
+                            pka_obs::stage(pka_obs::intern(&format!("executor.worker_busy.w{w}")))
+                                .record_ns(ns);
+                            busy.lock().expect("busy vec").push(ns);
                         }
-                    }
-                    if let Some(start) = start {
-                        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                        pka_obs::stage("executor.worker_busy").record_ns(ns);
-                        pka_obs::stage(pka_obs::intern(&format!("executor.worker_busy.w{w}")))
-                            .record_ns(ns);
-                        busy.lock().expect("busy vec").push(ns);
-                    }
-                });
+                    })
+                    .expect("spawn executor worker");
             }
             drop(tx);
             let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
-            for (i, value) in rx {
+            let mut traces: Vec<Option<pka_obs::CapturedTrace>> =
+                if tracing { (0..n).map(|_| None).collect() } else { Vec::new() };
+            for (i, value, trace) in rx {
                 slots[i] = Some(value);
+                if tracing {
+                    traces[i] = Some(trace);
+                }
+            }
+            for trace in traces.into_iter().flatten() {
+                pka_obs::emit_captured(trace);
             }
             slots
                 .into_iter()
@@ -237,6 +266,7 @@ impl Executor {
             next_chunk: usize,
             remaining: usize,
             results: Vec<Option<T>>,
+            traces: Vec<Option<pka_obs::CapturedTrace>>,
             stop: bool,
         }
 
@@ -246,6 +276,7 @@ impl Executor {
                 next_chunk: usize::MAX,
                 remaining: 0,
                 results: Vec::new(),
+                traces: Vec::new(),
                 stop: false,
             }),
             work: Condvar::new(),
@@ -253,6 +284,7 @@ impl Executor {
         };
         let workers = self.workers.get().min(n_chunks);
         let obs = pka_obs::enabled();
+        let tracing = obs && pka_obs::global().tracing();
         if obs {
             pka_obs::counter("executor.round_pools").incr();
         }
@@ -263,7 +295,8 @@ impl Executor {
                 let ctl = &ctl;
                 let f = &f;
                 let busy = &busy;
-                scope.spawn(move || {
+                let worker = std::thread::Builder::new().name(format!("pka-w{w}"));
+                worker.spawn_scoped(scope, move || {
                     let mut seen = 0u64;
                     // Busy time accumulates locally and flushes once at pool
                     // shutdown, so the per-chunk hot path never touches a
@@ -302,25 +335,34 @@ impl Executor {
                                 st.next_chunk += 1;
                                 i
                             };
-                            let result = if obs {
+                            let (result, trace) = if obs {
                                 let t0 = std::time::Instant::now();
-                                let r = f(i, chunk_range(i));
+                                let (r, trace) = if tracing {
+                                    let (r, t) = pka_obs::capture_trace(|| f(i, chunk_range(i)));
+                                    (r, Some(t))
+                                } else {
+                                    (f(i, chunk_range(i)), None)
+                                };
                                 busy_ns = busy_ns.saturating_add(
                                     u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
                                 );
-                                r
+                                (r, trace)
                             } else {
-                                f(i, chunk_range(i))
+                                (f(i, chunk_range(i)), None)
                             };
                             let mut st = ctl.m.lock().expect("pool mutex");
                             st.results[i] = Some(result);
+                            if let Some(trace) = trace {
+                                st.traces[i] = Some(trace);
+                            }
                             st.remaining -= 1;
                             if st.remaining == 0 {
                                 ctl.done.notify_all();
                             }
                         }
                     }
-                });
+                })
+                .expect("spawn executor worker");
             }
 
             let mut run = || {
@@ -332,14 +374,28 @@ impl Executor {
                 st.next_chunk = 0;
                 st.remaining = n_chunks;
                 st.results = (0..n_chunks).map(|_| None).collect();
+                st.traces = if tracing {
+                    (0..n_chunks).map(|_| None).collect()
+                } else {
+                    Vec::new()
+                };
                 ctl.work.notify_all();
                 while st.remaining > 0 {
                     st = ctl.done.wait(st).expect("pool mutex");
                 }
-                st.results
+                let results: Vec<T> = st
+                    .results
                     .drain(..)
                     .map(|slot| slot.expect("every chunk yields exactly one result"))
-                    .collect()
+                    .collect();
+                let traces: Vec<Option<pka_obs::CapturedTrace>> = st.traces.drain(..).collect();
+                drop(st);
+                // Flush worker trace output in chunk order, off the pool
+                // mutex, before handing results back to `body`.
+                for trace in traces.into_iter().flatten() {
+                    pka_obs::emit_captured(trace);
+                }
+                results
             };
             let out = body(&mut run);
             let mut st = ctl.m.lock().expect("pool mutex");
@@ -560,6 +616,39 @@ mod tests {
         let exec = Executor::new(4);
         let out: u32 = exec.rounds(100, 8, |i, _| i, |_| 7);
         assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn traced_map_emits_worker_lines_in_item_order() {
+        // Spans/events emitted inside work items must appear in the trace
+        // file in item order, not completion order, for every worker count.
+        let registry = pka_obs::global();
+        let path = std::env::temp_dir().join("pka_stats_test_exec_trace.jsonl");
+        let items: Vec<u64> = (0..64).collect();
+        let mut per_workers: Vec<Vec<u64>> = Vec::new();
+        for workers in [1usize, 4] {
+            registry.trace_to(&path).expect("open sink");
+            registry.enable();
+            let out = Executor::new(workers).map(&items, |i, &x| {
+                pka_obs::trace_event("test.exec_item", serde_json::json!({ "item": i }));
+                x
+            });
+            registry.disable();
+            registry.close_trace().expect("close sink");
+            assert_eq!(out, items);
+            let body = std::fs::read_to_string(&path).expect("read trace");
+            per_workers.push(
+                body.lines()
+                    .filter_map(|l| serde_json::from_str::<serde_json::Value>(l).ok())
+                    .filter(|v| v["name"].as_str() == Some("test.exec_item"))
+                    .map(|v| v["fields"]["item"].as_u64().unwrap())
+                    .collect(),
+            );
+        }
+        std::fs::remove_file(&path).ok();
+        let expected: Vec<u64> = (0..64).collect();
+        assert_eq!(per_workers[0], expected, "sequential order");
+        assert_eq!(per_workers[1], expected, "parallel order");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use pka_ml::Matrix;
 use pka_profile::{DetailedRecord, LightweightRecord};
 use pka_stats::hash::{mix64, UnitStream};
 use pka_stats::Executor;
-use serde_json::{Map, Value};
+use serde_json::{json, Map, Value};
 
 use crate::checkpoint::{Checkpoint, ReservoirItem, ReservoirState};
 use crate::drift::{Drift, DriftTracker};
@@ -16,6 +16,11 @@ use crate::StreamError;
 /// from the worker count) so the chunk grid — and therefore every
 /// classification — is identical for any executor.
 const TAIL_CHUNK: usize = 512;
+
+/// Bucket edges (ns) for the `stream.checkpoint_write_ns` histogram:
+/// 10 µs / 100 µs / 1 ms / 10 ms / 100 ms, plus overflow.
+const CHECKPOINT_WRITE_EDGES: &[u64] =
+    &[10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
 
 /// Configuration for the online pipeline.
 ///
@@ -352,6 +357,10 @@ struct TailState {
     reclusters: u64,
     checkpoints_emitted: u64,
     max_buffered: u64,
+    /// Cumulative `on_checkpoint` callback time (observability only:
+    /// wall-clock data never enters checkpoints, so this field is not
+    /// snapshotted and restarts at zero on resume).
+    checkpoint_write_ns: u64,
 }
 
 impl StreamPks {
@@ -476,6 +485,17 @@ impl StreamPks {
                 checkpoint.records
             )));
         }
+        if pka_obs::enabled() {
+            pka_obs::counter("stream.resumes").incr();
+            pka_obs::trace_event(
+                "stream.resume",
+                json!({
+                    "seq": checkpoint.seq,
+                    "records": checkpoint.records,
+                    "source": checkpoint.source,
+                }),
+            );
+        }
         self.drain_tail(source, &mut state, ensemble.as_ref(), &source_name, on_checkpoint)
     }
 
@@ -575,6 +595,7 @@ impl StreamPks {
             pka_obs::gauge("stream.selected_k").set(k as i64);
         }
         let state = TailState {
+            checkpoint_write_ns: 0,
             selection,
             normalizer,
             centroids,
@@ -596,7 +617,32 @@ impl StreamPks {
             checkpoints_emitted: 0,
             max_buffered: 0,
         };
+        if pka_obs::enabled() {
+            self.emit_live_snapshot(&state, "prefix");
+        }
         Ok((state, ensemble, source_name))
+    }
+
+    /// Emits one `pka.snapshot/v1` record reflecting `state`. Every field
+    /// of the record payload is deterministic; throughput and cumulative
+    /// checkpoint write time ride in the sink's volatile `timing` object.
+    fn emit_live_snapshot(&self, state: &TailState, phase: &str) {
+        let record = pka_obs::SnapshotRecord {
+            phase: phase.to_string(),
+            records: state.records,
+            selected_k: state.selection.k() as i64,
+            group_counts: state.selection.groups().iter().map(|g| g.count()).collect(),
+            reservoir_len: state.reservoir_items.len() as u64,
+            reservoir_cap: self.config.reservoir as u64,
+            drifts: state.drifts,
+            reclusters: state.reclusters,
+            checkpoints: state.checkpoints_emitted,
+            max_buffered: state.max_buffered,
+        };
+        pka_obs::emit_snapshot(
+            &record,
+            json!({ "checkpoint_write_ns": state.checkpoint_write_ns }),
+        );
     }
 
     /// Streams the tail in bounded batches until end of stream.
@@ -613,6 +659,10 @@ impl StreamPks {
         F: FnMut(&Checkpoint) -> Result<(), StreamError>,
     {
         let _span = pka_obs::span("stream.tail");
+        // Snapshot cadence, read once: 0 keeps the per-record cost of live
+        // snapshots at a single integer compare.
+        let snap_every = if pka_obs::enabled() { pka_obs::snapshot_every() } else { 0 };
+        let obs = pka_obs::enabled();
         let mut batch: Vec<LightweightRecord> = Vec::with_capacity(self.config.batch);
         loop {
             batch.clear();
@@ -654,7 +704,24 @@ impl StreamPks {
                 self.fold_record(state, label, features)?;
                 if state.records % self.config.checkpoint_every == 0 {
                     let checkpoint = self.snapshot(state, source_name, true);
+                    let t0 = obs.then(std::time::Instant::now);
                     on_checkpoint(&checkpoint)?;
+                    if let Some(t0) = t0 {
+                        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        state.checkpoint_write_ns = state.checkpoint_write_ns.saturating_add(ns);
+                        pka_obs::histogram("stream.checkpoint_write_ns", CHECKPOINT_WRITE_EDGES)
+                            .record(ns);
+                        // Deterministic fields only: the write duration
+                        // stays out of the event so traces canonicalize
+                        // byte-identically across runs.
+                        pka_obs::trace_event(
+                            "stream.checkpoint",
+                            json!({ "seq": checkpoint.seq, "records": checkpoint.records }),
+                        );
+                    }
+                }
+                if snap_every != 0 && state.records % snap_every == 0 {
+                    self.emit_live_snapshot(state, "tail");
                 }
             }
             if pka_obs::enabled() {
@@ -663,10 +730,15 @@ impl StreamPks {
             }
         }
 
-        if pka_obs::enabled() {
+        if obs {
             pka_obs::counter("stream.checkpoints").add(state.checkpoints_emitted);
             pka_obs::counter("stream.drifts").add(state.drifts);
             pka_obs::counter("stream.reclusters").add(state.reclusters);
+            // End-of-stream snapshot, so even short tails leave at least
+            // one `phase: "tail"` record in the snapshot file.
+            if snap_every != 0 {
+                self.emit_live_snapshot(state, "tail");
+            }
         }
         let final_checkpoint = self.snapshot(state, source_name, false);
         let report = StreamReport {
@@ -738,6 +810,16 @@ impl StreamPks {
 
         if state.drift[label].observe(distance) == Drift::Fired {
             state.drifts += 1;
+            // Drift firings are rare (EWMA-gated), so a per-firing gate +
+            // event costs nothing on the per-record path. The fold runs
+            // strictly in record order on one thread, so these events land
+            // in the trace deterministically.
+            if pka_obs::enabled() {
+                pka_obs::trace_event(
+                    "stream.drift",
+                    json!({ "group": label, "record": t, "drifts": state.drifts }),
+                );
+            }
             self.recluster(state);
         }
         state.records += 1;
@@ -801,6 +883,17 @@ impl StreamPks {
             *cc = c.max(1);
         }
         state.reclusters += 1;
+        if pka_obs::enabled() {
+            pka_obs::trace_event(
+                "stream.recluster",
+                json!({
+                    "reclusters": state.reclusters,
+                    "record": state.records,
+                    "reservoir": state.reservoir_items.len() as u64,
+                    "iters": self.config.recluster_iters as u64,
+                }),
+            );
+        }
     }
 
     /// Builds a checkpoint of the current state. `periodic` bumps the

@@ -12,9 +12,16 @@
 
 use principal_kernel_analysis::core::{Pka, PkaConfig};
 use principal_kernel_analysis::gpu::GpuConfig;
+use principal_kernel_analysis::obs;
 use principal_kernel_analysis::workloads::rodinia;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Set PKA_TRACE=<path> to record a pka.trace/v1 JSONL of the run.
+    let trace = std::env::var_os("PKA_TRACE");
+    if let Some(path) = &trace {
+        obs::enable();
+        obs::trace_to(std::path::Path::new(path))?;
+    }
     let workload = rodinia::workloads()
         .into_iter()
         .find(|w| w.name() == "srad_v1")
@@ -23,8 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("workload: {}", workload.name());
 
     // Select once, on Volta — the paper's protocol.
+    let select_span = obs::span("example.select");
     let volta = Pka::new(GpuConfig::v100(), PkaConfig::default());
     let selection = volta.select_kernels(&workload)?;
+    drop(select_span);
     println!("selected {} principal kernels on Volta\n", selection.k());
 
     println!("{:<10} {:>10} {:>10}", "GPU", "error[%]", "speedup");
@@ -39,6 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Figure 10 in miniature: 80 vs 40 SMs, silicon truth vs PKA estimate.
     println!();
+    let _scaling_span = obs::span("example.sm_scaling");
     let full = Pka::new(GpuConfig::v100(), PkaConfig::default());
     let half = Pka::new(GpuConfig::v100_half_sms(), PkaConfig::default());
     let silicon_full = full.profiler().silicon_run(&workload)?;
@@ -57,5 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  |error|: {:.1}%",
         ((pka_speedup - silicon_speedup) / silicon_speedup * 100.0).abs()
     );
+    drop(_scaling_span);
+    if trace.is_some() {
+        obs::close_trace()?;
+    }
     Ok(())
 }

@@ -12,9 +12,16 @@
 
 use principal_kernel_analysis::core::{Pka, PkaConfig, PkpConfig, PksConfig};
 use principal_kernel_analysis::gpu::{GpuConfig, KernelDescriptor};
+use principal_kernel_analysis::obs;
 use principal_kernel_analysis::workloads::{KernelTemplate, Suite, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Set PKA_TRACE=<path> to record a pka.trace/v1 JSONL of the run.
+    let trace = std::env::var_os("PKA_TRACE");
+    if let Some(path) = &trace {
+        obs::enable();
+        obs::trace_to(std::path::Path::new(path))?;
+    }
     // 1. Describe the kernels declaratively.
     let update = KernelDescriptor::builder("solver_update")
         .grid_blocks(640)
@@ -67,7 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_pkp(PkpConfig::default().with_threshold(0.25));
     let pka = Pka::new(GpuConfig::v100(), config);
 
+    let select_span = obs::span("example.select");
     let selection = pka.select_kernels(&workload)?;
+    drop(select_span);
     println!("PKS discovered {} groups:", selection.k());
     for group in selection.groups() {
         let rep = workload.kernel(group.representative());
@@ -79,7 +88,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    let evaluate_span = obs::span("example.evaluate");
     let report = pka.evaluate_in_simulation(&workload, true)?;
+    drop(evaluate_span);
     println!();
     println!(
         "PKA error vs silicon: {:.1}% (full simulation: {:.1}%)",
@@ -92,5 +103,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.fullsim_hours,
         report.pka_hours
     );
+    if trace.is_some() {
+        obs::close_trace()?;
+    }
     Ok(())
 }

@@ -13,11 +13,18 @@
 
 use principal_kernel_analysis::core::{Pka, PkaConfig};
 use principal_kernel_analysis::gpu::GpuConfig;
+use principal_kernel_analysis::obs;
 use principal_kernel_analysis::profile::Profiler;
 use principal_kernel_analysis::sim::cost::{format_duration, projected_sim_seconds};
 use principal_kernel_analysis::workloads::mlperf;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Set PKA_TRACE=<path> to record a pka.trace/v1 JSONL of the run.
+    let trace = std::env::var_os("PKA_TRACE");
+    if let Some(path) = &trace {
+        obs::enable();
+        obs::trace_to(std::path::Path::new(path))?;
+    }
     let workload = mlperf::workloads()
         .into_iter()
         .find(|w| w.name() == "mlperf_resnet50_64b_infer")
@@ -52,6 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The PKA pipeline.
+    let pipeline_span = obs::span("example.pipeline");
     let pka = Pka::new(GpuConfig::v100(), PkaConfig::default());
     let selection = pka.select_kernels(&workload)?;
     println!();
@@ -82,5 +90,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         format_duration(report.fullsim_hours * 3600.0),
         report.pka_speedup()
     );
+    drop(pipeline_span);
+    if trace.is_some() {
+        obs::close_trace()?;
+    }
     Ok(())
 }

@@ -8,13 +8,22 @@
 //! kernels, simulates only those (stopping each at IPC stability), and
 //! compares the projected application cycles against silicon and against
 //! full simulation.
+//!
+//! Set `PKA_TRACE=<path>` to record a `pka.trace/v1` JSONL of the run
+//! (convert with `pka trace export` and open it in Perfetto).
 
 use principal_kernel_analysis::core::{Pka, PkaConfig};
+use principal_kernel_analysis::obs;
 use principal_kernel_analysis::gpu::GpuConfig;
 use principal_kernel_analysis::sim::cost::format_duration;
 use principal_kernel_analysis::workloads::rodinia;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = std::env::var_os("PKA_TRACE");
+    if let Some(path) = &trace {
+        obs::enable();
+        obs::trace_to(std::path::Path::new(path))?;
+    }
     let workload = rodinia::workloads()
         .into_iter()
         .find(|w| w.name() == "gauss_208")
@@ -25,7 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pka = Pka::new(GpuConfig::v100(), PkaConfig::default());
 
     // Step 1: silicon profiling + Principal Kernel Selection.
+    let select_span = obs::span("example.select");
     let selection = pka.select_kernels(&workload)?;
+    drop(select_span);
     println!(
         "PKS: {} groups selected (target error {:.0}%)",
         selection.k(),
@@ -41,7 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 2: full evaluation in simulation (this workload is small enough
     // to also run the full-simulation baseline for comparison).
+    let evaluate_span = obs::span("example.evaluate");
     let report = pka.evaluate_in_simulation(&workload, true)?;
+    drop(evaluate_span);
     println!();
     println!("silicon reference:   {:>14} cycles", report.silicon_cycles);
     println!(
@@ -68,5 +81,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.pks_speedup(),
         report.pka_speedup()
     );
+    if trace.is_some() {
+        obs::close_trace()?;
+    }
     Ok(())
 }

@@ -10,6 +10,8 @@
 //! pka stream --source <FILE.jsonl|-|synthetic:N|WORKLOAD> [--prefix J]
 //!            [--checkpoint-every N] [--checkpoint FILE.json] [--resume]
 //!            [--verify-batch]
+//! pka trace export TRACE.jsonl [--out FILE.json]
+//! pka obs diff BASELINE.json CURRENT.json [--counters-only]
 //! ```
 //!
 //! `select` profiles (one- or two-level automatically), runs Principal
@@ -36,13 +38,18 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    let flags = match parse_flags(rest) {
+    let (flags, positional) = match parse_flags(rest) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
             return ExitCode::from(2);
         }
     };
+    // Only the file-conversion subcommands take positional arguments.
+    if !positional.is_empty() && !matches!(command.as_str(), "trace" | "obs") {
+        eprintln!("error: unexpected argument `{}`\n{USAGE}", positional[0]);
+        return ExitCode::from(2);
+    }
     if let Err(e) = obs_setup(&flags) {
         eprintln!("error: {e}");
         return ExitCode::from(2);
@@ -53,6 +60,8 @@ fn main() -> ExitCode {
         "select" => cmd_select(&flags),
         "simulate" => cmd_simulate(&flags),
         "stream" => cmd_stream(&flags),
+        "trace" => cmd_trace(&flags, &positional),
+        "obs" => cmd_obs(&flags, &positional),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -95,19 +104,34 @@ fn record_report(value: serde_json::Value) {
     }
 }
 
+/// Snapshot cadence (stream records between `pka.snapshot/v1` records)
+/// when `--snapshot-out`/`--progress` are given without `--snapshot-every`.
+const DEFAULT_SNAPSHOT_EVERY: u64 = 100_000;
+
 /// Enables collection when any observability flag is present and attaches
-/// the JSONL sink for `--trace-out`.
+/// the JSONL sinks for `--trace-out` and `--snapshot-out`.
 fn obs_setup(flags: &HashMap<String, String>) -> Result<(), String> {
+    use principal_kernel_analysis::obs;
     let wants_obs = flags.contains_key("trace-out")
         || flags.contains_key("metrics-out")
-        || flags.contains_key("verbose");
+        || flags.contains_key("verbose")
+        || flags.contains_key("snapshot-out")
+        || flags.contains_key("progress");
     if !wants_obs {
         return Ok(());
     }
-    principal_kernel_analysis::obs::enable();
+    obs::enable();
     if let Some(path) = flags.get("trace-out") {
-        principal_kernel_analysis::obs::trace_to(std::path::Path::new(path))
+        obs::trace_to(std::path::Path::new(path))
             .map_err(|e| format!("open trace sink {path}: {e}"))?;
+    }
+    let every = int_flag(flags, "snapshot-every")?.unwrap_or(DEFAULT_SNAPSHOT_EVERY);
+    if let Some(path) = flags.get("snapshot-out") {
+        obs::snapshot_to(std::path::Path::new(path), every)
+            .map_err(|e| format!("open snapshot sink {path}: {e}"))?;
+    }
+    if flags.contains_key("progress") {
+        obs::progress_ticker(every);
     }
     Ok(())
 }
@@ -163,6 +187,7 @@ fn obs_finish(command: &str, flags: &HashMap<String, String>) -> Result<(), Stri
         }
     }
     obs::close_trace().map_err(|e| format!("close trace sink: {e}"))?;
+    obs::close_snapshots().map_err(|e| format!("close snapshot sink: {e}"))?;
     Ok(())
 }
 
@@ -178,6 +203,10 @@ const USAGE: &str = "usage:
              [--prefix J] [--checkpoint-every N] [--checkpoint FILE.json]
              [--resume] [--reservoir N] [--batch N] [--verify-batch]
              [--gpu ...] [--workers N] [observability flags]
+  pka trace export TRACE.jsonl [--out FILE.json]
+  pka obs diff BASELINE.json CURRENT.json [--counters-only]
+              [--counter-tol PCT] [--gauge-tol PCT] [--stage-tol PCT]
+              [--bench [--bench-tol PCT]]
 
 `stream` runs the bounded-memory online PKS pipeline: the first J kernels
 are profiled in detail and clustered exactly like the batch pipeline, then
@@ -196,11 +225,24 @@ unless the selected K matches exactly and projected cycles agree within
 out over N threads (0 = one per hardware thread). Results are bitwise
 identical for any worker count.
 
+`trace export` converts a `--trace-out` JSONL file into Chrome
+trace-event JSON that opens directly in Perfetto (ui.perfetto.dev) or
+chrome://tracing, one lane per executor worker. `obs diff` compares two
+`--metrics-out` manifests (counter deltas, gauge drift, stage-timing
+ratios, checksum changes) — or, with `--bench`, two bench-medians files —
+and exits non-zero when any delta exceeds its threshold; `--counters-only`
+skips the machine-dependent stage/wall sections for cross-host CI gating.
+
 observability flags (any of them turns collection on; results are
 unchanged — observability output is excluded from parity):
   --trace-out PATH    append span/event records to PATH as JSONL
   --metrics-out PATH  write a run_manifest.json (config, seeds, stage
                       timings, counter totals, output checksums)
+  --snapshot-out PATH write periodic pka.snapshot/v1 live-status records
+                      (throughput, phase, group sizes, reservoir, drift /
+                      recluster / checkpoint activity) to PATH as JSONL
+  --snapshot-every N  snapshot cadence in stream records (default 100000)
+  --progress          mirror snapshots as a stderr ticker
   -v, --verbose       print a per-stage time/counter summary to stderr";
 
 /// Parses the `--workers` flag: absent -> sequential.
@@ -213,8 +255,17 @@ fn workers_from(flags: &HashMap<String, String>) -> Result<usize, String> {
     }
 }
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
+    const BOOLEAN: &[&str] = &[
+        "full",
+        "resume",
+        "verify-batch",
+        "progress",
+        "counters-only",
+        "bench",
+    ];
     let mut flags = HashMap::new();
+    let mut positional = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg == "-v" || arg == "--verbose" {
@@ -222,9 +273,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             continue;
         }
         let Some(name) = arg.strip_prefix("--") else {
-            return Err(format!("unexpected argument `{arg}`"));
+            positional.push(arg.clone());
+            continue;
         };
-        if name == "full" || name == "resume" || name == "verify-batch" {
+        if BOOLEAN.contains(&name) {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -233,7 +285,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .ok_or_else(|| format!("--{name} requires a value"))?;
         flags.insert(name.to_string(), value.clone());
     }
-    Ok(flags)
+    Ok((flags, positional))
 }
 
 fn find_workload(flags: &HashMap<String, String>) -> Result<Workload, String> {
@@ -363,6 +415,14 @@ fn cmd_select(flags: &HashMap<String, String>) -> Result<(), String> {
         }))
         .map_err(|e| format!("serialise selection: {e}"))?;
         record_checksum("selection", &canonical);
+        let record = principal_kernel_analysis::obs::SnapshotRecord {
+            phase: "select".to_string(),
+            records: w.kernel_count(),
+            selected_k: selection.k() as i64,
+            group_counts: selection.groups().iter().map(|g| g.count()).collect(),
+            ..Default::default()
+        };
+        principal_kernel_analysis::obs::emit_snapshot(&record, serde_json::json!({}));
     }
     if let Some(path) = flags.get("out") {
         // The file records which workload it was made for so a later
@@ -490,6 +550,13 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
             "pka_projected_cycles": report.pka_projected_cycles,
             "per_representative": serde_json::Value::Array(per_rep),
         }));
+        let snapshot = principal_kernel_analysis::obs::SnapshotRecord {
+            phase: "simulate".to_string(),
+            records: w.kernel_count(),
+            selected_k: report.per_representative.len() as i64,
+            ..Default::default()
+        };
+        principal_kernel_analysis::obs::emit_snapshot(&snapshot, serde_json::json!({}));
     }
     Ok(())
 }
@@ -677,4 +744,84 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
         record_report(value);
     }
     Ok(())
+}
+
+/// `pka trace export TRACE.jsonl [--out FILE.json]`: convert a
+/// `pka.trace/v1` JSONL file into Chrome trace-event JSON that loads
+/// directly in Perfetto / `about:tracing`.
+fn cmd_trace(flags: &HashMap<String, String>, positional: &[String]) -> Result<(), String> {
+    match positional.first().map(String::as_str) {
+        Some("export") => {}
+        Some(other) => return Err(format!("unknown trace subcommand `{other}`\n{USAGE}")),
+        None => return Err(format!("trace needs a subcommand (export)\n{USAGE}")),
+    }
+    let input = positional
+        .get(1)
+        .ok_or("trace export needs an input TRACE.jsonl path")?;
+    let jsonl =
+        std::fs::read_to_string(input).map_err(|e| format!("read {input}: {e}"))?;
+    let chrome = principal_kernel_analysis::obs::chrome_trace(&jsonl)
+        .map_err(|e| format!("{input}: {e}"))?;
+    let rendered = serde_json::to_string_pretty(&chrome)
+        .map_err(|e| format!("serialise chrome trace: {e}"))?;
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| format!("write {path}: {e}"))?;
+            let events = chrome["traceEvents"].as_array().map_or(0, Vec::len);
+            eprintln!("pka: wrote {events} trace events to {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// `pka obs diff BASE CURRENT [...]`: compare two run manifests (or two
+/// bench medians files with `--bench`) and fail on regressions past the
+/// thresholds — the CI regression gate.
+fn cmd_obs(flags: &HashMap<String, String>, positional: &[String]) -> Result<(), String> {
+    use principal_kernel_analysis::obs::{diff_bench, diff_manifests, DiffThresholds};
+    match positional.first().map(String::as_str) {
+        Some("diff") => {}
+        Some(other) => return Err(format!("unknown obs subcommand `{other}`\n{USAGE}")),
+        None => return Err(format!("obs needs a subcommand (diff)\n{USAGE}")),
+    }
+    let (Some(base_path), Some(cur_path)) = (positional.get(1), positional.get(2)) else {
+        return Err("obs diff needs BASELINE and CURRENT file paths".to_string());
+    };
+    let read = |path: &String| -> Result<serde_json::Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+    };
+    let pct_flag = |name: &str, default: f64| -> Result<f64, String> {
+        flags
+            .get(name)
+            .map(|v| {
+                v.parse::<f64>()
+                    .ok()
+                    .filter(|p| p.is_finite() && *p >= 0.0)
+                    .ok_or_else(|| format!("--{name} must be a non-negative percentage"))
+            })
+            .transpose()
+            .map(|p| p.unwrap_or(default))
+    };
+    let base = read(base_path)?;
+    let current = read(cur_path)?;
+    let defaults = DiffThresholds::default();
+    let report = if flags.contains_key("bench") {
+        diff_bench(&base, &current, pct_flag("bench-tol", defaults.stage_pct)?)?
+    } else {
+        let thresholds = DiffThresholds {
+            counter_pct: pct_flag("counter-tol", defaults.counter_pct)?,
+            gauge_pct: pct_flag("gauge-tol", defaults.gauge_pct)?,
+            stage_pct: pct_flag("stage-tol", defaults.stage_pct)?,
+        };
+        diff_manifests(&base, &current, &thresholds, flags.contains_key("counters-only"))?
+    };
+    for line in report.lines() {
+        println!("{line}");
+    }
+    match report.regressions() {
+        0 => Ok(()),
+        n => Err(format!("{n} regression(s) past threshold")),
+    }
 }

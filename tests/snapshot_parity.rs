@@ -1,0 +1,171 @@
+//! Determinism contract of the live observability outputs: the
+//! `pka.snapshot/v1` stream and the semantic (`"event"`) records of the
+//! `pka.trace/v1` stream are byte-identical across `--workers` counts once
+//! the volatile wall-clock data is stripped.
+//!
+//! Canonical form:
+//! - snapshots: drop the sink-stamped `"timing"` object (elapsed time,
+//!   kernels/s, checkpoint write durations); everything else — phase,
+//!   record counts, selected K, group sizes, reservoir occupancy, drift /
+//!   recluster / checkpoint totals, `seq` — must match exactly.
+//! - trace: keep the header and `"event"` records, dropping `t_ns` and
+//!   `thread`. Span records are performance telemetry and are excluded:
+//!   the parallel K-sweep does speculative fits a sequential run's early
+//!   exit skips, so span *counts* legitimately differ by worker count
+//!   even though results are bitwise identical.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use principal_kernel_analysis::obs;
+use serde_json::Value;
+
+fn pka_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_pka")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pka_snap_it_{}_{name}", std::process::id()))
+}
+
+/// Runs `pka stream` with snapshot and trace sinks attached; returns the
+/// raw (snapshot, trace) JSONL bodies.
+fn run_stream(workers: &str, tag: &str) -> (String, String) {
+    let snap = temp_path(&format!("snap_{tag}.jsonl"));
+    let trace = temp_path(&format!("trace_{tag}.jsonl"));
+    let out = Command::new(pka_bin())
+        .args([
+            "stream",
+            "--source",
+            "synthetic:30000",
+            "--prefix",
+            "500",
+            "--checkpoint-every",
+            "8000",
+            "--workers",
+            workers,
+            "--snapshot-out",
+            snap.to_str().unwrap(),
+            "--snapshot-every",
+            "5000",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run pka stream");
+    assert!(
+        out.status.success(),
+        "pka stream --workers {workers} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let snap_body = std::fs::read_to_string(&snap).expect("read snapshots");
+    let trace_body = std::fs::read_to_string(&trace).expect("read trace");
+    std::fs::remove_file(&snap).ok();
+    std::fs::remove_file(&trace).ok();
+    (snap_body, trace_body)
+}
+
+/// Re-serializes every snapshot line without its volatile `"timing"`
+/// object (vendored serde_json sorts keys, so the result is canonical).
+fn canonical_snapshots(body: &str) -> String {
+    body.lines()
+        .map(|line| {
+            let mut v: Value = serde_json::from_str(line).expect("snapshot line parses");
+            if let Value::Object(m) = &mut v {
+                m.remove("timing");
+            }
+            serde_json::to_string(&v).unwrap()
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The canonical semantic subsequence of a trace: header plus `"event"`
+/// records with wall-clock and thread identity stripped.
+fn canonical_events(body: &str) -> String {
+    body.lines()
+        .filter_map(|line| {
+            let mut v: Value = serde_json::from_str(line).expect("trace line parses");
+            let Value::Object(m) = &mut v else {
+                panic!("trace line is not an object: {line}");
+            };
+            match m.get("type").and_then(Value::as_str) {
+                Some("header") => {}
+                Some("event") => {
+                    m.remove("t_ns");
+                    m.remove("thread");
+                }
+                _ => return None,
+            }
+            Some(serde_json::to_string(&v).unwrap())
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn snapshots_and_events_are_identical_across_worker_counts() {
+    let (snap1, trace1) = run_stream("1", "w1");
+    let (snap4, trace4) = run_stream("4", "w4");
+
+    let canon1 = canonical_snapshots(&snap1);
+    assert_eq!(
+        canon1,
+        canonical_snapshots(&snap4),
+        "snapshot stream differs between --workers 1 and --workers 4"
+    );
+    assert_eq!(
+        canonical_events(&trace1),
+        canonical_events(&trace4),
+        "trace events differ between --workers 1 and --workers 4"
+    );
+
+    // The comparison must not be vacuous.
+    let lines: Vec<Value> = canon1
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(lines[0]["schema"].as_str(), Some(obs::SNAPSHOT_SCHEMA));
+    let snapshots = lines
+        .iter()
+        .filter(|l| l["type"].as_str() == Some("snapshot"))
+        .count();
+    assert!(snapshots >= 4, "only {snapshots} snapshot records emitted");
+    assert!(
+        lines
+            .iter()
+            .any(|l| l["phase"].as_str() == Some("prefix")),
+        "no prefix-phase snapshot"
+    );
+    assert!(
+        canonical_events(&trace1).contains("stream.checkpoint"),
+        "no stream.checkpoint events in trace"
+    );
+}
+
+/// Every emitted snapshot record round-trips through the typed schema:
+/// `from_value` accepts it and `to_value` reproduces the deterministic
+/// payload exactly (sink-stamped `type`/`seq`/`timing` excluded).
+#[test]
+fn snapshot_records_round_trip_through_schema() {
+    let (snap, _) = run_stream("2", "roundtrip");
+    let mut checked = 0;
+    for line in snap.lines() {
+        let v: Value = serde_json::from_str(line).expect("snapshot line parses");
+        if v["type"].as_str() != Some("snapshot") {
+            continue;
+        }
+        let record = obs::SnapshotRecord::from_value(&v)
+            .unwrap_or_else(|e| panic!("schema rejects emitted record: {e}\n{line}"));
+        let mut payload = match v {
+            Value::Object(m) => m,
+            _ => unreachable!(),
+        };
+        payload.remove("type");
+        payload.remove("seq");
+        payload.remove("timing");
+        assert_eq!(record.to_value(), Value::Object(payload), "lossy round trip");
+        checked += 1;
+    }
+    assert!(checked >= 4, "only {checked} snapshot records checked");
+}

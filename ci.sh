@@ -10,17 +10,23 @@
 #      test harness's parallelism
 #   4. workspace tests (member-crate unit suites are NOT part of the root
 #      package run)
-#   5. bench smoke — the hot-path benchmarks at reduced iteration counts,
-#      plus a jq schema check over the BENCH_pka.json they emit
-#   6. observability smoke — a traced `pka simulate` run whose
+#   5. SIMD dispatch matrix — the tier-1 suite again under codegen pinned
+#      to AVX2, pinned to SSE4.1, and with the vector tiers disabled
+#      entirely (PKA_NO_SIMD=1): the differential parity proof must hold
+#      on every dispatch path, and the forced-scalar fallback must pass
+#      the identical suite with zero test changes
+#   6. bench smoke — the hot-path benchmarks at reduced iteration counts,
+#      plus a jq schema check over the BENCH_pka.json they emit (which
+#      must include the kmeans_sweep/bounded_simd fast-math entry)
+#   7. observability smoke — a traced `pka simulate` run whose
 #      run_manifest.json is jq-validated (schema, a fired PKP stop rule,
 #      populated stage timings)
-#   7. stream smoke — online PKS over a synthetic 100k-kernel stream with
+#   8. stream smoke — online PKS over a synthetic 100k-kernel stream with
 #      `--verify-batch` (exact batch-vs-stream selected-K agreement,
 #      projected cycles within 1%), plus a jq schema check over the emitted
 #      `pka.stream_checkpoint/v1` file including the bounded-memory
 #      invariant (max_buffered <= reservoir cap + batch size)
-#   8. live observability smoke — a snapshot-emitting stream run whose
+#   9. live observability smoke — a snapshot-emitting stream run whose
 #      `pka.snapshot/v1` JSONL is jq-validated, `pka trace export` over its
 #      trace (valid Chrome trace-event JSON with worker lanes), and the
 #      `pka obs diff` regression gate: a counters-only diff against the
@@ -43,6 +49,16 @@ cargo test -q -- --test-threads=1
 echo "==> cargo test --workspace -q (member crates)"
 cargo test --workspace -q
 
+echo "==> SIMD dispatch matrix (tier 1 under +avx2 / +sse4.1 / forced scalar)"
+# Pinned-codegen runs get their own target dirs so they don't thrash the
+# main incremental cache; the forced-scalar run changes no codegen and
+# reuses the default dir.
+RUSTFLAGS="-C target-feature=+avx2" CARGO_TARGET_DIR=target/simd-avx2 \
+    cargo test -q
+RUSTFLAGS="-C target-feature=+sse4.1" CARGO_TARGET_DIR=target/simd-sse41 \
+    cargo test -q
+PKA_NO_SIMD=1 cargo test -q
+
 echo "==> bench smoke (reduced iterations)"
 BENCH_SMOKE_JSON="$(mktemp -t bench_pka_smoke.XXXXXX.json)"
 trap 'rm -f "$BENCH_SMOKE_JSON"' EXIT
@@ -54,6 +70,7 @@ if command -v jq >/dev/null 2>&1; then
         type == "array" and length >= 3
         and all(.[]; has("name") and has("iterations")
                      and has("median_ns") and has("stddev_ns"))
+        and any(.[]; .name == "kmeans_sweep/bounded_simd/50000")
     ' "$BENCH_SMOKE_JSON" >/dev/null
     echo "bench json OK ($(jq length "$BENCH_SMOKE_JSON") records)"
 else

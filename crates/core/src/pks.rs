@@ -368,7 +368,12 @@ impl Pks {
             None
         };
 
-        if self.exec.is_sequential() || projected.rows() >= INNER_PARALLEL_ROWS {
+        // The speculative all-K fit only pays when the fits genuinely run
+        // concurrently; with the spawn clamp resolving to one thread (e.g.
+        // a single-core host) it would just discard the early exit, making
+        // `--workers` slower than sequential for free.
+        let speculate = !self.exec.is_sequential() && self.exec.spawn_count(max_k) > 1;
+        if !speculate || projected.rows() >= INNER_PARALLEL_ROWS {
             // Ascending-K walk with early exit at the winning K. A parallel
             // executor is spent *inside* each fit (chunked assignment) —
             // the million-kernel regime, where a single K dominates.

@@ -1,6 +1,7 @@
 use pka_stats::hash::UnitStream;
 use pka_stats::Executor;
 
+use crate::simd::{self, SimdTier};
 use crate::{Matrix, MlError};
 
 /// Rows per assignment chunk. Fixed — never derived from the worker count —
@@ -18,7 +19,7 @@ const ASSIGN_CHUNK: usize = 2048;
 /// what make the pruned path *provably* bitwise identical to the exhaustive
 /// reference: a point is only skipped when its assigned centroid is
 /// strictly closest.
-const BOUND_PAD: f64 = 1e-9;
+pub(crate) const BOUND_PAD: f64 = 1e-9;
 
 #[inline]
 fn pad_up(x: f64) -> f64 {
@@ -35,7 +36,7 @@ fn pad_down(x: f64) -> f64 {
 /// Padded downward so accumulated rounding can never push the computed
 /// bound above the true squared distance — pruning with it stays exact.
 #[inline]
-fn norm_lower_bound(nx: f64, nc: f64) -> f64 {
+pub(crate) fn norm_lower_bound(nx: f64, nc: f64) -> f64 {
     let m = (nx - nc).abs() - (nx + nc) * 1e-12;
     if m > 0.0 {
         (m * m) * (1.0 - 1e-12)
@@ -163,19 +164,24 @@ impl KMeans {
         let n = data.rows();
         let d = data.cols();
         let k = self.k.min(n);
+        let tier = simd::active_tier();
         let mut rng = UnitStream::new(self.seed ^ 0x9e3779b97f4a7c15);
 
         let point_norms: Vec<f64> = data
             .iter_rows()
             .map(|row| Matrix::sq_norm(row).sqrt())
             .collect();
+        let mut init = plus_plus_init(data, k, &mut rng, &point_norms, tier);
+        // The interleaved mirror the SIMD scan reads; rebuilt after every
+        // between-round centroid mutation, below.
+        init.rebuild_inter(tier);
         // Everything the assignment workers read lives behind one RwLock:
         // workers hold read locks only while a round is in flight, the
         // driver below write-locks only between rounds, so the lock is
         // never contended — it exists to let the fixed worker closure of
         // [`Executor::rounds`] observe the driver's between-round mutations.
         let state = std::sync::RwLock::new(AssignState {
-            centroids: plus_plus_init(data, k, &mut rng, &point_norms),
+            centroids: init,
             labels: vec![0usize; n],
             // Hamerly bounds: `upper[i]` ≥ dist(point i, its centroid),
             // `lower[i]` ≤ dist(point i, every *other* centroid). The
@@ -185,6 +191,7 @@ impl KMeans {
             snap_upper: vec![0.0f64; n],
             snap_lower: vec![0.0f64; n],
             cum_drift: vec![0.0f64; k],
+            cum_excl: vec![0.0f64; k],
             cum_max: 0.0,
             s_half: vec![0.0f64; k],
         });
@@ -197,6 +204,18 @@ impl KMeans {
         let mut sums = vec![0.0f64; k * d];
         let mut counts = vec![0usize; k];
         let mut dirty = vec![true; k];
+        // Row-ordered membership lists let the update step fold only the
+        // points of dirty clusters instead of re-scanning every row. The
+        // lists are maintained from the same splice that marks clusters
+        // dirty: arrivals queue in `incoming`, departures are dropped at
+        // the next fold by a label check, so the merge below visits
+        // exactly the rows the full scan would have summed, in the same
+        // ascending order — the fold stays bitwise identical.
+        let track_members = u32::try_from(n).is_ok();
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut incoming: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut merged: Vec<u32> = Vec::new();
+        let mut members_built = false;
 
         let fit = self.exec.rounds(
             n,
@@ -225,11 +244,14 @@ impl KMeans {
                                 dirty[u.label] = true;
                                 st.labels[i] = u.label;
                                 changed = true;
+                                if track_members {
+                                    incoming[u.label].push(i as u32);
+                                }
                             }
                             st.upper[i] = u.upper;
                             st.lower[i] = u.lower;
                             st.snap_upper[i] = st.cum_drift[u.label];
-                            st.snap_lower[i] = st.cum_max;
+                            st.snap_lower[i] = st.cum_excl[u.label];
                         }
                     }
 
@@ -237,15 +259,70 @@ impl KMeans {
                     // clusters, so centroid sums carry the exact rounding of
                     // the reference implementation.
                     old.copy_from_slice(&st.centroids.data);
-                    if dirty.iter().any(|&f| f) {
+                    if track_members && members_built {
+                        // Merge each dirty cluster's standing members with
+                        // this round's arrivals, dropping rows whose label
+                        // moved on; both lists are ascending, so the fold
+                        // order equals the full scan's.
+                        for c in 0..k {
+                            if !dirty[c] {
+                                continue;
+                            }
+                            incoming[c].sort_unstable();
+                            merged.clear();
+                            let sum = &mut sums[c * d..(c + 1) * d];
+                            sum.fill(0.0);
+                            let (old_list, inc) = (&members[c], &incoming[c]);
+                            let (mut a, mut b) = (0usize, 0usize);
+                            loop {
+                                let next = match (old_list.get(a), inc.get(b)) {
+                                    (Some(&x), Some(&y)) if x < y => {
+                                        a += 1;
+                                        x
+                                    }
+                                    (Some(_), Some(&y)) => {
+                                        b += 1;
+                                        y
+                                    }
+                                    (Some(&x), None) => {
+                                        a += 1;
+                                        x
+                                    }
+                                    (None, Some(&y)) => {
+                                        b += 1;
+                                        y
+                                    }
+                                    (None, None) => break,
+                                };
+                                let i = next as usize;
+                                if st.labels[i] != c {
+                                    continue;
+                                }
+                                merged.push(next);
+                                for (s, &x) in sum.iter_mut().zip(data.row(i)) {
+                                    *s += x;
+                                }
+                            }
+                            counts[c] = merged.len();
+                            std::mem::swap(&mut members[c], &mut merged);
+                            incoming[c].clear();
+                        }
+                    } else if dirty.iter().any(|&f| f) {
                         for c in 0..k {
                             if dirty[c] {
                                 sums[c * d..(c + 1) * d].fill(0.0);
                                 counts[c] = 0;
                             }
+                            if track_members {
+                                members[c].clear();
+                                incoming[c].clear();
+                            }
                         }
                         for (i, row) in data.iter_rows().enumerate() {
                             let c = st.labels[i];
+                            if track_members {
+                                members[c].push(i as u32);
+                            }
                             if dirty[c] {
                                 counts[c] += 1;
                                 for (s, &x) in sums[c * d..(c + 1) * d].iter_mut().zip(row) {
@@ -253,6 +330,7 @@ impl KMeans {
                                 }
                             }
                         }
+                        members_built = track_members;
                     }
                     let mut reseeds: Vec<(usize, usize)> = Vec::new();
                     for c in 0..k {
@@ -278,13 +356,18 @@ impl KMeans {
                             st.centroids.overwrite(c, data.row(far));
                             reseeds.push((st.labels[far], c));
                             st.labels[far] = c;
+                            if track_members {
+                                // Queue the adoptee for the next round's
+                                // fold; its old list drops it by label check.
+                                incoming[c].push(far as u32);
+                            }
                             // The reseeded point *is* its centroid:
                             // distance 0, and nothing below zero bounds the
                             // second-closest.
                             st.upper[far] = 0.0;
                             st.lower[far] = 0.0;
                             st.snap_upper[far] = st.cum_drift[c];
-                            st.snap_lower[far] = st.cum_max;
+                            st.snap_lower[far] = st.cum_excl[c];
                             changed = true;
                         } else if dirty[c] {
                             let row = st.centroids.row_mut(c);
@@ -313,6 +396,8 @@ impl KMeans {
                     // refresh the half-distance to each centroid's nearest
                     // neighbour for the `s_half` test.
                     let mut max_drift = 0.0f64;
+                    let mut second_drift = 0.0f64;
+                    let mut argmax = 0usize;
                     for c in 0..k {
                         let drift = pad_up(
                             Matrix::sq_dist_hot(st.centroids.row(c), &old[c * d..(c + 1) * d])
@@ -320,10 +405,21 @@ impl KMeans {
                         );
                         st.cum_drift[c] += drift;
                         if drift > max_drift {
+                            second_drift = max_drift;
                             max_drift = drift;
+                            argmax = c;
+                        } else if drift > second_drift {
+                            second_drift = drift;
                         }
                     }
                     st.cum_max += max_drift;
+                    // The fastest-moving centroid's own points exclude it
+                    // from their lower-bound decay (it cannot be their
+                    // second-closest *and* assigned), so they take the
+                    // runner-up drift instead.
+                    for (c, ce) in st.cum_excl.iter_mut().enumerate() {
+                        *ce += if c == argmax { second_drift } else { max_drift };
+                    }
                     for c in 0..k {
                         let mut min_sq = f64::INFINITY;
                         for c2 in 0..k {
@@ -345,6 +441,9 @@ impl KMeans {
                             f64::INFINITY
                         };
                     }
+                    // All centroid mutations for this iteration are done;
+                    // refresh the mirror the next round's scans will read.
+                    st.centroids.rebuild_inter(tier);
                 }
 
                 if pka_obs::enabled() {
@@ -355,10 +454,12 @@ impl KMeans {
                 }
 
                 let st = state.read().expect("assignment state lock");
+                // Reporting-grade pass: honours `--fast-math`, exact by
+                // default.
                 let inertia = data
                     .iter_rows()
                     .enumerate()
-                    .map(|(i, row)| Matrix::sq_dist_hot(row, st.centroids.row(st.labels[i])))
+                    .map(|(i, row)| simd::sq_dist_auto(row, st.centroids.row(st.labels[i])))
                     .sum();
 
                 KMeansFit {
@@ -484,6 +585,12 @@ struct Centroids {
     data: Vec<f64>,
     /// Euclidean (not squared) norm per centroid.
     norms: Vec<f64>,
+    /// Lane-interleaved mirror of `data` for the SIMD full scan; `None` on
+    /// the scalar tier. Only valid between [`Centroids::rebuild_inter`] and
+    /// the next mutation — the fit driver rebuilds it after every
+    /// between-round update, so assignment rounds always read a current
+    /// mirror.
+    inter: Option<simd::InterleavedRows>,
 }
 
 impl Centroids {
@@ -492,6 +599,19 @@ impl Centroids {
             d,
             data: Vec::with_capacity(k * d),
             norms: Vec::with_capacity(k),
+            inter: None,
+        }
+    }
+
+    /// (Re)packs the interleaved mirror from the current rows; no-op on the
+    /// scalar tier.
+    fn rebuild_inter(&mut self, tier: SimdTier) {
+        if tier == SimdTier::Scalar {
+            return;
+        }
+        match &mut self.inter {
+            Some(inter) => inter.rebuild(&self.data),
+            None => self.inter = Some(simd::InterleavedRows::build(tier, &self.data, self.d)),
         }
     }
 
@@ -543,8 +663,14 @@ struct AssignState {
     /// Per-centroid accumulated padded drift, applied lazily to upper
     /// bounds at assignment time.
     cum_drift: Vec<f64>,
-    /// Accumulated per-iteration maximum drifts, applied lazily to lower
-    /// bounds.
+    /// Accumulated per-iteration maximum drift *over the other centroids*,
+    /// indexed by a point's label and applied lazily to its lower bound —
+    /// Hamerly's bound: the second-closest centroid is some `c ≠ label`, so
+    /// the assigned centroid's own travel never loosens the lower bound.
+    cum_excl: Vec<f64>,
+    /// Accumulated per-iteration maximum drifts over *all* centroids; an
+    /// upper envelope of every `cum_excl` entry, used to scale the
+    /// reconstruction error padding.
     cum_max: f64,
     /// Half the distance from each centroid to its nearest other centroid,
     /// padded down (Hamerly's second pruning test).
@@ -555,7 +681,7 @@ struct AssignState {
 /// floating-point error of reconstructing a bound from an accumulator
 /// delta. Summation error over any realistic iteration budget is below
 /// `1e-14` relative; `1e-12` leaves two orders of magnitude to spare.
-const CUM_PAD: f64 = 1e-12;
+pub(crate) const CUM_PAD: f64 = 1e-12;
 
 /// The bounded assignment step over one row range.
 ///
@@ -574,49 +700,91 @@ fn assign_chunk(data: &Matrix, st: &AssignState, range: std::ops::Range<usize>) 
     // the per-point loop itself carries no instrumentation at all.
     let mut scans = 0u64;
     let mut out = Vec::new();
-    for i in range {
-        let label = st.labels[i];
-        let cd = st.cum_drift[label];
-        // Upper bound, padded up: stored bound plus every drift of the
-        // assigned centroid since it was stored.
-        let mut u = pad_up(st.upper[i] + (cd - st.snap_upper[i])) + cd * CUM_PAD;
-        // Lower bound, padded down: stored bound minus the accumulated
-        // per-iteration maximum drifts since it was stored. `±∞` sentinels
-        // ("never scanned" / "no other centroid") pass through unpadded —
-        // padding arithmetic on infinities would produce NaN.
-        let mut l = {
-            let base = st.lower[i] - (st.cum_max - st.snap_lower[i]);
-            if base.is_finite() {
-                base - BOUND_PAD * base.abs() - st.cum_max * CUM_PAD
-            } else {
-                base
-            }
+    // Per-chunk distance scratch for the batch scan kernel (one slot per
+    // centroid); allocated lazily on the first full scan.
+    let mut scratch = Vec::new();
+    // The bound reconstruction runs for *every* point *every* iteration —
+    // once pruning works it dominates the sweep, so on a vector tier the
+    // whole chunk goes through one [`simd::prune_survivors`] call (bitwise
+    // equal to [`simd::reconstruct_bounds`] lane by lane); only surviving
+    // points fall through to the scalar tighten/scan path.
+    if let Some(tier) = st.centroids.inter.as_ref().map(simd::InterleavedRows::tier) {
+        let hs = simd::HamerlySlices {
+            upper: &st.upper[range.clone()],
+            snap_upper: &st.snap_upper[range.clone()],
+            lower: &st.lower[range.clone()],
+            snap_lower: &st.snap_lower[range.clone()],
+            labels: &st.labels[range.clone()],
+            cum_drift: &st.cum_drift,
+            cum_excl: &st.cum_excl,
+            s_half: &st.s_half,
+            cum_max: st.cum_max,
         };
-        if u < l || u < st.s_half[label] {
-            continue;
+        let mut survivors = Vec::new();
+        simd::prune_survivors(tier, &hs, &mut survivors);
+        // Survivors split into two batches: points whose tightened upper
+        // bound passes after one exact distance, and points that need the
+        // full scan — the latter go through the batched scan kernel, four
+        // (AVX2) or two (SSE4.1) points per pass. Update order within the
+        // chunk differs from the scalar path, but every update is
+        // per-point state, so the splice result is identical.
+        let mut pending: Vec<u32> = Vec::new();
+        for s in survivors {
+            let i = range.start + s.index as usize;
+            let label = st.labels[i];
+            let mut u = s.u;
+            if s.l.is_finite() {
+                u = pad_up(Matrix::sq_dist_hot(data.row(i), st.centroids.row(label)).sqrt());
+            }
+            if u < s.l || u < st.s_half[label] {
+                out.push(PointUpdate {
+                    index: i,
+                    label,
+                    upper: u,
+                    lower: s.l,
+                });
+            } else {
+                pending.push(i as u32);
+            }
         }
-        let row = data.row(i);
-        let mut best = label;
-        // Tighten the upper bound with one exact distance before paying
-        // for the full scan — unless the point has never been scanned
-        // (`l` still at its −∞ sentinel), where the scan is inevitable
-        // and the tightening distance would be wasted.
-        if l.is_finite() {
-            u = pad_up(Matrix::sq_dist_hot(row, st.centroids.row(label)).sqrt());
+        scans += pending.len() as u64;
+        if !pending.is_empty() {
+            let mut winners = Vec::with_capacity(pending.len());
+            simd::scan_points(
+                tier,
+                data.as_slice(),
+                data.cols(),
+                &pending,
+                &st.centroids.data,
+                st.centroids.k(),
+                &mut winners,
+            );
+            for (&i, &(best, best_d, second_d)) in pending.iter().zip(&winners) {
+                out.push(PointUpdate {
+                    index: i as usize,
+                    label: best as usize,
+                    upper: pad_up(best_d.sqrt()),
+                    lower: pad_down(second_d.sqrt()),
+                });
+            }
         }
-        if !(u < l || u < st.s_half[label]) {
-            scans += 1;
-            let (winner, best_d, second_d) = scan(row, &st.centroids);
-            best = winner;
-            u = pad_up(best_d.sqrt());
-            l = pad_down(second_d.sqrt());
+    } else {
+        for i in range {
+            let label = st.labels[i];
+            let (u, l) = simd::reconstruct_bounds(
+                st.upper[i],
+                st.snap_upper[i],
+                st.lower[i],
+                st.snap_lower[i],
+                st.cum_drift[label],
+                st.cum_excl[label],
+                st.cum_max,
+            );
+            if u < l || u < st.s_half[label] {
+                continue;
+            }
+            assign_point(data, st, i, u, l, &mut out, &mut scratch, &mut scans);
         }
-        out.push(PointUpdate {
-            index: i,
-            label: best,
-            upper: u,
-            lower: l,
-        });
     }
     if pka_obs::enabled() {
         obs_counters().bound_prunes.add((range_len - out.len()) as u64);
@@ -624,6 +792,45 @@ fn assign_chunk(data: &Matrix, st: &AssignState, range: std::ops::Range<usize>) 
         obs_counters().full_scans.add(scans);
     }
     out
+}
+
+/// The tighten/scan path for one point whose reconstructed bounds `u` / `l`
+/// failed the prune test — the scalar continuation shared by the blocked
+/// and per-point reconstruction paths above.
+#[allow(clippy::too_many_arguments)]
+fn assign_point(
+    data: &Matrix,
+    st: &AssignState,
+    i: usize,
+    mut u: f64,
+    mut l: f64,
+    out: &mut Vec<PointUpdate>,
+    scratch: &mut Vec<f64>,
+    scans: &mut u64,
+) {
+    let label = st.labels[i];
+    let row = data.row(i);
+    let mut best = label;
+    // Tighten the upper bound with one exact distance before paying
+    // for the full scan — unless the point has never been scanned
+    // (`l` still at its −∞ sentinel), where the scan is inevitable
+    // and the tightening distance would be wasted.
+    if l.is_finite() {
+        u = pad_up(Matrix::sq_dist_hot(row, st.centroids.row(label)).sqrt());
+    }
+    if !(u < l || u < st.s_half[label]) {
+        *scans += 1;
+        let (winner, best_d, second_d) = scan(row, &st.centroids, scratch);
+        best = winner;
+        u = pad_up(best_d.sqrt());
+        l = pad_down(second_d.sqrt());
+    }
+    out.push(PointUpdate {
+        index: i,
+        label: best,
+        upper: u,
+        lower: l,
+    });
 }
 
 /// Cached hot-path counter handles, interned once per process.
@@ -653,11 +860,28 @@ fn obs_counters() -> &'static KmeansObs {
 ///
 /// The comparison sequence — strict `<` against the running best, in
 /// ascending centroid order — matches [`nearest`] exactly, so the winner is
-/// always the reference winner.
-fn scan(point: &[f64], centroids: &Centroids) -> (usize, f64, f64) {
+/// always the reference winner. On a vector tier the distances come from
+/// the batch kernel (`scratch` holds one slot per centroid), which is
+/// bitwise equal to the per-row [`Matrix::sq_dist_hot`] calls it replaces;
+/// the winner selection itself always runs the scalar comparison order.
+fn scan(point: &[f64], centroids: &Centroids, scratch: &mut Vec<f64>) -> (usize, f64, f64) {
     let mut best = 0usize;
     let mut best_d = f64::INFINITY;
     let mut second_d = f64::INFINITY;
+    if let Some(inter) = &centroids.inter {
+        scratch.resize(centroids.k(), 0.0);
+        simd::sq_dist_batch(point, inter, scratch);
+        for (c, &d) in scratch.iter().enumerate() {
+            if d < best_d {
+                second_d = best_d;
+                best_d = d;
+                best = c;
+            } else if d < second_d {
+                second_d = d;
+            }
+        }
+        return (best, best_d, second_d);
+    }
     // `Matrix` rejects zero-column inputs, so `d >= 1` here.
     for (c, row) in centroids.data.chunks_exact(centroids.d).enumerate() {
         let d = Matrix::sq_dist_hot(point, row);
@@ -678,22 +902,37 @@ fn scan(point: &[f64], centroids: &Centroids) -> (usize, f64, f64) {
 /// Draw-for-draw and value-for-value identical to
 /// [`plus_plus_init_reference`]: the cached-norm lower bound only skips
 /// `sq_dist` calls that provably cannot lower `d2[i]`, so the D² weights —
-/// and therefore every RNG draw and chosen index — are unchanged.
+/// and therefore every RNG draw and chosen index — are unchanged. On a
+/// vector tier the D² sweeps run point-batched over a transposed copy of
+/// the data ([`simd::min_d2_update`], bitwise equal to this pruned scalar
+/// loop); the transpose is only built when a second centroid exists to
+/// amortise it.
 fn plus_plus_init(
     data: &Matrix,
     k: usize,
     rng: &mut UnitStream,
     point_norms: &[f64],
+    tier: SimdTier,
 ) -> Centroids {
     let n = data.rows();
-    let mut centroids = Centroids::with_capacity(k, data.cols());
+    let d = data.cols();
+    let mut centroids = Centroids::with_capacity(k, d);
     let first = rng.next_index(n);
     centroids.push(data.row(first));
-    let mut d2: Vec<f64> = {
-        let c0 = centroids.row(0);
-        data.iter_rows()
-            .map(|row| Matrix::sq_dist_hot(row, c0))
-            .collect()
+    let xt = (tier != SimdTier::Scalar && k >= 2)
+        .then(|| simd::TransposedPoints::build(tier, data.as_slice(), n, d));
+    let mut d2: Vec<f64> = match &xt {
+        Some(xt) => {
+            let mut v = vec![0.0; n];
+            simd::sq_dist_to_point(xt, centroids.row(0), &mut v);
+            v
+        }
+        None => {
+            let c0 = centroids.row(0);
+            data.iter_rows()
+                .map(|row| Matrix::sq_dist_hot(row, c0))
+                .collect()
+        }
     };
 
     while centroids.k() < k {
@@ -716,13 +955,18 @@ fn plus_plus_init(
         centroids.push(data.row(chosen));
         let c = centroids.row(centroids.k() - 1);
         let c_norm = point_norms[chosen];
-        for (i, row) in data.iter_rows().enumerate() {
-            if norm_lower_bound(point_norms[i], c_norm) > d2[i] {
-                continue;
-            }
-            let d = Matrix::sq_dist_hot(row, c);
-            if d < d2[i] {
-                d2[i] = d;
+        match &xt {
+            Some(xt) => simd::min_d2_update(xt, c, c_norm, point_norms, &mut d2),
+            None => {
+                for (i, row) in data.iter_rows().enumerate() {
+                    if norm_lower_bound(point_norms[i], c_norm) > d2[i] {
+                        continue;
+                    }
+                    let d = Matrix::sq_dist_hot(row, c);
+                    if d < d2[i] {
+                        d2[i] = d;
+                    }
+                }
             }
         }
     }

@@ -40,7 +40,10 @@
 //! # Ok::<(), pka_ml::MlError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `simd` module carries the one audited
+// `allow(unsafe_code)` in the crate, for CPU intrinsics behind runtime
+// feature detection. Everything else still refuses unsafe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod classify;
@@ -52,6 +55,7 @@ mod matrix;
 mod pca;
 mod quality;
 mod scaler;
+pub mod simd;
 
 pub use error::MlError;
 pub use hierarchical::{Agglomerative, Dendrogram, Linkage};

@@ -1,0 +1,1416 @@
+//! SIMD tiers for the clustering/projection hot loops.
+//!
+//! Builds on [`pka_stats::simd`] (tier detection, the fast-math switch) and
+//! adds the three distance/projection kernels the PKS pipeline spends its
+//! time in:
+//!
+//! * **Batch squared distance, lane = row** ([`InterleavedRows`] +
+//!   [`sq_dist_batch`]): one point against every centroid — the K-Means
+//!   full scan.
+//! * **Batch squared distance, lane = point** ([`TransposedPoints`] +
+//!   [`sq_dist_to_point`] / [`min_d2_update`]): every point against one
+//!   centroid — k-means++ seeding and the silhouette's row sweeps.
+//! * **Batch dot product, lane = component** ([`dot_batch`]): one centred
+//!   row against every principal component — PCA projection.
+//! * **Hamerly bound reconstruction, lane = point** ([`prune_survivors`]):
+//!   the per-point bound arithmetic + prune test that K-Means assignment
+//!   pays for *every* point *every* iteration — by far the most visited
+//!   code in the sweep once pruning works.
+//! * **Fused full scan, lane = point** ([`scan_points`]): best and
+//!   second-best centroid for each surviving point, with the scalar
+//!   strict-`<` selection semantics replicated per lane.
+//!
+//! All of these vectorise **across independent outputs**: each lane runs the
+//! scalar op sequence for its own output element, additions are never
+//! reassociated within one output, and FMA is never used. The results are
+//! therefore bitwise equal to the scalar code for every input — including
+//! NaN, ±inf and denormals — which `tests/simd_parity.rs` and this crate's
+//! property suite enforce. One carve-out: when a result *is* NaN, its sign
+//! and payload bits are not part of the guarantee. IEEE 754 leaves NaN
+//! propagation unspecified — x86 generates the negative "real indefinite"
+//! for `inf − inf`, and the compiler may commute an add, changing which
+//! input NaN survives — so the parity suites compare NaN results as a
+//! class, and everything else to the bit.
+//!
+//! The opt-in fast-math tier ([`sq_dist_fast`], [`dot_fast`]) instead
+//! splits a *single* reduction across lanes and reassociates the horizontal
+//! sum as `((l0 + l1) + (l2 + l3)) + tail` (AVX2; `(l0 + l1) + tail` for
+//! SSE4.1). For a length-`d` reduction the result differs from the scalar
+//! order by at most `2 · d · ε` (`ε = 2⁻⁵³`) relative to the sum of
+//! absolute terms — the standard recursive-summation bound (Higham §4.2)
+//! applied to both orders. The parity suite asserts this bound explicitly.
+
+// The crate is `deny(unsafe_code)`; intrinsics are confined to this module.
+#![allow(unsafe_code)]
+
+pub use pka_stats::simd::{active_tier, detect_tier, fast_math, set_fast_math, SimdTier};
+
+use crate::kmeans::{norm_lower_bound, BOUND_PAD, CUM_PAD};
+
+/// Rows stored lane-interleaved so one vector op reads the same coordinate
+/// of `lanes` consecutive rows.
+///
+/// For lane width `w`, block `b` packs rows `b·w .. b·w+w` as `d`
+/// consecutive groups of `w` values: group `j` holds coordinate `j` of each
+/// row in the block (missing rows in the final block are zero-padded; their
+/// lanes are computed and discarded). On the [`SimdTier::Scalar`] tier the
+/// layout degenerates to a plain row-major copy.
+#[derive(Debug, Clone)]
+pub struct InterleavedRows {
+    tier: SimdTier,
+    d: usize,
+    rows: usize,
+    data: Vec<f64>,
+}
+
+impl InterleavedRows {
+    /// Packs `rows` (row-major `flat`, `d` columns) for `tier`.
+    pub fn build(tier: SimdTier, flat: &[f64], d: usize) -> Self {
+        let mut s = Self {
+            tier,
+            d,
+            rows: 0,
+            data: Vec::new(),
+        };
+        s.rebuild(flat);
+        s
+    }
+
+    /// Re-packs after the source rows changed (same width, any row count).
+    /// Reuses the allocation — this runs once per Lloyd iteration.
+    pub fn rebuild(&mut self, flat: &[f64]) {
+        let d = self.d;
+        debug_assert!(d > 0 && flat.len() % d == 0);
+        let rows = flat.len() / d;
+        self.rows = rows;
+        let w = self.tier.lanes();
+        if w == 1 {
+            self.data.clear();
+            self.data.extend_from_slice(flat);
+            return;
+        }
+        let blocks = rows.div_ceil(w);
+        self.data.clear();
+        self.data.resize(blocks * d * w, 0.0);
+        for b in 0..blocks {
+            let base = b * d * w;
+            for j in 0..d {
+                for l in 0..w {
+                    let r = b * w + l;
+                    self.data[base + j * w + l] = if r < rows { flat[r * d + j] } else { 0.0 };
+                }
+            }
+        }
+    }
+
+    /// The tier the block was packed for.
+    pub fn tier(&self) -> SimdTier {
+        self.tier
+    }
+
+    /// Number of packed rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row width (dimensions).
+    pub fn dims(&self) -> usize {
+        self.d
+    }
+}
+
+/// `out[r] = ‖point − row_r‖²` for every packed row; bitwise equal to
+/// calling [`crate::Matrix::sq_dist_hot`] per row.
+///
+/// # Panics
+///
+/// Panics (debug) unless `point.len() == inter.dims()` and
+/// `out.len() == inter.rows()`.
+pub fn sq_dist_batch(point: &[f64], inter: &InterleavedRows, out: &mut [f64]) {
+    debug_assert_eq!(point.len(), inter.d);
+    debug_assert_eq!(out.len(), inter.rows);
+    match inter.tier {
+        SimdTier::Scalar => {
+            for (o, row) in out.iter_mut().zip(inter.data.chunks_exact(inter.d.max(1))) {
+                *o = crate::Matrix::sq_dist_hot(point, row);
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse41 => unsafe {
+            x86::sq_dist_batch_sse2(point, &inter.data, inter.d, inter.rows, out);
+        },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe {
+            x86::sq_dist_batch_avx2(point, &inter.data, inter.d, inter.rows, out);
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("vector tiers are only detected on x86_64"),
+    }
+}
+
+/// `out[r] = vec · row_r` for every packed row; bitwise equal to the scalar
+/// `row.iter().map(..).sum()` fold per row. The PCA projection kernel
+/// (`vec` is the centred sample, rows are the principal components).
+///
+/// # Panics
+///
+/// Panics (debug) unless `vec.len() == inter.dims()` and
+/// `out.len() == inter.rows()`.
+pub fn dot_batch(vec: &[f64], inter: &InterleavedRows, out: &mut [f64]) {
+    debug_assert_eq!(vec.len(), inter.d);
+    debug_assert_eq!(out.len(), inter.rows);
+    match inter.tier {
+        SimdTier::Scalar => {
+            for (o, row) in out.iter_mut().zip(inter.data.chunks_exact(inter.d.max(1))) {
+                *o = vec.iter().zip(row).map(|(&x, &c)| x * c).sum();
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse41 => unsafe {
+            x86::dot_batch_sse2(vec, &inter.data, inter.d, inter.rows, out);
+        },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe {
+            x86::dot_batch_avx2(vec, &inter.data, inter.d, inter.rows, out);
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("vector tiers are only detected on x86_64"),
+    }
+}
+
+/// Points stored column-major (`data[j·n + i]` is coordinate `j` of point
+/// `i`) so one vector op reads the same coordinate of `lanes` consecutive
+/// points. Built once per K-Means fit; ~`n·d` doubles.
+#[derive(Debug, Clone)]
+pub struct TransposedPoints {
+    tier: SimdTier,
+    n: usize,
+    d: usize,
+    data: Vec<f64>,
+}
+
+impl TransposedPoints {
+    /// Transposes `n` row-major points of width `d` for `tier`.
+    pub fn build(tier: SimdTier, flat: &[f64], n: usize, d: usize) -> Self {
+        debug_assert_eq!(flat.len(), n * d);
+        let mut data = vec![0.0; n * d];
+        for i in 0..n {
+            for j in 0..d {
+                data[j * n + i] = flat[i * d + j];
+            }
+        }
+        Self { tier, n, d, data }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Point width (dimensions).
+    pub fn dims(&self) -> usize {
+        self.d
+    }
+}
+
+/// `out[i] = ‖x_i − c‖²` for every point; bitwise equal to the scalar
+/// per-row [`crate::Matrix::sq_dist_hot`] sweep.
+///
+/// # Panics
+///
+/// Panics (debug) unless `c.len() == xt.dims()` and `out.len() == xt.len()`.
+pub fn sq_dist_to_point(xt: &TransposedPoints, c: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(c.len(), xt.d);
+    debug_assert_eq!(out.len(), xt.n);
+    match xt.tier {
+        SimdTier::Scalar => scalar_sq_dist_to_point(xt, c, 0, out),
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse41 => unsafe { x86::sq_dist_to_point_sse2(xt, c, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { x86::sq_dist_to_point_avx2(xt, c, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("vector tiers are only detected on x86_64"),
+    }
+}
+
+/// `d2[i] = min(d2[i], ‖x_i − c‖²)`, skipping points whose cached-norm
+/// lower bound already exceeds `d2[i]` — the k-means++ seeding sweep,
+/// bitwise equal to the pruned scalar loop.
+///
+/// Blocks where only *some* lanes prune still compute every lane: the
+/// pruning bound guarantees a pruned lane's true distance exceeds its
+/// `d2[i]`, so the blind vector min leaves it unchanged — the discarded
+/// work changes no bits (asserted by the parity suite alongside the
+/// `norm_lower_bound` soundness property).
+///
+/// # Panics
+///
+/// Panics (debug) unless `c.len() == xt.dims()` and `point_norms.len() ==
+/// d2.len() == xt.len()`.
+pub fn min_d2_update(
+    xt: &TransposedPoints,
+    c: &[f64],
+    c_norm: f64,
+    point_norms: &[f64],
+    d2: &mut [f64],
+) {
+    debug_assert_eq!(c.len(), xt.d);
+    debug_assert_eq!(point_norms.len(), xt.n);
+    debug_assert_eq!(d2.len(), xt.n);
+    match xt.tier {
+        SimdTier::Scalar => scalar_min_d2_update(xt, c, c_norm, point_norms, 0, d2),
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse41 => unsafe { x86::min_d2_update_sse41(xt, c, c_norm, point_norms, d2) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { x86::min_d2_update_avx2(xt, c, c_norm, point_norms, d2) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("vector tiers are only detected on x86_64"),
+    }
+}
+
+/// Scalar remainder shared by every [`sq_dist_to_point`] tier: points
+/// `from..` via strided reads, the exact `sq_dist_hot` op order.
+fn scalar_sq_dist_to_point(xt: &TransposedPoints, c: &[f64], from: usize, out: &mut [f64]) {
+    for i in from..xt.n {
+        let mut acc = 0.0;
+        for (j, &cj) in c.iter().enumerate() {
+            let diff = xt.data[j * xt.n + i] - cj;
+            acc += diff * diff;
+        }
+        out[i] = acc;
+    }
+}
+
+/// Scalar remainder shared by every [`min_d2_update`] tier.
+fn scalar_min_d2_update(
+    xt: &TransposedPoints,
+    c: &[f64],
+    c_norm: f64,
+    point_norms: &[f64],
+    from: usize,
+    d2: &mut [f64],
+) {
+    for i in from..xt.n {
+        if norm_lower_bound(point_norms[i], c_norm) > d2[i] {
+            continue;
+        }
+        let mut acc = 0.0;
+        for (j, &cj) in c.iter().enumerate() {
+            let diff = xt.data[j * xt.n + i] - cj;
+            acc += diff * diff;
+        }
+        if acc < d2[i] {
+            d2[i] = acc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hamerly bound reconstruction: the K-Means per-point prune test
+// ---------------------------------------------------------------------------
+
+/// Reconstructs one point's Hamerly bounds from its stored bounds and the
+/// drift accumulators — the scalar reference every [`prune_survivors`]
+/// lane must match bitwise. `cd` is the assigned centroid's accumulated
+/// drift, `ce` the accumulated maximum drift over the *other* centroids
+/// (the assigned centroid cannot be the second-closest, so its own travel
+/// never decays the lower bound), and `cum_max` the accumulated global
+/// maximum drift, used only to scale the error padding. Returns the
+/// padded `(upper, lower)` pair; `±∞` sentinels pass through the lower
+/// bound unpadded (padding arithmetic on infinities would produce NaN).
+#[inline]
+pub fn reconstruct_bounds(
+    upper: f64,
+    snap_upper: f64,
+    lower: f64,
+    snap_lower: f64,
+    cd: f64,
+    ce: f64,
+    cum_max: f64,
+) -> (f64, f64) {
+    let u = (upper + (cd - snap_upper)) * (1.0 + BOUND_PAD) + cd * CUM_PAD;
+    let base = lower - (ce - snap_lower);
+    let l = if base.is_finite() {
+        base - BOUND_PAD * base.abs() - cum_max * CUM_PAD
+    } else {
+        base
+    };
+    (u, l)
+}
+
+/// One point whose reconstructed bounds failed the prune test, emitted by
+/// [`prune_survivors`] for the scalar tighten/scan continuation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Survivor {
+    /// Chunk-relative point index.
+    pub index: u32,
+    /// Reconstructed (padded) upper bound.
+    pub u: f64,
+    /// Reconstructed (padded) lower bound.
+    pub l: f64,
+}
+
+/// Borrowed views of the assignment state one [`prune_survivors`] call
+/// reads: the chunk's stored bounds/snapshots/labels (parallel slices of
+/// equal length) plus the whole per-centroid drift and separation tables.
+#[derive(Debug)]
+pub struct HamerlySlices<'a> {
+    /// Stored upper bounds.
+    pub upper: &'a [f64],
+    /// `cum_drift[label]` snapshots taken when `upper` was stored.
+    pub snap_upper: &'a [f64],
+    /// Stored lower bounds.
+    pub lower: &'a [f64],
+    /// `cum_max` snapshots taken when `lower` was stored.
+    pub snap_lower: &'a [f64],
+    /// Assigned centroid per point.
+    pub labels: &'a [usize],
+    /// Per-centroid accumulated padded drift (indexed by label).
+    pub cum_drift: &'a [f64],
+    /// Per-centroid accumulated maximum drift over the *other* centroids
+    /// (indexed by label), decaying the lower bound.
+    pub cum_excl: &'a [f64],
+    /// Per-centroid Hamerly separation bound (indexed by label).
+    pub s_half: &'a [f64],
+    /// Accumulated per-iteration maximum drift (shared by all points),
+    /// scaling the reconstruction error padding.
+    pub cum_max: f64,
+}
+
+/// Reconstructs every point's Hamerly bounds and evaluates the prune test,
+/// appending a [`Survivor`] (in index order) for each point that must
+/// proceed to the tighten/scan path.
+///
+/// Lanewise identical to [`reconstruct_bounds`] plus the scalar
+/// `u < l || u < s_half` comparison (strict `<`; NaN bounds therefore
+/// never prune, exactly like the scalar code) — one call covers a whole
+/// assignment chunk, so the vector tiers amortise their dispatch over
+/// hundreds of points.
+///
+/// # Panics
+///
+/// Panics unless the four bound slices and `labels` share one length (the
+/// vector kernels read them unchecked against it).
+pub fn prune_survivors(tier: SimdTier, hs: &HamerlySlices<'_>, out: &mut Vec<Survivor>) {
+    let n = hs.upper.len();
+    assert_eq!(hs.snap_upper.len(), n);
+    assert_eq!(hs.lower.len(), n);
+    assert_eq!(hs.snap_lower.len(), n);
+    assert_eq!(hs.labels.len(), n);
+    let from = match tier {
+        SimdTier::Scalar => 0,
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse41 => unsafe { x86::prune_survivors_sse41(hs, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { x86::prune_survivors_avx2(hs, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("vector tiers are only detected on x86_64"),
+    };
+    for i in from..n {
+        let label = hs.labels[i];
+        let (u, l) = reconstruct_bounds(
+            hs.upper[i],
+            hs.snap_upper[i],
+            hs.lower[i],
+            hs.snap_lower[i],
+            hs.cum_drift[label],
+            hs.cum_excl[label],
+            hs.cum_max,
+        );
+        if !(u < l || u < hs.s_half[label]) {
+            out.push(Survivor {
+                index: i as u32,
+                u,
+                l,
+            });
+        }
+    }
+}
+
+/// Full centroid scans for a batch of rows, lane = point.
+///
+/// For each entry of `indices` (a row index into the flat `data`, which has
+/// `d` columns), appends `(winner, best_d², second_d²)` to `results` with
+/// exactly the scalar selection semantics: centroids visited in ascending
+/// order, strict `<` against the running best — so the first of equal
+/// distances wins and NaN distances never place. Distances accumulate
+/// `(x_j − c_j)²` in ascending-dimension order with no FMA, bitwise equal
+/// to the scalar fold.
+///
+/// # Panics
+///
+/// Panics if `centroids.len() != k * d` or any index reaches past `data`
+/// (the vector kernels read rows unchecked).
+pub fn scan_points(
+    tier: SimdTier,
+    data: &[f64],
+    d: usize,
+    indices: &[u32],
+    centroids: &[f64],
+    k: usize,
+    results: &mut Vec<(u32, f64, f64)>,
+) {
+    assert!(d > 0, "scan_points needs at least one column");
+    assert_eq!(centroids.len(), k * d);
+    assert!(indices.iter().all(|&i| i as usize * d + d <= data.len()));
+    let from = match tier {
+        SimdTier::Scalar => 0,
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse41 => unsafe { x86::scan_points_sse41(data, d, indices, centroids, k, results) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { x86::scan_points_avx2(data, d, indices, centroids, k, results) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("vector tiers are only detected on x86_64"),
+    };
+    for &i in &indices[from..] {
+        let row = &data[i as usize * d..i as usize * d + d];
+        let mut best = 0u32;
+        let mut best_d = f64::INFINITY;
+        let mut second_d = f64::INFINITY;
+        for (c, cent) in centroids.chunks_exact(d).enumerate() {
+            let dist = crate::Matrix::sq_dist_hot(row, cent);
+            if dist < best_d {
+                second_d = best_d;
+                best_d = dist;
+                best = c as u32;
+            } else if dist < second_d {
+                second_d = dist;
+            }
+        }
+        results.push((best, best_d, second_d));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fast-math tier: reassociated single reductions
+// ---------------------------------------------------------------------------
+
+/// Squared Euclidean distance with the reassociated fast-math reduction.
+///
+/// Differs from [`crate::Matrix::sq_dist_hot`] by at most `2 · d · ε`
+/// relative (terms are non-negative, so the absolute-term sum *is* the
+/// result) — enforced by the parity suite. Falls back to the scalar order
+/// on the scalar tier.
+pub fn sq_dist_fast(tier: SimdTier, a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    match tier {
+        SimdTier::Scalar => crate::Matrix::sq_dist_hot(a, b),
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse41 => unsafe { x86::sq_dist_fast_sse2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { x86::sq_dist_fast_avx2(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("vector tiers are only detected on x86_64"),
+    }
+}
+
+/// Dot product with the reassociated fast-math reduction; differs from the
+/// scalar left-to-right fold by at most `2 · d · ε · Σ|aᵢ·bᵢ|`.
+pub fn dot_fast(tier: SimdTier, a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    match tier {
+        SimdTier::Scalar => a.iter().zip(b).map(|(&x, &y)| x * y).sum(),
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse41 => unsafe { x86::dot_fast_sse2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { x86::dot_fast_avx2(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("vector tiers are only detected on x86_64"),
+    }
+}
+
+/// One pairwise squared distance under the *process* configuration: the
+/// fast-math kernel when `--fast-math` is on (and a vector tier is active),
+/// the exact scalar order otherwise.
+///
+/// Only reporting-grade paths call this (inertia, medoids, scatter
+/// diagnostics) — never the Hamerly bounds logic or streaming checkpoint
+/// state, which stay on the exact order unconditionally (see DESIGN.md).
+pub fn sq_dist_auto(a: &[f64], b: &[f64]) -> f64 {
+    if fast_math() {
+        sq_dist_fast(active_tier(), a, b)
+    } else {
+        crate::Matrix::sq_dist_hot(a, b)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! Vector implementations. Safety contract throughout: the named target
+    //! feature is present (dispatchers check the detected tier first).
+
+    use super::{HamerlySlices, Survivor, TransposedPoints, BOUND_PAD, CUM_PAD};
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Requires SSE2 (baseline on `x86_64`).
+    pub unsafe fn sq_dist_batch_sse2(point: &[f64], data: &[f64], d: usize, rows: usize, out: &mut [f64]) {
+        unsafe {
+            let blocks = rows.div_ceil(2);
+            for b in 0..blocks {
+                let base = b * d * 2;
+                let mut acc = _mm_setzero_pd();
+                for (j, &pj) in point.iter().enumerate() {
+                    let p = _mm_set1_pd(pj);
+                    let c = _mm_loadu_pd(data.as_ptr().add(base + j * 2));
+                    let diff = _mm_sub_pd(p, c);
+                    acc = _mm_add_pd(acc, _mm_mul_pd(diff, diff));
+                }
+                let start = b * 2;
+                if start + 2 <= rows {
+                    _mm_storeu_pd(out.as_mut_ptr().add(start), acc);
+                } else {
+                    let mut tmp = [0.0f64; 2];
+                    _mm_storeu_pd(tmp.as_mut_ptr(), acc);
+                    out[start..rows].copy_from_slice(&tmp[..rows - start]);
+                }
+            }
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sq_dist_batch_avx2(point: &[f64], data: &[f64], d: usize, rows: usize, out: &mut [f64]) {
+        unsafe {
+            let blocks = rows.div_ceil(4);
+            for b in 0..blocks {
+                let base = b * d * 4;
+                let mut acc = _mm256_setzero_pd();
+                for (j, &pj) in point.iter().enumerate() {
+                    let p = _mm256_set1_pd(pj);
+                    let c = _mm256_loadu_pd(data.as_ptr().add(base + j * 4));
+                    let diff = _mm256_sub_pd(p, c);
+                    acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+                }
+                let start = b * 4;
+                if start + 4 <= rows {
+                    _mm256_storeu_pd(out.as_mut_ptr().add(start), acc);
+                } else {
+                    let mut tmp = [0.0f64; 4];
+                    _mm256_storeu_pd(tmp.as_mut_ptr(), acc);
+                    out[start..rows].copy_from_slice(&tmp[..rows - start]);
+                }
+            }
+        }
+    }
+
+    /// # Safety
+    /// Requires SSE2.
+    pub unsafe fn dot_batch_sse2(vec: &[f64], data: &[f64], d: usize, rows: usize, out: &mut [f64]) {
+        unsafe {
+            let blocks = rows.div_ceil(2);
+            for b in 0..blocks {
+                let base = b * d * 2;
+                let mut acc = _mm_setzero_pd();
+                for (j, &vj) in vec.iter().enumerate() {
+                    let v = _mm_set1_pd(vj);
+                    let c = _mm_loadu_pd(data.as_ptr().add(base + j * 2));
+                    acc = _mm_add_pd(acc, _mm_mul_pd(v, c));
+                }
+                let start = b * 2;
+                if start + 2 <= rows {
+                    _mm_storeu_pd(out.as_mut_ptr().add(start), acc);
+                } else {
+                    let mut tmp = [0.0f64; 2];
+                    _mm_storeu_pd(tmp.as_mut_ptr(), acc);
+                    out[start..rows].copy_from_slice(&tmp[..rows - start]);
+                }
+            }
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_batch_avx2(vec: &[f64], data: &[f64], d: usize, rows: usize, out: &mut [f64]) {
+        unsafe {
+            let blocks = rows.div_ceil(4);
+            for b in 0..blocks {
+                let base = b * d * 4;
+                let mut acc = _mm256_setzero_pd();
+                for (j, &vj) in vec.iter().enumerate() {
+                    let v = _mm256_set1_pd(vj);
+                    let c = _mm256_loadu_pd(data.as_ptr().add(base + j * 4));
+                    acc = _mm256_add_pd(acc, _mm256_mul_pd(v, c));
+                }
+                let start = b * 4;
+                if start + 4 <= rows {
+                    _mm256_storeu_pd(out.as_mut_ptr().add(start), acc);
+                } else {
+                    let mut tmp = [0.0f64; 4];
+                    _mm256_storeu_pd(tmp.as_mut_ptr(), acc);
+                    out[start..rows].copy_from_slice(&tmp[..rows - start]);
+                }
+            }
+        }
+    }
+
+    /// # Safety
+    /// Requires SSE2.
+    pub unsafe fn sq_dist_to_point_sse2(xt: &TransposedPoints, c: &[f64], out: &mut [f64]) {
+        unsafe {
+            let n = xt.n;
+            let pairs = n / 2;
+            for b in 0..pairs {
+                let i = b * 2;
+                let mut acc = _mm_setzero_pd();
+                for (j, &cj) in c.iter().enumerate() {
+                    let x = _mm_loadu_pd(xt.data.as_ptr().add(j * n + i));
+                    let diff = _mm_sub_pd(x, _mm_set1_pd(cj));
+                    acc = _mm_add_pd(acc, _mm_mul_pd(diff, diff));
+                }
+                _mm_storeu_pd(out.as_mut_ptr().add(i), acc);
+            }
+            super::scalar_sq_dist_to_point(xt, c, pairs * 2, out);
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sq_dist_to_point_avx2(xt: &TransposedPoints, c: &[f64], out: &mut [f64]) {
+        unsafe {
+            let n = xt.n;
+            let quads = n / 4;
+            for b in 0..quads {
+                let i = b * 4;
+                let mut acc = _mm256_setzero_pd();
+                for (j, &cj) in c.iter().enumerate() {
+                    let x = _mm256_loadu_pd(xt.data.as_ptr().add(j * n + i));
+                    let diff = _mm256_sub_pd(x, _mm256_set1_pd(cj));
+                    acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+                }
+                _mm256_storeu_pd(out.as_mut_ptr().add(i), acc);
+            }
+            super::scalar_sq_dist_to_point(xt, c, quads * 4, out);
+        }
+    }
+
+    /// # Safety
+    /// Requires SSE4.1 (`blendvpd`).
+    #[target_feature(enable = "sse4.1")]
+    pub unsafe fn min_d2_update_sse41(
+        xt: &TransposedPoints,
+        c: &[f64],
+        c_norm: f64,
+        point_norms: &[f64],
+        d2: &mut [f64],
+    ) {
+        unsafe {
+            let n = xt.n;
+            let sign = _mm_set1_pd(-0.0);
+            let eps = _mm_set1_pd(1e-12);
+            let one_m_eps = _mm_set1_pd(1.0 - 1e-12);
+            let zero = _mm_setzero_pd();
+            let ncv = _mm_set1_pd(c_norm);
+            let pairs = n / 2;
+            for b in 0..pairs {
+                let i = b * 2;
+                let nx = _mm_loadu_pd(point_norms.as_ptr().add(i));
+                // norm_lower_bound, lanewise: same ops, same order.
+                let m = _mm_sub_pd(
+                    _mm_andnot_pd(sign, _mm_sub_pd(nx, ncv)),
+                    _mm_mul_pd(_mm_add_pd(nx, ncv), eps),
+                );
+                let mm = _mm_mul_pd(_mm_mul_pd(m, m), one_m_eps);
+                let lb = _mm_blendv_pd(zero, mm, _mm_cmpgt_pd(m, zero));
+                let d2v = _mm_loadu_pd(d2.as_ptr().add(i));
+                if _mm_movemask_pd(_mm_cmpgt_pd(lb, d2v)) == 0b11 {
+                    continue;
+                }
+                let mut acc = _mm_setzero_pd();
+                for (j, &cj) in c.iter().enumerate() {
+                    let x = _mm_loadu_pd(xt.data.as_ptr().add(j * n + i));
+                    let diff = _mm_sub_pd(x, _mm_set1_pd(cj));
+                    acc = _mm_add_pd(acc, _mm_mul_pd(diff, diff));
+                }
+                let lt = _mm_cmplt_pd(acc, d2v);
+                _mm_storeu_pd(d2.as_mut_ptr().add(i), _mm_blendv_pd(d2v, acc, lt));
+            }
+            super::scalar_min_d2_update(xt, c, c_norm, point_norms, pairs * 2, d2);
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn min_d2_update_avx2(
+        xt: &TransposedPoints,
+        c: &[f64],
+        c_norm: f64,
+        point_norms: &[f64],
+        d2: &mut [f64],
+    ) {
+        unsafe {
+            let n = xt.n;
+            let sign = _mm256_set1_pd(-0.0);
+            let eps = _mm256_set1_pd(1e-12);
+            let one_m_eps = _mm256_set1_pd(1.0 - 1e-12);
+            let zero = _mm256_setzero_pd();
+            let ncv = _mm256_set1_pd(c_norm);
+            let quads = n / 4;
+            for b in 0..quads {
+                let i = b * 4;
+                let nx = _mm256_loadu_pd(point_norms.as_ptr().add(i));
+                let m = _mm256_sub_pd(
+                    _mm256_andnot_pd(sign, _mm256_sub_pd(nx, ncv)),
+                    _mm256_mul_pd(_mm256_add_pd(nx, ncv), eps),
+                );
+                let mm = _mm256_mul_pd(_mm256_mul_pd(m, m), one_m_eps);
+                let lb = _mm256_blendv_pd(zero, mm, _mm256_cmp_pd(m, zero, _CMP_GT_OQ));
+                let d2v = _mm256_loadu_pd(d2.as_ptr().add(i));
+                if _mm256_movemask_pd(_mm256_cmp_pd(lb, d2v, _CMP_GT_OQ)) == 0b1111 {
+                    continue;
+                }
+                let mut acc = _mm256_setzero_pd();
+                for (j, &cj) in c.iter().enumerate() {
+                    let x = _mm256_loadu_pd(xt.data.as_ptr().add(j * n + i));
+                    let diff = _mm256_sub_pd(x, _mm256_set1_pd(cj));
+                    acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+                }
+                let lt = _mm256_cmp_pd(acc, d2v, _CMP_LT_OQ);
+                _mm256_storeu_pd(d2.as_mut_ptr().add(i), _mm256_blendv_pd(d2v, acc, lt));
+            }
+            super::scalar_min_d2_update(xt, c, c_norm, point_norms, quads * 4, d2);
+        }
+    }
+
+    /// # Safety
+    /// Requires SSE4.1 (`blendvpd`).
+    ///
+    /// Returns the number of leading points handled; the dispatcher runs
+    /// the scalar path from there.
+    #[target_feature(enable = "sse4.1")]
+    pub unsafe fn prune_survivors_sse41(
+        hs: &HamerlySlices<'_>,
+        out: &mut Vec<Survivor>,
+    ) -> usize {
+        unsafe {
+            let n = hs.upper.len();
+            let pad1 = _mm_set1_pd(1.0 + BOUND_PAD);
+            let bpad = _mm_set1_pd(BOUND_PAD);
+            let cpad = _mm_set1_pd(CUM_PAD);
+            let cm_pad = _mm_set1_pd(hs.cum_max * CUM_PAD);
+            let sign = _mm_set1_pd(-0.0);
+            let inf = _mm_set1_pd(f64::INFINITY);
+            let pairs = n / 2;
+            for b in 0..pairs {
+                let i = b * 2;
+                let l0 = *hs.labels.get_unchecked(i);
+                let l1 = *hs.labels.get_unchecked(i + 1);
+                let cd = _mm_set_pd(hs.cum_drift[l1], hs.cum_drift[l0]);
+                let up = _mm_loadu_pd(hs.upper.as_ptr().add(i));
+                let su = _mm_loadu_pd(hs.snap_upper.as_ptr().add(i));
+                let u = _mm_add_pd(
+                    _mm_mul_pd(_mm_add_pd(up, _mm_sub_pd(cd, su)), pad1),
+                    _mm_mul_pd(cd, cpad),
+                );
+                let lo = _mm_loadu_pd(hs.lower.as_ptr().add(i));
+                let sl = _mm_loadu_pd(hs.snap_lower.as_ptr().add(i));
+                let ce = _mm_set_pd(hs.cum_excl[l1], hs.cum_excl[l0]);
+                let base = _mm_sub_pd(lo, _mm_sub_pd(ce, sl));
+                let ab = _mm_andnot_pd(sign, base);
+                let finite = _mm_cmplt_pd(ab, inf);
+                let l_fin = _mm_sub_pd(_mm_sub_pd(base, _mm_mul_pd(bpad, ab)), cm_pad);
+                let l = _mm_blendv_pd(base, l_fin, finite);
+                let sh = _mm_set_pd(hs.s_half[l1], hs.s_half[l0]);
+                let prune = _mm_or_pd(_mm_cmplt_pd(u, l), _mm_cmplt_pd(u, sh));
+                let pm = _mm_movemask_pd(prune) as u8;
+                if pm != 0b11 {
+                    let mut tu = [0.0f64; 2];
+                    let mut tl = [0.0f64; 2];
+                    _mm_storeu_pd(tu.as_mut_ptr(), u);
+                    _mm_storeu_pd(tl.as_mut_ptr(), l);
+                    let mut keep = (!pm) & 0b11;
+                    while keep != 0 {
+                        let lane = keep.trailing_zeros() as usize;
+                        keep &= keep - 1;
+                        out.push(Survivor {
+                            index: (i + lane) as u32,
+                            u: tu[lane],
+                            l: tl[lane],
+                        });
+                    }
+                }
+            }
+            pairs * 2
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    ///
+    /// Returns the number of leading points handled; the dispatcher runs
+    /// the scalar path from there.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn prune_survivors_avx2(
+        hs: &HamerlySlices<'_>,
+        out: &mut Vec<Survivor>,
+    ) -> usize {
+        unsafe {
+            let n = hs.upper.len();
+            let pad1 = _mm256_set1_pd(1.0 + BOUND_PAD);
+            let bpad = _mm256_set1_pd(BOUND_PAD);
+            let cpad = _mm256_set1_pd(CUM_PAD);
+            let cm_pad = _mm256_set1_pd(hs.cum_max * CUM_PAD);
+            let sign = _mm256_set1_pd(-0.0);
+            let inf = _mm256_set1_pd(f64::INFINITY);
+            let quads = n / 4;
+            for b in 0..quads {
+                let i = b * 4;
+                let l0 = *hs.labels.get_unchecked(i);
+                let l1 = *hs.labels.get_unchecked(i + 1);
+                let l2 = *hs.labels.get_unchecked(i + 2);
+                let l3 = *hs.labels.get_unchecked(i + 3);
+                let cd = _mm256_set_pd(
+                    hs.cum_drift[l3],
+                    hs.cum_drift[l2],
+                    hs.cum_drift[l1],
+                    hs.cum_drift[l0],
+                );
+                let up = _mm256_loadu_pd(hs.upper.as_ptr().add(i));
+                let su = _mm256_loadu_pd(hs.snap_upper.as_ptr().add(i));
+                let u = _mm256_add_pd(
+                    _mm256_mul_pd(_mm256_add_pd(up, _mm256_sub_pd(cd, su)), pad1),
+                    _mm256_mul_pd(cd, cpad),
+                );
+                let lo = _mm256_loadu_pd(hs.lower.as_ptr().add(i));
+                let sl = _mm256_loadu_pd(hs.snap_lower.as_ptr().add(i));
+                let ce = _mm256_set_pd(
+                    hs.cum_excl[l3],
+                    hs.cum_excl[l2],
+                    hs.cum_excl[l1],
+                    hs.cum_excl[l0],
+                );
+                let base = _mm256_sub_pd(lo, _mm256_sub_pd(ce, sl));
+                let ab = _mm256_andnot_pd(sign, base);
+                let finite = _mm256_cmp_pd(ab, inf, _CMP_LT_OQ);
+                let l_fin = _mm256_sub_pd(_mm256_sub_pd(base, _mm256_mul_pd(bpad, ab)), cm_pad);
+                let l = _mm256_blendv_pd(base, l_fin, finite);
+                let sh = _mm256_set_pd(
+                    hs.s_half[l3],
+                    hs.s_half[l2],
+                    hs.s_half[l1],
+                    hs.s_half[l0],
+                );
+                let prune = _mm256_or_pd(
+                    _mm256_cmp_pd(u, l, _CMP_LT_OQ),
+                    _mm256_cmp_pd(u, sh, _CMP_LT_OQ),
+                );
+                let pm = _mm256_movemask_pd(prune) as u8;
+                if pm != 0b1111 {
+                    let mut tu = [0.0f64; 4];
+                    let mut tl = [0.0f64; 4];
+                    _mm256_storeu_pd(tu.as_mut_ptr(), u);
+                    _mm256_storeu_pd(tl.as_mut_ptr(), l);
+                    let mut keep = (!pm) & 0b1111;
+                    while keep != 0 {
+                        let lane = keep.trailing_zeros() as usize;
+                        keep &= keep - 1;
+                        out.push(Survivor {
+                            index: (i + lane) as u32,
+                            u: tu[lane],
+                            l: tl[lane],
+                        });
+                    }
+                }
+            }
+            quads * 4
+        }
+    }
+
+    /// # Safety
+    /// Requires SSE4.1 (`blendv`).
+    #[target_feature(enable = "sse4.1")]
+    pub unsafe fn scan_points_sse41(
+        data: &[f64],
+        d: usize,
+        indices: &[u32],
+        centroids: &[f64],
+        k: usize,
+        results: &mut Vec<(u32, f64, f64)>,
+    ) -> usize {
+        unsafe {
+            let pairs = indices.len() / 2;
+            let mut tmp = vec![0.0f64; d * 2];
+            for p in 0..pairs {
+                let idx = &indices[p * 2..p * 2 + 2];
+                for (lane, &i) in idx.iter().enumerate() {
+                    let base = i as usize * d;
+                    for j in 0..d {
+                        tmp[j * 2 + lane] = *data.get_unchecked(base + j);
+                    }
+                }
+                let mut best_d = _mm_set1_pd(f64::INFINITY);
+                let mut second_d = _mm_set1_pd(f64::INFINITY);
+                let mut best_i = _mm_setzero_pd();
+                for c in 0..k {
+                    let cbase = c * d;
+                    let mut acc = _mm_setzero_pd();
+                    for j in 0..d {
+                        let x = _mm_loadu_pd(tmp.as_ptr().add(j * 2));
+                        let cv = _mm_set1_pd(*centroids.get_unchecked(cbase + j));
+                        let diff = _mm_sub_pd(x, cv);
+                        acc = _mm_add_pd(acc, _mm_mul_pd(diff, diff));
+                    }
+                    // Scalar selection order per lane: `if d < best` first
+                    // (second inherits the old best), `else if d < second`
+                    // masked by the first test's complement.
+                    let m = _mm_cmplt_pd(acc, best_d);
+                    second_d = _mm_blendv_pd(second_d, best_d, m);
+                    best_d = _mm_blendv_pd(best_d, acc, m);
+                    best_i = _mm_blendv_pd(best_i, _mm_set1_pd(c as f64), m);
+                    let m2 = _mm_andnot_pd(m, _mm_cmplt_pd(acc, second_d));
+                    second_d = _mm_blendv_pd(second_d, acc, m2);
+                }
+                let mut bd = [0.0f64; 2];
+                let mut sd = [0.0f64; 2];
+                let mut bi = [0.0f64; 2];
+                _mm_storeu_pd(bd.as_mut_ptr(), best_d);
+                _mm_storeu_pd(sd.as_mut_ptr(), second_d);
+                _mm_storeu_pd(bi.as_mut_ptr(), best_i);
+                for lane in 0..2 {
+                    results.push((bi[lane] as u32, bd[lane], sd[lane]));
+                }
+            }
+            pairs * 2
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scan_points_avx2(
+        data: &[f64],
+        d: usize,
+        indices: &[u32],
+        centroids: &[f64],
+        k: usize,
+        results: &mut Vec<(u32, f64, f64)>,
+    ) -> usize {
+        unsafe {
+            let n = indices.len();
+            let mut tmp = vec![0.0f64; d * 8];
+            let mut done = 0usize;
+            // Two quads at a time: a lone accumulator serialises on the
+            // 4-cycle add latency (k·d dependent adds per point batch), so
+            // two independent chains nearly double the throughput.
+            while done + 8 <= n {
+                let idx = &indices[done..done + 8];
+                for (lane, &i) in idx.iter().enumerate() {
+                    let base = i as usize * d;
+                    let col = (lane / 4) * 4 + lane % 4;
+                    for j in 0..d {
+                        tmp[j * 8 + col] = *data.get_unchecked(base + j);
+                    }
+                }
+                let mut best_d0 = _mm256_set1_pd(f64::INFINITY);
+                let mut best_d1 = _mm256_set1_pd(f64::INFINITY);
+                let mut second_d0 = _mm256_set1_pd(f64::INFINITY);
+                let mut second_d1 = _mm256_set1_pd(f64::INFINITY);
+                let mut best_i0 = _mm256_setzero_pd();
+                let mut best_i1 = _mm256_setzero_pd();
+                for c in 0..k {
+                    let cbase = c * d;
+                    let mut acc0 = _mm256_setzero_pd();
+                    let mut acc1 = _mm256_setzero_pd();
+                    for j in 0..d {
+                        let cv = _mm256_set1_pd(*centroids.get_unchecked(cbase + j));
+                        let x0 = _mm256_loadu_pd(tmp.as_ptr().add(j * 8));
+                        let x1 = _mm256_loadu_pd(tmp.as_ptr().add(j * 8 + 4));
+                        let d0 = _mm256_sub_pd(x0, cv);
+                        let d1 = _mm256_sub_pd(x1, cv);
+                        acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
+                        acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
+                    }
+                    // Scalar selection order per lane (see the SSE4.1 twin).
+                    let cvi = _mm256_set1_pd(c as f64);
+                    let m0 = _mm256_cmp_pd(acc0, best_d0, _CMP_LT_OQ);
+                    second_d0 = _mm256_blendv_pd(second_d0, best_d0, m0);
+                    best_d0 = _mm256_blendv_pd(best_d0, acc0, m0);
+                    best_i0 = _mm256_blendv_pd(best_i0, cvi, m0);
+                    let m20 = _mm256_andnot_pd(m0, _mm256_cmp_pd(acc0, second_d0, _CMP_LT_OQ));
+                    second_d0 = _mm256_blendv_pd(second_d0, acc0, m20);
+                    let m1 = _mm256_cmp_pd(acc1, best_d1, _CMP_LT_OQ);
+                    second_d1 = _mm256_blendv_pd(second_d1, best_d1, m1);
+                    best_d1 = _mm256_blendv_pd(best_d1, acc1, m1);
+                    best_i1 = _mm256_blendv_pd(best_i1, cvi, m1);
+                    let m21 = _mm256_andnot_pd(m1, _mm256_cmp_pd(acc1, second_d1, _CMP_LT_OQ));
+                    second_d1 = _mm256_blendv_pd(second_d1, acc1, m21);
+                }
+                let mut bd = [0.0f64; 8];
+                let mut sd = [0.0f64; 8];
+                let mut bi = [0.0f64; 8];
+                _mm256_storeu_pd(bd.as_mut_ptr(), best_d0);
+                _mm256_storeu_pd(bd.as_mut_ptr().add(4), best_d1);
+                _mm256_storeu_pd(sd.as_mut_ptr(), second_d0);
+                _mm256_storeu_pd(sd.as_mut_ptr().add(4), second_d1);
+                _mm256_storeu_pd(bi.as_mut_ptr(), best_i0);
+                _mm256_storeu_pd(bi.as_mut_ptr().add(4), best_i1);
+                for lane in 0..8 {
+                    results.push((bi[lane] as u32, bd[lane], sd[lane]));
+                }
+                done += 8;
+            }
+            if done + 4 <= n {
+                let idx = &indices[done..done + 4];
+                for (lane, &i) in idx.iter().enumerate() {
+                    let base = i as usize * d;
+                    for j in 0..d {
+                        tmp[j * 4 + lane] = *data.get_unchecked(base + j);
+                    }
+                }
+                let mut best_d = _mm256_set1_pd(f64::INFINITY);
+                let mut second_d = _mm256_set1_pd(f64::INFINITY);
+                let mut best_i = _mm256_setzero_pd();
+                for c in 0..k {
+                    let cbase = c * d;
+                    let mut acc = _mm256_setzero_pd();
+                    for j in 0..d {
+                        let x = _mm256_loadu_pd(tmp.as_ptr().add(j * 4));
+                        let cv = _mm256_set1_pd(*centroids.get_unchecked(cbase + j));
+                        let diff = _mm256_sub_pd(x, cv);
+                        acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+                    }
+                    let m = _mm256_cmp_pd(acc, best_d, _CMP_LT_OQ);
+                    second_d = _mm256_blendv_pd(second_d, best_d, m);
+                    best_d = _mm256_blendv_pd(best_d, acc, m);
+                    best_i = _mm256_blendv_pd(best_i, _mm256_set1_pd(c as f64), m);
+                    let m2 = _mm256_andnot_pd(m, _mm256_cmp_pd(acc, second_d, _CMP_LT_OQ));
+                    second_d = _mm256_blendv_pd(second_d, acc, m2);
+                }
+                let mut bd = [0.0f64; 4];
+                let mut sd = [0.0f64; 4];
+                let mut bi = [0.0f64; 4];
+                _mm256_storeu_pd(bd.as_mut_ptr(), best_d);
+                _mm256_storeu_pd(sd.as_mut_ptr(), second_d);
+                _mm256_storeu_pd(bi.as_mut_ptr(), best_i);
+                for lane in 0..4 {
+                    results.push((bi[lane] as u32, bd[lane], sd[lane]));
+                }
+                done += 4;
+            }
+            done
+        }
+    }
+
+    /// # Safety
+    /// Requires SSE2.
+    pub unsafe fn sq_dist_fast_sse2(a: &[f64], b: &[f64]) -> f64 {
+        unsafe {
+            let d = a.len();
+            let pairs = d / 2;
+            let mut acc = _mm_setzero_pd();
+            for k in 0..pairs {
+                let i = k * 2;
+                let diff = _mm_sub_pd(
+                    _mm_loadu_pd(a.as_ptr().add(i)),
+                    _mm_loadu_pd(b.as_ptr().add(i)),
+                );
+                acc = _mm_add_pd(acc, _mm_mul_pd(diff, diff));
+            }
+            let mut tmp = [0.0f64; 2];
+            _mm_storeu_pd(tmp.as_mut_ptr(), acc);
+            let mut s = tmp[0] + tmp[1];
+            for i in pairs * 2..d {
+                let diff = a[i] - b[i];
+                s += diff * diff;
+            }
+            s
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sq_dist_fast_avx2(a: &[f64], b: &[f64]) -> f64 {
+        unsafe {
+            let d = a.len();
+            let quads = d / 4;
+            let mut acc = _mm256_setzero_pd();
+            for k in 0..quads {
+                let i = k * 4;
+                let diff = _mm256_sub_pd(
+                    _mm256_loadu_pd(a.as_ptr().add(i)),
+                    _mm256_loadu_pd(b.as_ptr().add(i)),
+                );
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+            }
+            let mut tmp = [0.0f64; 4];
+            _mm256_storeu_pd(tmp.as_mut_ptr(), acc);
+            let mut s = (tmp[0] + tmp[1]) + (tmp[2] + tmp[3]);
+            for i in quads * 4..d {
+                let diff = a[i] - b[i];
+                s += diff * diff;
+            }
+            s
+        }
+    }
+
+    /// # Safety
+    /// Requires SSE2.
+    pub unsafe fn dot_fast_sse2(a: &[f64], b: &[f64]) -> f64 {
+        unsafe {
+            let d = a.len();
+            let pairs = d / 2;
+            let mut acc = _mm_setzero_pd();
+            for k in 0..pairs {
+                let i = k * 2;
+                acc = _mm_add_pd(
+                    acc,
+                    _mm_mul_pd(_mm_loadu_pd(a.as_ptr().add(i)), _mm_loadu_pd(b.as_ptr().add(i))),
+                );
+            }
+            let mut tmp = [0.0f64; 2];
+            _mm_storeu_pd(tmp.as_mut_ptr(), acc);
+            let mut s = tmp[0] + tmp[1];
+            for i in pairs * 2..d {
+                s += a[i] * b[i];
+            }
+            s
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_fast_avx2(a: &[f64], b: &[f64]) -> f64 {
+        unsafe {
+            let d = a.len();
+            let quads = d / 4;
+            let mut acc = _mm256_setzero_pd();
+            for k in 0..quads {
+                let i = k * 4;
+                acc = _mm256_add_pd(
+                    acc,
+                    _mm256_mul_pd(
+                        _mm256_loadu_pd(a.as_ptr().add(i)),
+                        _mm256_loadu_pd(b.as_ptr().add(i)),
+                    ),
+                );
+            }
+            let mut tmp = [0.0f64; 4];
+            _mm256_storeu_pd(tmp.as_mut_ptr(), acc);
+            let mut s = (tmp[0] + tmp[1]) + (tmp[2] + tmp[3]);
+            for i in quads * 4..d {
+                s += a[i] * b[i];
+            }
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+    use pka_stats::hash::UnitStream;
+
+    /// Tiers actually runnable on this machine.
+    pub(crate) fn runnable_tiers() -> Vec<SimdTier> {
+        let mut tiers = vec![SimdTier::Scalar];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("sse4.1") {
+                tiers.push(SimdTier::Sse41);
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                tiers.push(SimdTier::Avx2);
+            }
+        }
+        tiers
+    }
+
+    fn bits(xs: &[f64]) -> Vec<u64> {
+        xs.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn sq_dist_batch_bitwise_all_shapes() {
+        let mut rng = UnitStream::new(3);
+        for d in 1..=9usize {
+            for rows in [1usize, 2, 3, 4, 5, 7, 8, 13] {
+                let flat: Vec<f64> = (0..rows * d).map(|_| rng.next_range(-1e3, 1e3)).collect();
+                let point: Vec<f64> = (0..d).map(|_| rng.next_range(-1e3, 1e3)).collect();
+                let reference: Vec<f64> = (0..rows)
+                    .map(|r| Matrix::sq_dist_hot(&point, &flat[r * d..(r + 1) * d]))
+                    .collect();
+                for tier in runnable_tiers() {
+                    let inter = InterleavedRows::build(tier, &flat, d);
+                    let mut out = vec![0.0; rows];
+                    sq_dist_batch(&point, &inter, &mut out);
+                    assert_eq!(bits(&out), bits(&reference), "{tier:?} d={d} rows={rows}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_kernels_propagate_non_finite_inputs_bitwise() {
+        let specials = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 5e-324, -0.0, 1.0];
+        // 6 rows × 3 dims cycling through the special values.
+        let d = 3;
+        let flat: Vec<f64> = (0..18).map(|i| specials[i % specials.len()]).collect();
+        let point = [f64::INFINITY, -2.5, 5e-324];
+        let reference: Vec<f64> = (0..6)
+            .map(|r| Matrix::sq_dist_hot(&point, &flat[r * d..(r + 1) * d]))
+            .collect();
+        for tier in runnable_tiers() {
+            let inter = InterleavedRows::build(tier, &flat, d);
+            let mut out = vec![0.0; 6];
+            sq_dist_batch(&point, &inter, &mut out);
+            assert_eq!(bits(&out), bits(&reference), "{tier:?}");
+        }
+    }
+
+    #[test]
+    fn dot_batch_bitwise_all_shapes() {
+        let mut rng = UnitStream::new(11);
+        for d in 1..=9usize {
+            for rows in [1usize, 2, 4, 5, 6, 11] {
+                let flat: Vec<f64> = (0..rows * d).map(|_| rng.next_range(-10.0, 10.0)).collect();
+                let v: Vec<f64> = (0..d).map(|_| rng.next_range(-10.0, 10.0)).collect();
+                let reference: Vec<f64> = (0..rows)
+                    .map(|r| {
+                        v.iter()
+                            .zip(&flat[r * d..(r + 1) * d])
+                            .map(|(&x, &c)| x * c)
+                            .sum()
+                    })
+                    .collect();
+                for tier in runnable_tiers() {
+                    let inter = InterleavedRows::build(tier, &flat, d);
+                    let mut out = vec![0.0; rows];
+                    dot_batch(&v, &inter, &mut out);
+                    assert_eq!(bits(&out), bits(&reference), "{tier:?} d={d} rows={rows}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_d2_update_bitwise_with_pruning() {
+        let mut rng = UnitStream::new(29);
+        for d in 1..=6usize {
+            for n in [1usize, 2, 3, 4, 5, 9, 16, 33] {
+                let flat: Vec<f64> = (0..n * d).map(|_| rng.next_range(-50.0, 50.0)).collect();
+                let c: Vec<f64> = (0..d).map(|_| rng.next_range(-50.0, 50.0)).collect();
+                let norms: Vec<f64> = (0..n)
+                    .map(|i| Matrix::sq_norm(&flat[i * d..(i + 1) * d]).sqrt())
+                    .collect();
+                let c_norm = Matrix::sq_norm(&c).sqrt();
+                // Tight d2 so pruning genuinely fires on some lanes.
+                let d2_start: Vec<f64> = (0..n).map(|_| rng.next_range(0.0, 500.0)).collect();
+
+                let mut reference = d2_start.clone();
+                for i in 0..n {
+                    if norm_lower_bound(norms[i], c_norm) > reference[i] {
+                        continue;
+                    }
+                    let dd = Matrix::sq_dist_hot(&flat[i * d..(i + 1) * d], &c);
+                    if dd < reference[i] {
+                        reference[i] = dd;
+                    }
+                }
+                for tier in runnable_tiers() {
+                    let xt = TransposedPoints::build(tier, &flat, n, d);
+                    let mut d2 = d2_start.clone();
+                    min_d2_update(&xt, &c, c_norm, &norms, &mut d2);
+                    assert_eq!(bits(&d2), bits(&reference), "{tier:?} d={d} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prune_survivors_bitwise_incl_sentinels() {
+        let mut rng = UnitStream::new(57);
+        // Odd lengths exercise every lane remainder.
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 13, 64, 129] {
+            // Mix realistic bound magnitudes with the ±∞ first-iteration
+            // sentinels and NaN (a NaN bound must never prune).
+            let special = |r: &mut UnitStream| match r.next_u64() % 8 {
+                0 => f64::INFINITY,
+                1 => f64::NEG_INFINITY,
+                2 => f64::NAN,
+                _ => r.next_range(0.0, 40.0),
+            };
+            let k = 5usize;
+            let upper: Vec<f64> = (0..n).map(|_| special(&mut rng)).collect();
+            let lower: Vec<f64> = (0..n).map(|_| special(&mut rng)).collect();
+            let snap_upper: Vec<f64> = (0..n).map(|_| rng.next_range(0.0, 5.0)).collect();
+            let snap_lower: Vec<f64> = (0..n).map(|_| rng.next_range(0.0, 5.0)).collect();
+            let labels: Vec<usize> = (0..n).map(|_| (rng.next_u64() % k as u64) as usize).collect();
+            let cum_drift: Vec<f64> = (0..k).map(|_| rng.next_range(0.0, 8.0)).collect();
+            let cum_excl: Vec<f64> = (0..k).map(|_| rng.next_range(0.0, 8.0)).collect();
+            let s_half: Vec<f64> = (0..k).map(|_| rng.next_range(0.0, 20.0)).collect();
+            let hs = HamerlySlices {
+                upper: &upper,
+                snap_upper: &snap_upper,
+                lower: &lower,
+                snap_lower: &snap_lower,
+                labels: &labels,
+                cum_drift: &cum_drift,
+                cum_excl: &cum_excl,
+                s_half: &s_half,
+                cum_max: rng.next_range(0.0, 10.0),
+            };
+            let mut reference = Vec::new();
+            prune_survivors(SimdTier::Scalar, &hs, &mut reference);
+            for tier in runnable_tiers() {
+                let mut got = Vec::new();
+                prune_survivors(tier, &hs, &mut got);
+                assert_eq!(got.len(), reference.len(), "{tier:?} n={n}");
+                for (g, r) in got.iter().zip(&reference) {
+                    assert_eq!(g.index, r.index, "{tier:?} n={n}");
+                    assert_eq!(g.u.to_bits(), r.u.to_bits(), "{tier:?} n={n} i={}", g.index);
+                    assert_eq!(g.l.to_bits(), r.l.to_bits(), "{tier:?} n={n} i={}", g.index);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_math_kernels_within_documented_bound() {
+        let mut rng = UnitStream::new(41);
+        for d in [1usize, 2, 3, 4, 5, 8, 17, 64, 257, 1024] {
+            let a: Vec<f64> = (0..d).map(|_| rng.next_range(-1e3, 1e3)).collect();
+            let b: Vec<f64> = (0..d).map(|_| rng.next_range(-1e3, 1e3)).collect();
+            let exact_sq = Matrix::sq_dist_hot(&a, &b);
+            let exact_dot: f64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+            let abs_dot: f64 = a.iter().zip(&b).map(|(&x, &y)| (x * y).abs()).sum();
+            let bound = 2.0 * d as f64 * f64::EPSILON;
+            for tier in runnable_tiers() {
+                let f = sq_dist_fast(tier, &a, &b);
+                assert!(
+                    (f - exact_sq).abs() <= bound * exact_sq,
+                    "{tier:?} d={d}: sq {f} vs {exact_sq}"
+                );
+                let g = dot_fast(tier, &a, &b);
+                assert!(
+                    (g - exact_dot).abs() <= bound * abs_dot,
+                    "{tier:?} d={d}: dot {g} vs {exact_dot}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_identities() {
+        for tier in runnable_tiers() {
+            assert_eq!(sq_dist_fast(tier, &[], &[]), 0.0);
+            assert_eq!(dot_fast(tier, &[], &[]), 0.0);
+            let xt = TransposedPoints::build(tier, &[], 0, 3);
+            assert!(xt.is_empty());
+            let mut out: Vec<f64> = Vec::new();
+            sq_dist_to_point(&xt, &[0.0, 0.0, 0.0], &mut out);
+            min_d2_update(&xt, &[0.0, 0.0, 0.0], 0.0, &[], &mut []);
+        }
+    }
+}

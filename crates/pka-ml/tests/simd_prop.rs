@@ -1,0 +1,238 @@
+//! Property-based differential fuzzing of the SIMD kernels.
+//!
+//! The deterministic parity suite walks fixed dimension/shape grids; this
+//! one lets proptest hunt for divergent inputs — random shapes, random
+//! values drawn from a distribution that over-weights NaN, infinities,
+//! signed zeros and denormals. Every property compares a vector tier
+//! against the scalar reference with raw `f64` bit equality, so a
+//! shrunk counterexample pinpoints the exact lane arithmetic at fault.
+
+use pka_ml::simd::{self, HamerlySlices, InterleavedRows, SimdTier, TransposedPoints};
+use pka_ml::Matrix;
+use proptest::prelude::*;
+
+/// Every tier the host supports, scalar first.
+fn tiers() -> Vec<SimdTier> {
+    let mut out = vec![SimdTier::Scalar];
+    match simd::detect_tier() {
+        SimdTier::Avx2 => out.extend([SimdTier::Sse41, SimdTier::Avx2]),
+        SimdTier::Sse41 => out.push(SimdTier::Sse41),
+        SimdTier::Scalar => {}
+    }
+    out
+}
+
+/// An `f64` that is frequently adversarial: one in three draws is a
+/// special value the IEEE bit-compare must survive.
+fn hostile_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        4 => -1e9f64..1e9f64,
+        1 => prop_oneof![
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            Just(0.0),
+            Just(-0.0),
+            Just(5e-324),
+            Just(1e-308),
+            Just(f64::MAX),
+        ],
+        1 => -1e-300f64..1e-300f64,
+    ]
+}
+
+fn hostile_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(hostile_f64(), len)
+}
+
+/// Bit pattern with NaNs canonicalised: IEEE 754 leaves NaN sign and
+/// payload propagation unspecified (x86 `inf - inf` yields the negative
+/// "real indefinite", and operand commutation picks which input NaN
+/// survives), so any NaN compares equal to any NaN; everything else is
+/// exact to the bit.
+fn canon(x: f64) -> u64 {
+    if x.is_nan() {
+        0x7ff8_0000_0000_0000
+    } else {
+        x.to_bits()
+    }
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| canon(*x)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sq_dist_batch_parity(
+        d in 1usize..17,
+        rows in 0usize..34,
+        seed in any::<u64>(),
+    ) {
+        let flat = seeded_values(rows * d, seed);
+        let point = seeded_values(d, seed ^ 0x1234);
+        let reference: Vec<f64> = (0..rows)
+            .map(|r| Matrix::sq_dist_hot(&point, &flat[r * d..(r + 1) * d]))
+            .collect();
+        for tier in tiers() {
+            let inter = InterleavedRows::build(tier, &flat, d);
+            let mut out = vec![0.0f64; rows];
+            simd::sq_dist_batch(&point, &inter, &mut out);
+            prop_assert!(bits(&out) == bits(&reference), "{:?} d={} rows={}", tier, d, rows);
+        }
+    }
+
+    #[test]
+    fn scan_points_parity(
+        d in 1usize..17,
+        k in 1usize..10,
+        data in hostile_vec(64),
+        centroids in hostile_vec(160),
+        m in 0usize..12,
+    ) {
+        let n = data.len() / d;
+        prop_assume!(n > 0 && centroids.len() >= k * d);
+        let centroids = &centroids[..k * d];
+        let indices: Vec<u32> = (0..m).map(|i| ((i * 13 + 5) % n) as u32).collect();
+        let mut reference = Vec::new();
+        simd::scan_points(SimdTier::Scalar, &data[..n * d], d, &indices, centroids, k, &mut reference);
+        let key = |t: &(u32, f64, f64)| (t.0, canon(t.1), canon(t.2));
+        for tier in tiers() {
+            let mut out = Vec::new();
+            simd::scan_points(tier, &data[..n * d], d, &indices, centroids, k, &mut out);
+            prop_assert!(
+                out.iter().map(key).collect::<Vec<_>>()
+                    == reference.iter().map(key).collect::<Vec<_>>(),
+                "{:?} d={} k={} m={}", tier, d, k, m
+            );
+        }
+    }
+
+    #[test]
+    fn prune_survivors_parity(
+        n in 0usize..80,
+        k in 1usize..9,
+        upper in hostile_vec(80),
+        lower in hostile_vec(80),
+        drift in hostile_vec(9),
+        cum_max in -1e3f64..1e3f64,
+    ) {
+        let upper = &upper[..n];
+        let lower = &lower[..n];
+        let snap_upper: Vec<f64> = (0..n).map(|i| (i % 5) as f64 * 0.75).collect();
+        let snap_lower: Vec<f64> = (0..n).map(|i| (i % 3) as f64 * 1.25).collect();
+        let labels: Vec<usize> = (0..n).map(|i| (i * 7 + 2) % k).collect();
+        let cum_drift = &drift[..k];
+        let cum_excl: Vec<f64> = drift[..k].iter().map(|x| x.abs()).collect();
+        let s_half: Vec<f64> = (0..k).map(|c| c as f64 * 2.5).collect();
+        let hs = HamerlySlices {
+            upper,
+            snap_upper: &snap_upper,
+            lower,
+            snap_lower: &snap_lower,
+            labels: &labels,
+            cum_drift,
+            cum_excl: &cum_excl,
+            s_half: &s_half,
+            cum_max,
+        };
+        let mut reference = Vec::new();
+        simd::prune_survivors(SimdTier::Scalar, &hs, &mut reference);
+        let key = |s: &simd::Survivor| (s.index, canon(s.u), canon(s.l));
+        for tier in tiers() {
+            let mut out = Vec::new();
+            simd::prune_survivors(tier, &hs, &mut out);
+            prop_assert!(
+                out.iter().map(key).collect::<Vec<_>>()
+                    == reference.iter().map(key).collect::<Vec<_>>(),
+                "{:?} n={} k={}", tier, n, k
+            );
+        }
+    }
+
+    #[test]
+    fn sq_dist_to_point_parity(
+        d in 1usize..17,
+        n in 0usize..34,
+        seed in any::<u64>(),
+    ) {
+        let flat = seeded_values(n * d, seed);
+        let c = seeded_values(d, seed ^ 0xBEEF);
+        let scalar_xt = TransposedPoints::build(SimdTier::Scalar, &flat, n, d);
+        let mut reference = vec![0.0f64; n];
+        simd::sq_dist_to_point(&scalar_xt, &c, &mut reference);
+        for tier in tiers() {
+            let xt = TransposedPoints::build(tier, &flat, n, d);
+            let mut out = vec![0.0f64; n];
+            simd::sq_dist_to_point(&xt, &c, &mut out);
+            prop_assert!(bits(&out) == bits(&reference), "{:?} d={} n={}", tier, d, n);
+        }
+    }
+
+    #[test]
+    fn fast_math_bound(
+        d in 1usize..65,
+        seed in any::<u64>(),
+    ) {
+        const EPS: f64 = f64::EPSILON / 2.0;
+        // Finite values only: the bound is a statement about rounding, not
+        // about NaN/inf propagation (those stay on the exact tier).
+        let mut rng = SplitMix(seed);
+        let a: Vec<f64> = (0..d).map(|_| rng.uniform(-1e6, 1e6)).collect();
+        let b: Vec<f64> = (0..d).map(|_| rng.uniform(-1e6, 1e6)).collect();
+        let exact = Matrix::sq_dist_hot(&a, &b);
+        for tier in tiers() {
+            let fast = simd::sq_dist_fast(tier, &a, &b);
+            prop_assert!(
+                (fast - exact).abs() <= 2.0 * d as f64 * EPS * exact,
+                "{:?} d={}: {} vs {}", tier, d, fast, exact
+            );
+        }
+    }
+}
+
+/// Deterministic hostile values from a seed: a SplitMix64 stream with
+/// specials injected at a fixed cadence, so shrinking stays reproducible.
+fn seeded_values(n: usize, seed: u64) -> Vec<f64> {
+    const SPECIALS: [f64; 8] = [
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        0.0,
+        -0.0,
+        5e-324,
+        1e-308,
+        f64::MAX,
+    ];
+    let mut rng = SplitMix(seed);
+    (0..n)
+        .map(|i| {
+            if i % 4 == 2 {
+                SPECIALS[(i / 4) % SPECIALS.len()]
+            } else {
+                rng.uniform(-1e6, 1e6)
+            }
+        })
+        .collect()
+}
+
+/// Minimal SplitMix64 so value generation is independent of proptest's
+/// shrinking (only the seed shrinks, not the stream).
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}

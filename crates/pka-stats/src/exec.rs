@@ -85,6 +85,20 @@ impl Executor {
         self.workers.get() == 1
     }
 
+    /// Threads actually spawned for a fan-out over `n_tasks` tasks: the
+    /// configured count, capped by the task count and by the hardware
+    /// thread count. Tasks are claimed from a shared counter, so fewer
+    /// threads simply take more tasks each and every result is identical —
+    /// oversubscribing a CPU-bound fan-out buys nothing but scheduler
+    /// churn (an `Executor::new(4)` on a single-core host was measurably
+    /// *slower* than sequential before this cap). When the cap resolves to
+    /// one thread the fan-out runs inline on the caller, exactly like the
+    /// sequential executor (and publishes no per-worker busy stages).
+    pub fn spawn_count(&self, n_tasks: usize) -> usize {
+        let hw = std::thread::available_parallelism().map_or(usize::MAX, NonZeroUsize::get);
+        self.workers.get().min(n_tasks).min(hw)
+    }
+
     /// Applies `f` to every item and returns the results in item order.
     ///
     /// `f` receives `(index, &item)`. With more than one worker, items are
@@ -111,7 +125,12 @@ impl Executor {
         let tracing = obs && pka_obs::global().tracing();
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, U, pka_obs::CapturedTrace)>();
-        let workers = self.workers.get().min(n);
+        let workers = self.spawn_count(n);
+        if workers == 1 {
+            // The cap resolved to one thread (single-core host): claiming
+            // items through a channel from one worker is pure overhead.
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
         let busy: Mutex<Vec<u64>> = Mutex::new(Vec::new());
         let out = std::thread::scope(|scope| {
             for w in 0..workers {
@@ -251,7 +270,7 @@ impl Executor {
             lo..(lo + chunk_size).min(len)
         };
 
-        if self.is_sequential() || n_chunks <= 1 {
+        if self.is_sequential() || n_chunks <= 1 || self.spawn_count(n_chunks) == 1 {
             let mut run = || (0..n_chunks).map(|i| f(i, chunk_range(i))).collect();
             return body(&mut run);
         }
@@ -282,7 +301,7 @@ impl Executor {
             work: Condvar::new(),
             done: Condvar::new(),
         };
-        let workers = self.workers.get().min(n_chunks);
+        let workers = self.spawn_count(n_chunks);
         let obs = pka_obs::enabled();
         let tracing = obs && pka_obs::global().tracing();
         if obs {

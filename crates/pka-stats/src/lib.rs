@@ -14,6 +14,9 @@
 //! * [`exec`] — a scoped-thread [`Executor`] whose parallel maps return
 //!   results in item order, so every PKA stage can fan out across cores
 //!   while staying bitwise identical to its sequential run.
+//! * [`simd`] — runtime-dispatched SSE4.1/AVX2 tiers for the numeric hot
+//!   loops (Welford folds, z-scoring), with the scalar code as the bitwise
+//!   specification and an opt-in fast-math tier.
 //! * [`bootstrap`] — seeded bootstrap confidence intervals for the suite
 //!   aggregates the experiment harness reports.
 //!
@@ -35,7 +38,10 @@
 //! assert_eq!(r.mean(), 4.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `simd` module carries the one audited
+// `allow(unsafe_code)` in the crate, for CPU intrinsics behind runtime
+// feature detection. Everything else still refuses unsafe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bootstrap;
@@ -44,8 +50,9 @@ pub mod exec;
 pub mod hash;
 mod online;
 mod rolling;
+pub mod simd;
 pub mod summary;
 
 pub use exec::Executor;
-pub use online::OnlineStats;
+pub use online::{OnlineStats, WelfordColumns};
 pub use rolling::RollingStats;

@@ -166,6 +166,113 @@ impl OnlineStats {
     }
 }
 
+/// A column-oriented bank of Welford accumulators sharing one sample count.
+///
+/// This is [`OnlineStats`] × `dims` in structure-of-arrays layout: one
+/// `count`, and contiguous `mean`/`m2`/`min`/`max` vectors. The layout is
+/// what lets the streaming normalizer fold a whole feature vector with one
+/// SIMD pass ([`crate::simd::welford_fold`]) instead of `dims` independent
+/// struct updates — while staying bitwise identical to pushing each
+/// dimension through its own [`OnlineStats`], which
+/// [`to_stats`](WelfordColumns::to_stats)/[`from_stats`](WelfordColumns::from_stats)
+/// round-trip exactly (checkpoints serialise the per-dimension form).
+///
+/// Min/max tracking is deliberately scalar (`f64::min`/`f64::max`): their
+/// NaN and signed-zero lowering is platform-specification territory the
+/// vector tiers refuse to re-implement, and two comparisons per dimension
+/// are not the hot part of the fold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WelfordColumns {
+    count: u64,
+    mean: Vec<f64>,
+    m2: Vec<f64>,
+    min: Vec<f64>,
+    max: Vec<f64>,
+}
+
+impl WelfordColumns {
+    /// An empty bank over `dims` feature dimensions.
+    pub fn new(dims: usize) -> Self {
+        Self {
+            count: 0,
+            mean: vec![0.0; dims],
+            m2: vec![0.0; dims],
+            min: vec![f64::INFINITY; dims],
+            max: vec![f64::NEG_INFINITY; dims],
+        }
+    }
+
+    /// Number of feature dimensions.
+    pub fn dims(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Samples folded so far (shared by every dimension).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one sample vector into every dimension's accumulator, using
+    /// the given SIMD tier for the mean/m2 recurrences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` has the wrong dimensionality.
+    pub fn fold(&mut self, tier: crate::simd::SimdTier, xs: &[f64]) {
+        assert_eq!(xs.len(), self.mean.len(), "feature dimensionality");
+        self.count += 1;
+        crate::simd::welford_fold(tier, self.count as f64, xs, &mut self.mean, &mut self.m2);
+        for ((&x, min), max) in xs.iter().zip(self.min.iter_mut()).zip(self.max.iter_mut()) {
+            *min = min.min(x);
+            *max = max.max(x);
+        }
+    }
+
+    /// Z-scores `xs` in place against the statistics accumulated so far,
+    /// centring (but not scaling) degenerate dimensions — the batch
+    /// scaler's rule, see [`crate::simd::zscore_apply`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` has the wrong dimensionality.
+    pub fn zscore(&self, tier: crate::simd::SimdTier, xs: &mut [f64]) {
+        assert_eq!(xs.len(), self.mean.len(), "feature dimensionality");
+        crate::simd::zscore_apply(tier, self.count as f64, &self.mean, &self.m2, xs);
+    }
+
+    /// The per-dimension accumulators in serialisable form; bit-exact.
+    pub fn to_stats(&self) -> Vec<OnlineStats> {
+        (0..self.mean.len())
+            .map(|j| {
+                OnlineStats::from_raw(
+                    self.count,
+                    self.mean[j],
+                    self.m2[j],
+                    self.min[j],
+                    self.max[j],
+                )
+            })
+            .collect()
+    }
+
+    /// Rebuilds the bank from serialised per-dimension accumulators;
+    /// inverse of [`to_stats`](WelfordColumns::to_stats), bit-exact.
+    ///
+    /// All accumulators must share one count (they always do when produced
+    /// by this type or by folding the same records through per-dimension
+    /// [`OnlineStats`]); the shared count is taken from the first, or 0
+    /// when `stats` is empty.
+    pub fn from_stats(stats: &[OnlineStats]) -> Self {
+        Self {
+            count: stats.first().map_or(0, OnlineStats::count),
+            mean: stats.iter().map(OnlineStats::mean).collect(),
+            m2: stats.iter().map(OnlineStats::m2).collect(),
+            min: stats.iter().map(OnlineStats::min).collect(),
+            max: stats.iter().map(OnlineStats::max).collect(),
+        }
+    }
+}
+
 impl FromIterator<f64> for OnlineStats {
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
         let mut s = Self::new();

@@ -1,0 +1,390 @@
+//! Runtime-dispatched SIMD tiers for the numeric hot loops.
+//!
+//! Every kernel in the workspace ships in (up to) three runtime tiers —
+//! scalar, SSE4.1 (2 lanes of `f64`) and AVX2 (4 lanes) — selected once per
+//! process by [`active_tier`] via `is_x86_feature_detected!`. The scalar
+//! code is the *specification*, not a fallback of convenience: the default
+//! SIMD tier is proven **bitwise equal** to the scalar accumulation order by
+//! the differential parity suite (`tests/simd_parity.rs`), because PKA's
+//! checkpoints, traces and golden tables are pinned byte-for-byte.
+//!
+//! The bitwise guarantee is achieved *by construction*, not by tolerance:
+//! default-tier kernels assign each SIMD lane to an **independent output
+//! element** (a centroid, a principal component, a point, a feature
+//! dimension) and never reassociate the additions inside any one output's
+//! reduction. Each lane then performs exactly the scalar op sequence —
+//! IEEE-754 sub/mul/add/div/sqrt are correctly rounded and element-wise
+//! identical in vector registers — so equality is exact. FMA is never used
+//! (the scalar code rounds between the multiply and the add).
+//!
+//! The opt-in **fast-math** tier ([`set_fast_math`], plumbed from the
+//! `--fast-math` flag of both binaries) additionally vectorises *within* a
+//! single reduction by splitting it across lanes and reassociating the
+//! horizontal sum. That changes rounding; the relative error of a
+//! reassociated sum of `n` well-conditioned terms is bounded by
+//! `n · 2⁻⁵³ / (1 − n · 2⁻⁵³)` of the exact sum (Higham, *Accuracy and
+//! Stability of Numerical Algorithms*, §4.2), which the parity suite
+//! enforces with explicit tolerances. Fast-math never touches streaming
+//! checkpoint state or the Hamerly bounds logic — see DESIGN.md, "SIMD
+//! dispatch tiers".
+//!
+//! Forcing the scalar tier: set `PKA_NO_SIMD=1` in the environment (read
+//! once, before the first kernel runs). CI runs the whole suite that way so
+//! the fallback can never rot.
+
+// The crate is `deny(unsafe_code)`; SIMD intrinsics are the one audited
+// exception, confined to this module.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// The instruction tier a kernel executes with.
+///
+/// Ordered by capability: every tier can also run any lower tier's kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdTier {
+    /// Plain Rust loops — the specification all other tiers must match.
+    Scalar,
+    /// SSE4.1: 2 × `f64` lanes (baseline `blendv` for mask selects).
+    Sse41,
+    /// AVX2: 4 × `f64` lanes.
+    Avx2,
+}
+
+impl SimdTier {
+    /// Number of `f64` lanes processed per vector op.
+    pub fn lanes(self) -> usize {
+        match self {
+            SimdTier::Scalar => 1,
+            SimdTier::Sse41 => 2,
+            SimdTier::Avx2 => 4,
+        }
+    }
+
+    /// Stable human-readable label (used in run manifests and logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Sse41 => "sse4.1",
+            SimdTier::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Detects the best available tier, honouring the `PKA_NO_SIMD` override.
+///
+/// Called once by [`active_tier`]; exposed separately so tests can assert
+/// detection behaviour without poking the process-wide cache.
+pub fn detect_tier() -> SimdTier {
+    if std::env::var_os("PKA_NO_SIMD").is_some_and(|v| !v.is_empty() && v != "0") {
+        return SimdTier::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdTier::Avx2;
+        }
+        if std::arch::is_x86_feature_detected!("sse4.1") {
+            return SimdTier::Sse41;
+        }
+    }
+    SimdTier::Scalar
+}
+
+/// The process-wide tier, detected on first use and cached.
+pub fn active_tier() -> SimdTier {
+    static TIER: OnceLock<SimdTier> = OnceLock::new();
+    *TIER.get_or_init(detect_tier)
+}
+
+static FAST_MATH: AtomicBool = AtomicBool::new(false);
+
+/// Enables (or disables) the opt-in fast-math tier process-wide.
+///
+/// Wired to the `--fast-math` flag of the `pka` and `tables` binaries; off
+/// by default. Has no effect when the active tier is [`SimdTier::Scalar`].
+pub fn set_fast_math(on: bool) {
+    FAST_MATH.store(on, Ordering::Relaxed);
+}
+
+/// Whether the fast-math tier is enabled.
+pub fn fast_math() -> bool {
+    FAST_MATH.load(Ordering::Relaxed)
+}
+
+/// Degenerate-variance threshold shared by every z-score implementation:
+/// features whose running population std-dev is at or below this are
+/// centred but not scaled.
+pub const ZSCORE_STD_FLOOR: f64 = 1e-12;
+
+// ---------------------------------------------------------------------------
+// Welford column folds (lane = feature dimension)
+// ---------------------------------------------------------------------------
+//
+// Welford's recurrence is sequential *per dimension* but the dimensions are
+// independent, so vectorising across them keeps every dimension's op
+// sequence — and therefore its bits — identical to `OnlineStats::push`.
+// There is deliberately no fast-math variant: a sequential recurrence has
+// no reduction to reassociate, so the two tiers coincide.
+
+/// One Welford step for every feature dimension: the scalar specification.
+///
+/// `n` is the sample count *after* this sample (`count as f64` once the
+/// caller has incremented it). Min/max tracking stays with the caller —
+/// their NaN semantics (`f64::min`/`f64::max`) are platform-lowering
+/// subtleties the vector tiers deliberately do not re-implement.
+pub fn welford_fold_scalar(n: f64, xs: &[f64], mean: &mut [f64], m2: &mut [f64]) {
+    debug_assert_eq!(xs.len(), mean.len());
+    debug_assert_eq!(xs.len(), m2.len());
+    for ((&x, mean), m2) in xs.iter().zip(mean.iter_mut()).zip(m2.iter_mut()) {
+        let delta = x - *mean;
+        *mean += delta / n;
+        *m2 += delta * (x - *mean);
+    }
+}
+
+/// One Welford step for every feature dimension, in the requested tier.
+///
+/// Bitwise identical to [`welford_fold_scalar`] for every tier and input
+/// (including NaN, ±inf and denormals) — asserted by the parity suite.
+pub fn welford_fold(tier: SimdTier, n: f64, xs: &[f64], mean: &mut [f64], m2: &mut [f64]) {
+    debug_assert_eq!(xs.len(), mean.len());
+    debug_assert_eq!(xs.len(), m2.len());
+    match tier {
+        SimdTier::Scalar => welford_fold_scalar(n, xs, mean, m2),
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse41 => unsafe { x86::welford_fold_sse2(n, xs, mean, m2) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { x86::welford_fold_avx2(n, xs, mean, m2) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => welford_fold_scalar(n, xs, mean, m2),
+    }
+}
+
+/// Z-scores `xs` in place against per-dimension running moments: the scalar
+/// specification.
+///
+/// `n` is the current sample count as `f64`. Matches the streaming
+/// normalizer's degenerate-column rule: a dimension is divided by its
+/// population std-dev only when that std-dev exceeds
+/// [`ZSCORE_STD_FLOOR`]; otherwise it is centred only. With `n == 0` the
+/// std-dev is NaN, the comparison fails, and the dimension is centred by
+/// `mean == 0.0` — exactly the empty-accumulator behaviour.
+pub fn zscore_apply_scalar(n: f64, mean: &[f64], m2: &[f64], xs: &mut [f64]) {
+    debug_assert_eq!(xs.len(), mean.len());
+    debug_assert_eq!(xs.len(), m2.len());
+    for ((x, &mean), &m2) in xs.iter_mut().zip(mean).zip(m2) {
+        let std = (m2 / n).sqrt();
+        *x -= mean;
+        if std > ZSCORE_STD_FLOOR {
+            *x /= std;
+        }
+    }
+}
+
+/// Z-scores `xs` in place, in the requested tier; bitwise identical to
+/// [`zscore_apply_scalar`].
+pub fn zscore_apply(tier: SimdTier, n: f64, mean: &[f64], m2: &[f64], xs: &mut [f64]) {
+    debug_assert_eq!(xs.len(), mean.len());
+    debug_assert_eq!(xs.len(), m2.len());
+    match tier {
+        SimdTier::Scalar => zscore_apply_scalar(n, mean, m2, xs),
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse41 => unsafe { x86::zscore_apply_sse41(n, mean, m2, xs) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { x86::zscore_apply_avx2(n, mean, m2, xs) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => zscore_apply_scalar(n, mean, m2, xs),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! The vector implementations. Each function's safety contract is the
+    //! corresponding target feature being present, which the dispatchers
+    //! guarantee via [`super::active_tier`] / explicit tier arguments that
+    //! tests only pass after their own detection check.
+
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Requires SSE2 (baseline on `x86_64`); named `sse2` because the
+    /// Welford step needs no SSE4.1 instruction, but it is only dispatched
+    /// on the SSE4.1 tier.
+    pub unsafe fn welford_fold_sse2(n: f64, xs: &[f64], mean: &mut [f64], m2: &mut [f64]) {
+        unsafe {
+            let nv = _mm_set1_pd(n);
+            let pairs = xs.len() / 2;
+            for b in 0..pairs {
+                let i = b * 2;
+                let x = _mm_loadu_pd(xs.as_ptr().add(i));
+                let mu = _mm_loadu_pd(mean.as_ptr().add(i));
+                let m = _mm_loadu_pd(m2.as_ptr().add(i));
+                let delta = _mm_sub_pd(x, mu);
+                let mu_next = _mm_add_pd(mu, _mm_div_pd(delta, nv));
+                let m_next = _mm_add_pd(m, _mm_mul_pd(delta, _mm_sub_pd(x, mu_next)));
+                _mm_storeu_pd(mean.as_mut_ptr().add(i), mu_next);
+                _mm_storeu_pd(m2.as_mut_ptr().add(i), m_next);
+            }
+            let t = pairs * 2;
+            super::welford_fold_scalar(n, &xs[t..], &mut mean[t..], &mut m2[t..]);
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn welford_fold_avx2(n: f64, xs: &[f64], mean: &mut [f64], m2: &mut [f64]) {
+        unsafe {
+            let nv = _mm256_set1_pd(n);
+            let quads = xs.len() / 4;
+            for b in 0..quads {
+                let i = b * 4;
+                let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+                let mu = _mm256_loadu_pd(mean.as_ptr().add(i));
+                let m = _mm256_loadu_pd(m2.as_ptr().add(i));
+                let delta = _mm256_sub_pd(x, mu);
+                let mu_next = _mm256_add_pd(mu, _mm256_div_pd(delta, nv));
+                let m_next = _mm256_add_pd(m, _mm256_mul_pd(delta, _mm256_sub_pd(x, mu_next)));
+                _mm256_storeu_pd(mean.as_mut_ptr().add(i), mu_next);
+                _mm256_storeu_pd(m2.as_mut_ptr().add(i), m_next);
+            }
+            let t = quads * 4;
+            super::welford_fold_scalar(n, &xs[t..], &mut mean[t..], &mut m2[t..]);
+        }
+    }
+
+    /// # Safety
+    /// Requires SSE4.1 (`blendvpd`).
+    #[target_feature(enable = "sse4.1")]
+    pub unsafe fn zscore_apply_sse41(n: f64, mean: &[f64], m2: &[f64], xs: &mut [f64]) {
+        unsafe {
+            let nv = _mm_set1_pd(n);
+            let floor = _mm_set1_pd(super::ZSCORE_STD_FLOOR);
+            let pairs = xs.len() / 2;
+            for b in 0..pairs {
+                let i = b * 2;
+                let x = _mm_loadu_pd(xs.as_ptr().add(i));
+                let mu = _mm_loadu_pd(mean.as_ptr().add(i));
+                let m = _mm_loadu_pd(m2.as_ptr().add(i));
+                let std = _mm_sqrt_pd(_mm_div_pd(m, nv));
+                let centred = _mm_sub_pd(x, mu);
+                // std > floor per lane; NaN std compares false, exactly like
+                // the scalar `if`.
+                let scale = _mm_cmpgt_pd(std, floor);
+                let scaled = _mm_div_pd(centred, std);
+                _mm_storeu_pd(xs.as_mut_ptr().add(i), _mm_blendv_pd(centred, scaled, scale));
+            }
+            let t = pairs * 2;
+            super::zscore_apply_scalar(n, &mean[t..], &m2[t..], &mut xs[t..]);
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn zscore_apply_avx2(n: f64, mean: &[f64], m2: &[f64], xs: &mut [f64]) {
+        unsafe {
+            let nv = _mm256_set1_pd(n);
+            let floor = _mm256_set1_pd(super::ZSCORE_STD_FLOOR);
+            let quads = xs.len() / 4;
+            for b in 0..quads {
+                let i = b * 4;
+                let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+                let mu = _mm256_loadu_pd(mean.as_ptr().add(i));
+                let m = _mm256_loadu_pd(m2.as_ptr().add(i));
+                let std = _mm256_sqrt_pd(_mm256_div_pd(m, nv));
+                let centred = _mm256_sub_pd(x, mu);
+                let scale = _mm256_cmp_pd(std, floor, _CMP_GT_OQ);
+                let scaled = _mm256_div_pd(centred, std);
+                _mm256_storeu_pd(
+                    xs.as_mut_ptr().add(i),
+                    _mm256_blendv_pd(centred, scaled, scale),
+                );
+            }
+            let t = quads * 4;
+            super::zscore_apply_scalar(n, &mean[t..], &m2[t..], &mut xs[t..]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiers actually runnable on this machine (scalar always; vector tiers
+    /// only when the CPU has them).
+    fn runnable_tiers() -> Vec<SimdTier> {
+        let mut tiers = vec![SimdTier::Scalar];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("sse4.1") {
+                tiers.push(SimdTier::Sse41);
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                tiers.push(SimdTier::Avx2);
+            }
+        }
+        tiers
+    }
+
+    fn bits(xs: &[f64]) -> Vec<u64> {
+        xs.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn tier_order_and_lanes() {
+        assert!(SimdTier::Scalar < SimdTier::Sse41);
+        assert!(SimdTier::Sse41 < SimdTier::Avx2);
+        assert_eq!(SimdTier::Scalar.lanes(), 1);
+        assert_eq!(SimdTier::Sse41.lanes(), 2);
+        assert_eq!(SimdTier::Avx2.lanes(), 4);
+    }
+
+    #[test]
+    fn welford_fold_bitwise_across_tiers_and_widths() {
+        for d in 0..17 {
+            let xs: Vec<f64> = (0..d).map(|j| (j as f64 * 0.7).sin() * 1e3).collect();
+            let mut mean0 = vec![0.0; d];
+            let mut m20 = vec![0.0; d];
+            // Three folds so mean/m2 are non-trivial.
+            for step in 1..=3u64 {
+                welford_fold_scalar(step as f64, &xs, &mut mean0, &mut m20);
+            }
+            for tier in runnable_tiers() {
+                let mut mean = vec![0.0; d];
+                let mut m2 = vec![0.0; d];
+                for step in 1..=3u64 {
+                    welford_fold(tier, step as f64, &xs, &mut mean, &mut m2);
+                }
+                assert_eq!(bits(&mean), bits(&mean0), "{tier:?} d={d}");
+                assert_eq!(bits(&m2), bits(&m20), "{tier:?} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn zscore_bitwise_including_degenerate_and_empty_counts() {
+        let mean = [1.0, -2.0, 0.0, 1e300, 5.0];
+        let m2 = [4.0, 0.0, 1e-30, 1.0, f64::NAN];
+        for n in [0.0, 1.0, 7.0] {
+            for tier in runnable_tiers() {
+                let mut a = [0.5, -3.0, 1.0, 1e300, 2.0];
+                let mut b = a;
+                zscore_apply_scalar(n, &mean, &m2, &mut a);
+                zscore_apply(tier, n, &mean, &m2, &mut b);
+                assert_eq!(bits(&a), bits(&b), "{tier:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_math_flag_round_trips() {
+        assert!(!fast_math());
+        set_fast_math(true);
+        assert!(fast_math());
+        set_fast_math(false);
+        assert!(!fast_math());
+    }
+}

@@ -1,4 +1,5 @@
-use pka_stats::OnlineStats;
+use pka_stats::simd;
+use pka_stats::{OnlineStats, WelfordColumns};
 
 /// Streaming z-score normalisation: one Welford accumulator per feature.
 ///
@@ -10,40 +11,47 @@ use pka_stats::OnlineStats;
 /// the mini-batch centroid updates stay comparable across a drifting
 /// stream.
 ///
-/// All state is exposed raw (`stats`) so checkpoints can serialise the
-/// accumulators bit-exactly via [`OnlineStats::m2`] /
-/// [`OnlineStats::from_raw`].
+/// Internally the accumulators live in a column-oriented
+/// [`WelfordColumns`] bank so the per-record fold and z-score run as one
+/// SIMD pass per record ([`pka_stats::simd::welford_fold`] /
+/// [`pka_stats::simd::zscore_apply`]) — bitwise identical to pushing each
+/// dimension through its own [`OnlineStats`], which is still the
+/// serialisation format: [`stats`](StreamingNormalizer::stats) /
+/// [`from_stats`](StreamingNormalizer::from_stats) round-trip checkpoints
+/// bit-exactly via [`OnlineStats::m2`] / [`OnlineStats::from_raw`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamingNormalizer {
-    stats: Vec<OnlineStats>,
+    columns: WelfordColumns,
 }
 
 impl StreamingNormalizer {
     /// Creates a normalizer for `dims`-dimensional feature vectors.
     pub fn new(dims: usize) -> Self {
         Self {
-            stats: vec![OnlineStats::new(); dims],
+            columns: WelfordColumns::new(dims),
         }
     }
 
     /// Rebuilds a normalizer from serialised per-feature accumulators.
     pub fn from_stats(stats: Vec<OnlineStats>) -> Self {
-        Self { stats }
+        Self {
+            columns: WelfordColumns::from_stats(&stats),
+        }
     }
 
     /// Number of feature dimensions.
     pub fn dims(&self) -> usize {
-        self.stats.len()
+        self.columns.dims()
     }
 
     /// Records observed so far.
     pub fn count(&self) -> u64 {
-        self.stats.first().map_or(0, OnlineStats::count)
+        self.columns.count()
     }
 
-    /// Per-feature accumulators, for checkpoint serialisation.
-    pub fn stats(&self) -> &[OnlineStats] {
-        &self.stats
+    /// Per-feature accumulators, for checkpoint serialisation; bit-exact.
+    pub fn stats(&self) -> Vec<OnlineStats> {
+        self.columns.to_stats()
     }
 
     /// Folds one feature vector into the running statistics.
@@ -52,10 +60,8 @@ impl StreamingNormalizer {
     ///
     /// Panics if `features` has the wrong dimensionality.
     pub fn observe(&mut self, features: &[f64]) {
-        assert_eq!(features.len(), self.stats.len(), "feature dimensionality");
-        for (stat, &x) in self.stats.iter_mut().zip(features) {
-            stat.push(x);
-        }
+        assert_eq!(features.len(), self.dims(), "feature dimensionality");
+        self.columns.fold(simd::active_tier(), features);
     }
 
     /// Z-scores `features` in place against the statistics accumulated so
@@ -66,14 +72,8 @@ impl StreamingNormalizer {
     ///
     /// Panics if `features` has the wrong dimensionality.
     pub fn normalize(&self, features: &mut [f64]) {
-        assert_eq!(features.len(), self.stats.len(), "feature dimensionality");
-        for (stat, x) in self.stats.iter().zip(features.iter_mut()) {
-            let std = stat.population_std_dev();
-            *x -= stat.mean();
-            if std > 1e-12 {
-                *x /= std;
-            }
-        }
+        assert_eq!(features.len(), self.dims(), "feature dimensionality");
+        self.columns.zscore(simd::active_tier(), features);
     }
 
     /// [`observe`](Self::observe) then [`normalize`](Self::normalize) in
@@ -125,11 +125,31 @@ mod tests {
             let f = i as f64;
             n.observe_and_normalize(&mut [f.sin(), f * 0.3, f.sqrt()]);
         }
-        let rebuilt = StreamingNormalizer::from_stats(n.stats().to_vec());
+        let rebuilt = StreamingNormalizer::from_stats(n.stats());
         assert_eq!(rebuilt, n);
         let (mut a, mut b) = ([0.4, -1.0, 3.3], [0.4, -1.0, 3.3]);
         n.normalize(&mut a);
         rebuilt.normalize(&mut b);
         assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+    }
+
+    #[test]
+    fn matches_per_dimension_online_stats_bitwise() {
+        // The column bank must be indistinguishable from the historical
+        // one-OnlineStats-per-feature representation, bit for bit.
+        let mut n = StreamingNormalizer::new(2);
+        let mut reference = vec![OnlineStats::new(); 2];
+        for i in 0..97 {
+            let row = [(i as f64 * 0.37).sin() * 50.0, i as f64 - 40.0];
+            n.observe(&row);
+            for (s, &x) in reference.iter_mut().zip(&row) {
+                s.push(x);
+            }
+        }
+        for (got, want) in n.stats().iter().zip(&reference) {
+            assert_eq!(got.mean().to_bits(), want.mean().to_bits());
+            assert_eq!(got.m2().to_bits(), want.m2().to_bits());
+            assert_eq!(got.count(), want.count());
+        }
     }
 }

@@ -663,70 +663,121 @@ impl StreamPks {
         // snapshots at a single integer compare.
         let snap_every = if pka_obs::enabled() { pka_obs::snapshot_every() } else { 0 };
         let obs = pka_obs::enabled();
-        let mut batch: Vec<LightweightRecord> = Vec::with_capacity(self.config.batch);
-        loop {
-            batch.clear();
-            while batch.len() < self.config.batch {
-                match source.next_record(false)? {
-                    Some(record) => batch.push(record.lightweight),
-                    None => break,
+        match ensemble {
+            None => {
+                // The prefix consumed the whole stream, so no tail ensemble
+                // was trained; a further record violates the source's
+                // end-of-stream report.
+                if source.next_record(false)?.is_some() {
+                    return Err(StreamError::Pipeline {
+                        message: "source yielded tail records after reporting end of stream"
+                            .into(),
+                    });
                 }
             }
-            if batch.is_empty() {
-                break;
-            }
-            let ensemble = ensemble.ok_or_else(|| StreamError::Pipeline {
-                message: "source yielded tail records after reporting end of stream".into(),
-            })?;
-            let buffered = batch.len() as u64 + state.reservoir_items.len() as u64;
-            state.max_buffered = state.max_buffered.max(buffered);
+            Some(ensemble) => {
+                // One persistent worker pool for the whole tail: a per-batch
+                // fan-out would respawn its threads for every mini-batch
+                // (~100 µs each), which swamped the classification work and
+                // made `with_executor(Executor::new(4))` slower than
+                // sequential. The pool's chunk grid is fixed at the maximum
+                // batch size; each round clips its range to the records
+                // actually buffered, so the final partial batch reuses the
+                // same grid (trailing chunks are empty) and per-record
+                // results still splice in stream order — the fold below is
+                // identical for any worker count.
+                let batch_cell: std::sync::RwLock<Vec<LightweightRecord>> =
+                    std::sync::RwLock::new(Vec::with_capacity(self.config.batch));
+                self.exec.rounds(
+                    self.config.batch,
+                    TAIL_CHUNK,
+                    |_, range| {
+                        let batch = batch_cell.read().expect("tail batch lock");
+                        let lo = range.start.min(batch.len());
+                        let hi = range.end.min(batch.len());
+                        let mut out = Vec::with_capacity(hi - lo);
+                        for record in &batch[lo..hi] {
+                            let features = record.to_feature_vector();
+                            match ensemble.predict(&features) {
+                                Ok(label) => out.push((label, features)),
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        Ok(out)
+                    },
+                    |run| -> Result<(), StreamError> {
+                        loop {
+                            // Refill between rounds: rounds never overlap
+                            // `body` code, so the write lock is uncontended.
+                            let filled = {
+                                let mut batch = batch_cell.write().expect("tail batch lock");
+                                batch.clear();
+                                while batch.len() < self.config.batch {
+                                    match source.next_record(false)? {
+                                        Some(record) => batch.push(record.lightweight),
+                                        None => break,
+                                    }
+                                }
+                                batch.len()
+                            };
+                            if filled == 0 {
+                                return Ok(());
+                            }
+                            let buffered = filled as u64 + state.reservoir_items.len() as u64;
+                            state.max_buffered = state.max_buffered.max(buffered);
 
-            // Chunk-parallel classification over a fixed grid: per-record
-            // (label, features) pairs come back in stream order, so the
-            // fold below is identical for any worker count.
-            let chunks: Vec<std::ops::Range<usize>> = (0..batch.len())
-                .step_by(TAIL_CHUNK)
-                .map(|lo| lo..(lo + TAIL_CHUNK).min(batch.len()))
-                .collect();
-            let classified = self.exec.try_map(&chunks, |_, chunk| {
-                let mut out = Vec::with_capacity(chunk.len());
-                for record in &batch[chunk.clone()] {
-                    let features = record.to_feature_vector();
-                    let label = ensemble.predict(&features)?;
-                    out.push((label, features));
-                }
-                Ok::<_, pka_ml::MlError>(out)
-            })?;
+                            // Chunk results come back in chunk order; an
+                            // error from the smallest-indexed chunk wins and
+                            // nothing is folded — the same `Result` a
+                            // sequential run would produce.
+                            let mut classified = Vec::with_capacity(filled);
+                            for chunk in run() {
+                                classified.extend(chunk?);
+                            }
 
-            // Strictly in-order fold: counts, normalizer, centroids, drift,
-            // reservoir, checkpoints.
-            for (label, features) in classified.into_iter().flatten() {
-                self.fold_record(state, label, features)?;
-                if state.records % self.config.checkpoint_every == 0 {
-                    let checkpoint = self.snapshot(state, source_name, true);
-                    let t0 = obs.then(std::time::Instant::now);
-                    on_checkpoint(&checkpoint)?;
-                    if let Some(t0) = t0 {
-                        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                        state.checkpoint_write_ns = state.checkpoint_write_ns.saturating_add(ns);
-                        pka_obs::histogram("stream.checkpoint_write_ns", CHECKPOINT_WRITE_EDGES)
-                            .record(ns);
-                        // Deterministic fields only: the write duration
-                        // stays out of the event so traces canonicalize
-                        // byte-identically across runs.
-                        pka_obs::trace_event(
-                            "stream.checkpoint",
-                            json!({ "seq": checkpoint.seq, "records": checkpoint.records }),
-                        );
-                    }
-                }
-                if snap_every != 0 && state.records % snap_every == 0 {
-                    self.emit_live_snapshot(state, "tail");
-                }
-            }
-            if pka_obs::enabled() {
-                pka_obs::counter("stream.records").add(batch.len() as u64);
-                pka_obs::gauge("stream.max_buffered").set(state.max_buffered as i64);
+                            // Strictly in-order fold: counts, normalizer,
+                            // centroids, drift, reservoir, checkpoints.
+                            for (label, features) in classified {
+                                self.fold_record(state, label, features)?;
+                                if state.records % self.config.checkpoint_every == 0 {
+                                    let checkpoint = self.snapshot(state, source_name, true);
+                                    let t0 = obs.then(std::time::Instant::now);
+                                    on_checkpoint(&checkpoint)?;
+                                    if let Some(t0) = t0 {
+                                        let ns = u64::try_from(t0.elapsed().as_nanos())
+                                            .unwrap_or(u64::MAX);
+                                        state.checkpoint_write_ns =
+                                            state.checkpoint_write_ns.saturating_add(ns);
+                                        pka_obs::histogram(
+                                            "stream.checkpoint_write_ns",
+                                            CHECKPOINT_WRITE_EDGES,
+                                        )
+                                        .record(ns);
+                                        // Deterministic fields only: the
+                                        // write duration stays out of the
+                                        // event so traces canonicalize
+                                        // byte-identically across runs.
+                                        pka_obs::trace_event(
+                                            "stream.checkpoint",
+                                            json!({
+                                                "seq": checkpoint.seq,
+                                                "records": checkpoint.records
+                                            }),
+                                        );
+                                    }
+                                }
+                                if snap_every != 0 && state.records % snap_every == 0 {
+                                    self.emit_live_snapshot(state, "tail");
+                                }
+                            }
+                            if pka_obs::enabled() {
+                                pka_obs::counter("stream.records").add(filled as u64);
+                                pka_obs::gauge("stream.max_buffered")
+                                    .set(state.max_buffered as i64);
+                            }
+                        }
+                    },
+                )?;
             }
         }
 
@@ -913,7 +964,7 @@ impl StreamPks {
             selection: serde_json::to_value(&state.selection)
                 .expect("selection serialises to json"),
             projected_cycles: state.selection.projected_cycles(),
-            normalizer: state.normalizer.stats().to_vec(),
+            normalizer: state.normalizer.stats(),
             centroids: state.centroids.clone(),
             centroid_counts: state.centroid_counts.clone(),
             drift: state.drift.clone(),

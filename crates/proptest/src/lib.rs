@@ -228,6 +228,51 @@ tuple_strategy! {
     (A, B, C, D, E, F, G, H, I, J, K, L)
 }
 
+/// A strategy that always yields a clone of one value — the real crate's
+/// `Just`, used standalone or as a `prop_oneof!` arm.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union over strategies sharing one value type; built by
+/// [`prop_oneof!`]. Arms are type-erased so heterogeneous strategies (a
+/// range, a [`Just`], a nested union) can mix freely.
+pub struct UnionStrategy<T> {
+    arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> T>)>,
+    total: u64,
+}
+
+impl<T> UnionStrategy<T> {
+    /// A union from `(weight, generator)` arms; weights must not all be 0.
+    pub fn new(arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof needs a positive total weight");
+        Self { arms, total }
+    }
+}
+
+impl<T> Strategy for UnionStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_below(self.total);
+        for (weight, arm) in &self.arms {
+            if pick < *weight as u64 {
+                return arm(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("pick is bounded by the total weight")
+    }
+}
+
 /// Types with a canonical full-domain strategy (`any::<T>()`).
 pub trait Arbitrary: Sized {
     /// Draws an unconstrained value.
@@ -341,8 +386,9 @@ pub mod prop {
 /// Everything a property-test module needs.
 pub mod prelude {
     pub use crate::{
-        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
-        ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRng,
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume,
+        prop_oneof, proptest, Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+        TestCaseResult, TestRng, UnionStrategy,
     };
 }
 
@@ -387,6 +433,40 @@ macro_rules! proptest {
     };
     ($($rest:tt)*) => {
         $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform (`strategy, ...`) choice between
+/// strategies sharing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::UnionStrategy::new(vec![
+            $({
+                let s = $strategy;
+                (
+                    $weight as u32,
+                    ::std::boxed::Box::new(move |rng: &mut $crate::TestRng| {
+                        $crate::Strategy::generate(&s, rng)
+                    }) as ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>,
+                )
+            }),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
+/// Skips the current case when `cond` is false. The real crate rejects and
+/// redraws; this harness simply counts the case as passed, which keeps the
+/// deterministic case stream intact.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
     };
 }
 

@@ -54,6 +54,11 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::from(2);
     }
+    // Opt-in reassociated SIMD reductions: scalar-equivalent results are no
+    // longer bitwise, but stay within the documented `2·d·ε` relative bound.
+    if flags.contains_key("fast-math") {
+        principal_kernel_analysis::ml::simd::set_fast_math(true);
+    }
     let result = match command.as_str() {
         "list" => cmd_list(&flags),
         "info" => cmd_info(&flags),
@@ -225,6 +230,12 @@ unless the selected K matches exactly and projected cycles agree within
 out over N threads (0 = one per hardware thread). Results are bitwise
 identical for any worker count.
 
+`--fast-math` lets the SIMD distance/projection kernels reassociate their
+reductions across vector lanes. Results are then no longer bitwise equal
+to the scalar reference, but every reduction of length d stays within a
+2*d*eps relative error bound (eps = 2^-53). Leave it off for golden-file
+and parity comparisons.
+
 `trace export` converts a `--trace-out` JSONL file into Chrome
 trace-event JSON that opens directly in Perfetto (ui.perfetto.dev) or
 chrome://tracing, one lane per executor worker. `obs diff` compares two
@@ -263,6 +274,7 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
         "progress",
         "counters-only",
         "bench",
+        "fast-math",
     ];
     let mut flags = HashMap::new();
     let mut positional = Vec::new();

@@ -1,0 +1,430 @@
+//! Differential SIMD parity: the kernel-dispatch acceptance contract.
+//!
+//! Every vector kernel in `pka_ml::simd` / `pka_stats::simd` claims to be
+//! **bitwise identical** to its scalar reference on the default tier — for
+//! every input, including NaN, ±inf, signed zeros and denormals — and the
+//! opt-in fast-math tier claims a documented `2·d·ε` relative error bound.
+//! This suite is the proof: each test feeds the same adversarial inputs
+//! through every tier the host supports and compares raw `f64` bits (so a
+//! one-ULP divergence, a reassociated add, or a stray FMA fails loudly).
+//!
+//! The scalar tier always runs, so the suite is meaningful on any host;
+//! under `PKA_NO_SIMD=1` the vector tiers simply drop out and the suite
+//! degenerates to scalar self-consistency, which forced-scalar CI uses to
+//! prove the dispatch layer itself is inert.
+
+use principal_kernel_analysis::ml::simd::{
+    self, HamerlySlices, InterleavedRows, SimdTier, TransposedPoints,
+};
+use principal_kernel_analysis::ml::{Matrix, Pca};
+use principal_kernel_analysis::stats::hash::UnitStream;
+use principal_kernel_analysis::stats::simd as stats_simd;
+
+/// Every tier the host supports, scalar first. The vector entries are
+/// gated on runtime detection (and on `PKA_NO_SIMD`), so the suite runs
+/// unchanged — just narrower — on hosts without AVX2/SSE4.1.
+fn tiers() -> Vec<SimdTier> {
+    let mut out = vec![SimdTier::Scalar];
+    match simd::detect_tier() {
+        SimdTier::Avx2 => out.extend([SimdTier::Sse41, SimdTier::Avx2]),
+        SimdTier::Sse41 => out.push(SimdTier::Sse41),
+        SimdTier::Scalar => {}
+    }
+    out
+}
+
+/// Adversarial value pool: ordinary magnitudes mixed with every special
+/// class the IEEE bit-compare must survive.
+const SPECIALS: [f64; 12] = [
+    1.5,
+    -2.25,
+    0.0,
+    -0.0,
+    f64::NAN,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    5e-324,  // smallest positive denormal
+    1e-308,  // just below the normal range
+    1e17,
+    -3.5e-7,
+    f64::MAX,
+];
+
+/// Deterministic mixed stream: mostly smooth random values with specials
+/// injected at a fixed cadence.
+fn mixed_values(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = UnitStream::new(seed);
+    (0..n)
+        .map(|i| {
+            if i % 5 == 3 {
+                SPECIALS[(i / 5 + i) % SPECIALS.len()]
+            } else {
+                rng.next_range(-100.0, 100.0)
+            }
+        })
+        .collect()
+}
+
+/// Bit pattern with NaNs canonicalised: IEEE 754 leaves NaN sign and
+/// payload propagation unspecified (x86 `inf - inf` generates the negative
+/// "real indefinite", and the compiler may commute add operands, changing
+/// which input NaN survives), so any NaN compares equal to any NaN.
+/// Everything else — signed zeros, denormals, infinities — is exact to
+/// the bit.
+fn canon(x: f64) -> u64 {
+    if x.is_nan() {
+        0x7ff8_0000_0000_0000
+    } else {
+        x.to_bits()
+    }
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| canon(*x)).collect()
+}
+
+/// The dimension sweep every kernel test walks: below, at, and above each
+/// vector width, plus odd remainders.
+const DIMS: std::ops::RangeInclusive<usize> = 1..=17;
+
+#[test]
+fn sq_dist_batch_matches_scalar_bitwise_across_tiers() {
+    for d in DIMS {
+        for rows in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 33] {
+            let flat = mixed_values(rows * d, 0xD15 + (d * 31 + rows) as u64);
+            let point = mixed_values(d, 0x90 + d as u64);
+            let reference: Vec<f64> = (0..rows)
+                .map(|r| Matrix::sq_dist_hot(&point, &flat[r * d..(r + 1) * d]))
+                .collect();
+            for tier in tiers() {
+                let inter = InterleavedRows::build(tier, &flat, d);
+                let mut out = vec![0.0f64; rows];
+                simd::sq_dist_batch(&point, &inter, &mut out);
+                assert_eq!(
+                    bits(&out),
+                    bits(&reference),
+                    "sq_dist_batch {tier:?} d={d} rows={rows}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dot_batch_matches_scalar_fold_bitwise_across_tiers() {
+    for d in DIMS {
+        for rows in [0usize, 1, 2, 4, 5, 8, 9, 16, 33] {
+            let flat = mixed_values(rows * d, 0xD07 + (d * 37 + rows) as u64);
+            let vec_in = mixed_values(d, 0xA1 + d as u64);
+            let reference: Vec<f64> = (0..rows)
+                .map(|r| {
+                    vec_in
+                        .iter()
+                        .zip(&flat[r * d..(r + 1) * d])
+                        .map(|(&x, &c)| x * c)
+                        .sum()
+                })
+                .collect();
+            for tier in tiers() {
+                let inter = InterleavedRows::build(tier, &flat, d);
+                let mut out = vec![0.0f64; rows];
+                simd::dot_batch(&vec_in, &inter, &mut out);
+                assert_eq!(
+                    bits(&out),
+                    bits(&reference),
+                    "dot_batch {tier:?} d={d} rows={rows}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn point_batched_distance_and_min_update_match_scalar_bitwise() {
+    for d in DIMS {
+        for n in [0usize, 1, 2, 3, 4, 5, 8, 9, 17, 33] {
+            let flat = mixed_values(n * d, 0x7A11 + (d * 41 + n) as u64);
+            let c = mixed_values(d, 0xC0 + d as u64);
+            // Reference = the Scalar tier itself (its inner loop is the
+            // documented scalar op order).
+            let scalar_xt = TransposedPoints::build(SimdTier::Scalar, &flat, n, d);
+            let mut reference = vec![0.0f64; n];
+            simd::sq_dist_to_point(&scalar_xt, &c, &mut reference);
+
+            let norms: Vec<f64> = (0..n)
+                .map(|i| {
+                    flat[i * d..(i + 1) * d]
+                        .iter()
+                        .map(|x| x * x)
+                        .sum::<f64>()
+                        .sqrt()
+                })
+                .collect();
+            let c_norm = c.iter().map(|x| x * x).sum::<f64>().sqrt();
+            let seed_d2 = mixed_values(n, 0x5EED);
+            let mut ref_d2 = seed_d2.clone();
+            simd::min_d2_update(&scalar_xt, &c, c_norm, &norms, &mut ref_d2);
+
+            for tier in tiers() {
+                let xt = TransposedPoints::build(tier, &flat, n, d);
+                let mut out = vec![0.0f64; n];
+                simd::sq_dist_to_point(&xt, &c, &mut out);
+                assert_eq!(
+                    bits(&out),
+                    bits(&reference),
+                    "sq_dist_to_point {tier:?} d={d} n={n}"
+                );
+                let mut d2 = seed_d2.clone();
+                simd::min_d2_update(&xt, &c, c_norm, &norms, &mut d2);
+                assert_eq!(bits(&d2), bits(&ref_d2), "min_d2_update {tier:?} d={d} n={n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn prune_survivors_matches_scalar_bitwise_incl_sentinels_and_nan() {
+    let k = 7usize;
+    for n in [0usize, 1, 2, 3, 4, 5, 8, 13, 64, 257] {
+        let mut rng = UnitStream::new(0xBB + n as u64);
+        let mut pick = |scale: f64| -> f64 { rng.next_range(0.0, scale) };
+        let upper: Vec<f64> = (0..n)
+            .map(|i| match i % 7 {
+                5 => f64::NAN,
+                _ => pick(40.0),
+            })
+            .collect();
+        let snap_upper: Vec<f64> = (0..n).map(|_| pick(8.0)).collect();
+        // Stored lower bounds include the ±inf sentinels the assignment
+        // loop uses for fresh and reseeded points.
+        let lower: Vec<f64> = (0..n)
+            .map(|i| match i % 6 {
+                4 => f64::INFINITY,
+                5 => f64::NEG_INFINITY,
+                _ => pick(60.0),
+            })
+            .collect();
+        let snap_lower: Vec<f64> = (0..n).map(|_| pick(8.0)).collect();
+        let labels: Vec<usize> = (0..n).map(|i| (i * 5 + 1) % k).collect();
+        let cum_drift: Vec<f64> = (0..k).map(|_| pick(9.0)).collect();
+        let cum_excl: Vec<f64> = (0..k).map(|_| pick(9.0)).collect();
+        let s_half: Vec<f64> = (0..k).map(|_| pick(30.0)).collect();
+        let hs = HamerlySlices {
+            upper: &upper,
+            snap_upper: &snap_upper,
+            lower: &lower,
+            snap_lower: &snap_lower,
+            labels: &labels,
+            cum_drift: &cum_drift,
+            cum_excl: &cum_excl,
+            s_half: &s_half,
+            cum_max: 11.25,
+        };
+        let mut reference = Vec::new();
+        simd::prune_survivors(SimdTier::Scalar, &hs, &mut reference);
+        let key = |s: &simd::Survivor| (s.index, canon(s.u), canon(s.l));
+        for tier in tiers() {
+            let mut out = Vec::new();
+            simd::prune_survivors(tier, &hs, &mut out);
+            assert_eq!(
+                out.iter().map(key).collect::<Vec<_>>(),
+                reference.iter().map(key).collect::<Vec<_>>(),
+                "prune_survivors {tier:?} n={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scan_points_matches_scalar_bitwise_across_tiers() {
+    for d in DIMS {
+        for k in [1usize, 2, 3, 5, 8, 24] {
+            let n = 40;
+            let data = mixed_values(n * d, 0x5CA9 + (d * 43 + k) as u64);
+            let centroids = mixed_values(k * d, 0xCE97 + (d + k * 7) as u64);
+            for m in [0usize, 1, 2, 4, 5, 8, 9, 11, 40] {
+                let indices: Vec<u32> = (0..m).map(|i| ((i * 7) % n) as u32).collect();
+                let mut reference = Vec::new();
+                simd::scan_points(
+                    SimdTier::Scalar,
+                    &data,
+                    d,
+                    &indices,
+                    &centroids,
+                    k,
+                    &mut reference,
+                );
+                let key = |t: &(u32, f64, f64)| (t.0, canon(t.1), canon(t.2));
+                for tier in tiers() {
+                    let mut out = Vec::new();
+                    simd::scan_points(tier, &data, d, &indices, &centroids, k, &mut out);
+                    assert_eq!(
+                        out.iter().map(key).collect::<Vec<_>>(),
+                        reference.iter().map(key).collect::<Vec<_>>(),
+                        "scan_points {tier:?} d={d} k={k} m={m}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn scan_points_ties_break_first_and_nan_never_places() {
+    // Centroids 1 and 3 are identical: the winner must be index 1 on every
+    // tier (strict `<` keeps the first). Centroid 2 is all-NaN: its
+    // distance is NaN, every comparison is false, and it never places.
+    let d = 3;
+    let data: Vec<f64> = (0..8 * d).map(|i| (i % 5) as f64 * 0.5).collect();
+    let tied: Vec<f64> = vec![0.25; d];
+    let mut centroids = Vec::new();
+    centroids.extend(vec![9.0; d]); // 0: far
+    centroids.extend(&tied); // 1: winner
+    centroids.extend(vec![f64::NAN; d]); // 2: poisoned
+    centroids.extend(&tied); // 3: equal to 1, must lose the tie
+    let indices: Vec<u32> = (0..8).collect();
+    for tier in tiers() {
+        let mut out = Vec::new();
+        simd::scan_points(tier, &data, d, &indices, &centroids, 4, &mut out);
+        for (i, &(best, best_d, second_d)) in out.iter().enumerate() {
+            assert_eq!(best, 1, "{tier:?} row {i}: tie must keep the first index");
+            assert!(best_d.is_finite());
+            // Second-best is the tied duplicate's identical distance, never
+            // the NaN centroid.
+            assert_eq!(
+                second_d.to_bits(),
+                best_d.to_bits(),
+                "{tier:?} row {i}: duplicate centroid is second"
+            );
+        }
+    }
+}
+
+#[test]
+fn welford_fold_and_zscore_match_scalar_bitwise_across_tiers() {
+    for d in DIMS {
+        let steps = 29;
+        let stream: Vec<Vec<f64>> = (0..steps)
+            .map(|t| mixed_values(d, 0xF01D + (t * 131 + d) as u64))
+            .collect();
+        let mut ref_mean = vec![0.0f64; d];
+        let mut ref_m2 = vec![0.0f64; d];
+        for (t, xs) in stream.iter().enumerate() {
+            stats_simd::welford_fold_scalar((t + 1) as f64, xs, &mut ref_mean, &mut ref_m2);
+        }
+        let mut ref_z = mixed_values(d, 0x2EE7);
+        stats_simd::zscore_apply_scalar(steps as f64, &ref_mean, &ref_m2, &mut ref_z);
+
+        for tier in tiers() {
+            let mut mean = vec![0.0f64; d];
+            let mut m2 = vec![0.0f64; d];
+            for (t, xs) in stream.iter().enumerate() {
+                stats_simd::welford_fold(tier, (t + 1) as f64, xs, &mut mean, &mut m2);
+            }
+            assert_eq!(bits(&mean), bits(&ref_mean), "welford mean {tier:?} d={d}");
+            assert_eq!(bits(&m2), bits(&ref_m2), "welford m2 {tier:?} d={d}");
+            let mut z = mixed_values(d, 0x2EE7);
+            stats_simd::zscore_apply(tier, steps as f64, &mean, &m2, &mut z);
+            assert_eq!(bits(&z), bits(&ref_z), "zscore {tier:?} d={d}");
+
+            // n = 0: std is NaN, the comparison fails, every dimension is
+            // centred by mean 0 — i.e. the input passes through unchanged.
+            let zero_mean = vec![0.0f64; d];
+            let zero_m2 = vec![0.0f64; d];
+            let probe = mixed_values(d, 0x0);
+            let mut z0 = probe.clone();
+            stats_simd::zscore_apply(tier, 0.0, &zero_mean, &zero_m2, &mut z0);
+            assert_eq!(bits(&z0), bits(&probe), "empty zscore {tier:?} d={d}");
+        }
+    }
+}
+
+#[test]
+fn pca_projection_on_active_tier_matches_scalar_fold_bitwise() {
+    // End-to-end: the default tier's batched projection must reproduce the
+    // scalar `Σ (x−m)·c` fold bit for bit on whatever tier this host runs.
+    let mut rng = UnitStream::new(0x9CA);
+    let rows: Vec<Vec<f64>> = (0..23)
+        .map(|_| (0..6).map(|_| rng.next_range(-50.0, 50.0)).collect())
+        .collect();
+    let data = Matrix::from_rows(&rows).expect("valid data");
+    let fit = Pca::new(4).fit(&data).expect("pca fits");
+    let t = fit.transform(&data).expect("projects");
+    let means = data.column_means();
+    for (i, row) in data.iter_rows().enumerate() {
+        for (j, comp) in fit.components().iter().enumerate() {
+            let scalar: f64 = row
+                .iter()
+                .zip(means.iter().zip(comp))
+                .map(|(&x, (&m, &c))| (x - m) * c)
+                .sum();
+            assert_eq!(
+                t.get(i, j).to_bits(),
+                scalar.to_bits(),
+                "pca projection row {i} component {j}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_math_relative_error_stays_within_documented_bound() {
+    const EPS: f64 = f64::EPSILON / 2.0; // ε = 2⁻⁵³, unit roundoff
+    let mut rng = UnitStream::new(0xFA57);
+    for d in 1..=64usize {
+        let a: Vec<f64> = (0..d).map(|_| rng.next_range(-1e6, 1e6)).collect();
+        let b: Vec<f64> = (0..d).map(|_| rng.next_range(-1e6, 1e6)).collect();
+        let exact_sq = Matrix::sq_dist_hot(&a, &b);
+        let exact_dot: f64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+        let dot_abs: f64 = a.iter().zip(&b).map(|(&x, &y)| (x * y).abs()).sum();
+        for tier in tiers() {
+            let fast_sq = simd::sq_dist_fast(tier, &a, &b);
+            // Squared-distance terms are non-negative, so the sum of
+            // absolute terms *is* the exact result.
+            assert!(
+                (fast_sq - exact_sq).abs() <= 2.0 * d as f64 * EPS * exact_sq,
+                "sq_dist_fast {tier:?} d={d}: {fast_sq} vs {exact_sq}"
+            );
+            let fast_dot = simd::dot_fast(tier, &a, &b);
+            assert!(
+                (fast_dot - exact_dot).abs() <= 2.0 * d as f64 * EPS * dot_abs,
+                "dot_fast {tier:?} d={d}: {fast_dot} vs {exact_dot}"
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_shapes_are_exact() {
+    // d = 0: both checked and hot variants agree on the empty fold.
+    assert_eq!(Matrix::sq_dist(&[], &[]), 0.0);
+    assert_eq!(Matrix::sq_dist_hot(&[], &[]), 0.0);
+    // d = 1: a single squared difference, no vector lanes involved.
+    assert_eq!(Matrix::sq_dist(&[3.0], &[-1.0]), 16.0);
+    assert_eq!(
+        Matrix::sq_dist_hot(&[3.0], &[-1.0]).to_bits(),
+        16.0f64.to_bits()
+    );
+    // Single-row matrix: valid, row-addressable, zero distance to itself.
+    let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]).expect("single row");
+    assert_eq!(m.rows(), 1);
+    assert_eq!(Matrix::sq_dist(m.row(0), m.row(0)), 0.0);
+
+    for tier in tiers() {
+        // Zero rows through every batched kernel: no panic, no output.
+        let inter = InterleavedRows::build(tier, &[], 3);
+        let mut out: Vec<f64> = Vec::new();
+        simd::sq_dist_batch(&[1.0, 2.0, 3.0], &inter, &mut out);
+        simd::dot_batch(&[1.0, 2.0, 3.0], &inter, &mut out);
+        assert!(out.is_empty());
+
+        let xt = TransposedPoints::build(tier, &[], 0, 3);
+        assert!(xt.is_empty());
+        simd::sq_dist_to_point(&xt, &[0.0, 0.0, 0.0], &mut out);
+        assert!(out.is_empty());
+
+        let mut winners = Vec::new();
+        simd::scan_points(tier, &[1.0, 2.0], 2, &[], &[0.0, 0.0], 1, &mut winners);
+        assert!(winners.is_empty());
+    }
+}

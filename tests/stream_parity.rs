@@ -92,7 +92,7 @@ fn stream_matches_batch_selection_exactly_at_any_worker_count() {
 fn worker_counts_produce_byte_identical_final_checkpoints() {
     let w = synthetic_workload(5_000);
     let sequential = run_stream(&w, stream_config(), 1);
-    for workers in [2usize, 4] {
+    for workers in [2usize, 4, 8] {
         let parallel = run_stream(&w, stream_config(), workers);
         assert_eq!(
             parallel.final_checkpoint.to_json(),

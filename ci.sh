@@ -71,6 +71,9 @@ if command -v jq >/dev/null 2>&1; then
         and all(.[]; has("name") and has("iterations")
                      and has("median_ns") and has("stddev_ns"))
         and any(.[]; .name == "kmeans_sweep/bounded_simd/50000")
+        and any(.[]; .name == "stream_ingest/online_pks/500000")
+        and any(.[]; .name == "stream_ingest/sharded_s2/500000")
+        and any(.[]; .name == "stream_ingest/sharded_s4/500000")
     ' "$BENCH_SMOKE_JSON" >/dev/null
     echo "bench json OK ($(jq length "$BENCH_SMOKE_JSON") records)"
 else
@@ -120,6 +123,31 @@ else
     echo "jq not found; skipping stream checkpoint schema check" >&2
 fi
 
+echo "==> sharded stream smoke (4 shards, forced reshard, verify-batch)"
+SHARD_CKPT="$(mktemp -t pka_shard_ckpt.XXXXXX.json)"
+trap 'rm -f "$BENCH_SMOKE_JSON" "$OBS_MANIFEST" "$OBS_TRACE" "$STREAM_CKPT" "$SHARD_CKPT"' EXIT
+# --reshard-at migrates a shard to a different lane mid-run; lanes are pure
+# scheduling, so the final checkpoint must stay byte-identical to an
+# unperturbed run and the batch-PKS parity check must still pass.
+./target/release/pka stream --source synthetic:100000 --prefix 1000 \
+    --checkpoint-every 20000 --checkpoint "$SHARD_CKPT" \
+    --shards 4 --reshard-at 50000:1:3 --workers 4 --verify-batch >/dev/null
+if command -v jq >/dev/null 2>&1; then
+    jq -e '
+        .schema == "pka.stream_checkpoint/v1"
+        and .records == 100000
+        and .topology.shards == 4
+        and (.shards | length) == 4
+        and ([.shards[].records] | add) == (.records - .prefix)
+        and .selected_k >= 1
+        and (.merged | has("centroids"))
+        and (.config | has("pks"))
+    ' "$SHARD_CKPT" >/dev/null
+    echo "sharded checkpoint OK (K=$(jq .selected_k "$SHARD_CKPT"), map_hash=$(jq .topology.map_hash "$SHARD_CKPT"))"
+else
+    echo "jq not found; skipping sharded checkpoint schema check" >&2
+fi
+
 echo "==> live observability smoke (snapshots, trace export, obs diff gate)"
 LIVE_DIR="$(mktemp -d -t pka_live.XXXXXX)"
 trap 'rm -f "$BENCH_SMOKE_JSON" "$OBS_MANIFEST" "$OBS_TRACE" "$STREAM_CKPT"; rm -rf "$LIVE_DIR"' EXIT
@@ -163,6 +191,35 @@ fi
     "$LIVE_DIR/current_manifest.json" --counters-only
 ./target/release/pka obs diff results/ci_baseline_bench.json \
     "$BENCH_SMOKE_JSON" --bench --bench-tol 500
+
+# Trend gate: the single-run diff tolerates sub-threshold noise, so a slow
+# creep (each step inside the stage tolerance, monotonically up) is
+# invisible to it. `obs trend-push` maintains a bounded ring of recent
+# manifests; `obs diff --trend` flags exactly that creeping shape.
+TREND_DIR="$LIVE_DIR/trend"
+./target/release/pka obs trend-push "$LIVE_DIR/current_manifest.json" \
+    "$TREND_DIR" --trend-cap 8
+# A short history must report without flagging.
+./target/release/pka obs diff --trend "$TREND_DIR"
+if command -v jq >/dev/null 2>&1; then
+    # Inject a +10-12%/run monotonic creep (every step under the 25% stage
+    # tolerance, cumulative well over it) and require a non-zero exit.
+    for pct in 12 24 38 52; do
+        jq --argjson p "$pct" '
+            (.stages[].total_ns) |= (. * (100 + $p) / 100 | floor)
+            | .wall_ns |= (. * (100 + $p) / 100 | floor)
+        ' "$LIVE_DIR/current_manifest.json" > "$LIVE_DIR/creep_$pct.json"
+        ./target/release/pka obs trend-push "$LIVE_DIR/creep_$pct.json" \
+            "$TREND_DIR/creep" --trend-cap 8
+    done
+    if ./target/release/pka obs diff --trend "$TREND_DIR/creep" \
+        > "$LIVE_DIR/trend_out.txt" 2>&1; then
+        echo "obs diff --trend failed to flag an injected creeping slowdown" >&2
+        exit 1
+    fi
+    grep -q "creeping" "$LIVE_DIR/trend_out.txt"
+    echo "obs trend gate OK (injected creep detected)"
+fi
 
 # The gate must actually fire: inject a 1.3x stage-timing regression and
 # require a non-zero exit. Both sides pass through jq so the comparison is

@@ -13,7 +13,10 @@
 //!   per-kernel cost.
 //! * `stream_ingest` — end-to-end online PKS over a synthetic workload
 //!   stream (detailed prefix + classified tail), the `pka-stream`
-//!   bounded-memory ingestion cost per kernel.
+//!   bounded-memory ingestion cost per kernel. `online_pks` is the
+//!   single-pipeline reference; `sharded_s{2,4}` run the sharded engine
+//!   (hash-ring routing + batched tail classification) on the same
+//!   sequential executor, so the ratio isolates the per-core win.
 //!
 //! Run with `cargo bench -p pka-bench --bench hot_paths`; CI runs a
 //! reduced-iteration smoke via `PKA_BENCH_SAMPLES` / `PKA_BENCH_WARMUP`.
@@ -26,7 +29,9 @@ use pka_profile::Profiler;
 use pka_sim::{SimOptions, Simulator};
 use pka_stats::hash::UnitStream;
 use pka_stats::Executor;
-use pka_stream::{synthetic_workload, StreamConfig, StreamPks, WorkloadSource};
+use pka_stream::{
+    synthetic_workload, KernelSource, ShardedStreamPks, StreamConfig, StreamPks, WorkloadSource,
+};
 use std::hint::black_box;
 
 /// Synthetic kernel-metric cloud: `n` points around 24 behavioural centres
@@ -158,36 +163,47 @@ fn bench_pkp_engine(c: &mut Criterion) {
 }
 
 fn bench_stream_ingest(c: &mut Criterion) {
-    const N: u64 = 20_000;
-    const PREFIX: u64 = 500;
+    const N: u64 = 500_000;
+    const PREFIX: u64 = 2_000;
     let workload = synthetic_workload(N);
     let config = StreamConfig::default()
         .with_prefix(PREFIX)
-        .with_checkpoint_every(5_000)
+        .with_checkpoint_every(100_000)
         .with_reservoir(2_048)
         .with_batch(1_024);
     let mut group = c.benchmark_group("stream_ingest");
     group.sample_size(10);
     group.throughput(Throughput::Elements(N));
-    for (label, workers) in [("online_pks", 1usize), ("online_pks_w4", 4)] {
-        group.bench_with_input(
-            BenchmarkId::new(label, N),
-            &workload,
-            |b, workload| {
-                b.iter(|| {
-                    let mut source = WorkloadSource::new(
-                        black_box(workload).clone(),
-                        Profiler::new(GpuConfig::v100()),
-                    );
-                    StreamPks::new(config)
-                        .with_executor(Executor::new(workers))
-                        .run(&mut source, |_| Ok(()))
-                        .expect("stream runs")
-                        .report
-                        .records
-                })
-            },
-        );
+
+    // Single-pipeline reference: the pre-sharding `StreamPks` tail.
+    let mut source = WorkloadSource::new(workload.clone(), Profiler::new(GpuConfig::v100()));
+    group.bench_function(BenchmarkId::new("online_pks", N), |b| {
+        b.iter(|| {
+            source.restart().expect("restart");
+            StreamPks::new(config)
+                .with_executor(Executor::sequential())
+                .run(black_box(&mut source), |_| Ok(()))
+                .expect("stream runs")
+                .report
+                .records
+        })
+    });
+
+    // Sharded engine on the same stream and executor budget: the batched
+    // tail classifier amortises centroid loads across the mini-batch, so
+    // the speedup is per-core, not worker-count parallelism.
+    for shards in [2usize, 4] {
+        group.bench_function(BenchmarkId::new(format!("sharded_s{shards}"), N), |b| {
+            b.iter(|| {
+                source.restart().expect("restart");
+                ShardedStreamPks::new(config, shards)
+                    .with_executor(Executor::sequential())
+                    .run(black_box(&mut source), |_| Ok(()))
+                    .expect("sharded stream runs")
+                    .report
+                    .records
+            })
+        });
     }
     group.finish();
 }

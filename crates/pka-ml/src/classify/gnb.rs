@@ -28,6 +28,12 @@ pub struct GaussianNb {
     means: Vec<Vec<f64>>,
     variances: Vec<Vec<f64>>,
     n_features: usize,
+    /// `priors[c].ln()`, precomputed at fit time for the batch path.
+    log_priors: Vec<f64>,
+    /// `(2π · variances[c][j]).ln()`, precomputed at fit time. Logarithms
+    /// are pure functions, so these bits equal the values `predict`
+    /// computes inline and the batch path stays bit-identical to it.
+    log_norms: Vec<Vec<f64>>,
 }
 
 const VAR_SMOOTHING: f64 = 1e-9;
@@ -97,12 +103,24 @@ impl GaussianNb {
         }
 
         let n = x.rows() as f64;
+        let priors: Vec<f64> = counts.iter().map(|&c| c as f64 / n).collect();
+        let log_priors = priors.iter().map(|p| p.ln()).collect();
+        let log_norms = variances
+            .iter()
+            .map(|vs| {
+                vs.iter()
+                    .map(|&v| (2.0 * std::f64::consts::PI * v).ln())
+                    .collect()
+            })
+            .collect();
         Ok(Self {
             classes,
-            priors: counts.iter().map(|&c| c as f64 / n).collect(),
+            priors,
             means,
             variances,
             n_features: d,
+            log_priors,
+            log_norms,
         })
     }
 
@@ -143,6 +161,49 @@ impl Classifier for GaussianNb {
             .map(|(i, _)| i)
             .expect("at least one class");
         Ok(self.classes[best])
+    }
+
+    fn predict_into(
+        &self,
+        samples: &[f64],
+        d: usize,
+        out: &mut Vec<usize>,
+    ) -> Result<(), MlError> {
+        crate::classify::check_batch(samples, d)?;
+        if d != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                actual: d,
+            });
+        }
+        let mut lp = vec![0.0; self.classes.len()];
+        out.clear();
+        out.reserve(samples.len() / d);
+        for row in samples.chunks_exact(d) {
+            // Same accumulation as `log_posteriors`, with the fit-time log
+            // constants substituted for the inline `ln` calls (identical
+            // bits, see the field docs) and the per-row allocation removed.
+            for (c, p) in lp.iter_mut().enumerate() {
+                let mut acc = self.log_priors[c];
+                for (((&x, &m), &v), &lnv) in row
+                    .iter()
+                    .zip(&self.means[c])
+                    .zip(&self.variances[c])
+                    .zip(&self.log_norms[c])
+                {
+                    acc += -0.5 * (lnv + (x - m) * (x - m) / v);
+                }
+                *p = acc;
+            }
+            let best = lp
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("log-posteriors are finite"))
+                .map(|(i, _)| i)
+                .expect("at least one class");
+            out.push(self.classes[best]);
+        }
+        Ok(())
     }
 }
 

@@ -94,6 +94,13 @@ impl MlpClassifier {
 
         let class_index = |label: usize| classes.binary_search(&label).expect("label seen");
         let mut order: Vec<usize> = (0..xs.rows()).collect();
+        // Per-sample forward/backward scratch, hoisted out of the training
+        // loop. Each buffer is filled with the same expressions, in the same
+        // order, as the allocating formulation it replaces, so the fitted
+        // weights are bit-identical.
+        let mut hidden = vec![0.0; HIDDEN];
+        let mut probs = vec![0.0; k];
+        let mut dlogits = vec![0.0; k];
 
         for epoch in 0..EPOCHS {
             for i in (1..order.len()).rev() {
@@ -104,37 +111,32 @@ impl MlpClassifier {
             for &i in &order {
                 let row = xs.row(i);
                 // Forward.
-                let hidden: Vec<f64> = w1
-                    .iter()
-                    .map(|w| {
-                        let z: f64 =
-                            w[..d].iter().zip(row).map(|(a, b)| a * b).sum::<f64>() + w[d];
-                        z.max(0.0)
-                    })
-                    .collect();
-                let logits: Vec<f64> = w2
-                    .iter()
-                    .map(|w| {
-                        w[..HIDDEN]
-                            .iter()
-                            .zip(&hidden)
-                            .map(|(a, b)| a * b)
-                            .sum::<f64>()
-                            + w[HIDDEN]
-                    })
-                    .collect();
-                let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
-                let sum: f64 = exps.iter().sum();
-                let probs: Vec<f64> = exps.iter().map(|e| e / sum).collect();
+                for (hz, w) in hidden.iter_mut().zip(&w1) {
+                    let z: f64 = w[..d].iter().zip(row).map(|(a, b)| a * b).sum::<f64>() + w[d];
+                    *hz = z.max(0.0);
+                }
+                for (p, w) in probs.iter_mut().zip(&w2) {
+                    *p = w[..HIDDEN]
+                        .iter()
+                        .zip(&hidden)
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>()
+                        + w[HIDDEN];
+                }
+                let max = probs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                for p in probs.iter_mut() {
+                    *p = (*p - max).exp();
+                }
+                let sum: f64 = probs.iter().sum();
+                for p in probs.iter_mut() {
+                    *p /= sum;
+                }
 
                 // Backward.
                 let target = class_index(y[i]);
-                let dlogits: Vec<f64> = probs
-                    .iter()
-                    .enumerate()
-                    .map(|(c, &p)| p - if c == target { 1.0 } else { 0.0 })
-                    .collect();
+                for (c, (dl, &p)) in dlogits.iter_mut().zip(&probs).enumerate() {
+                    *dl = p - if c == target { 1.0 } else { 0.0 };
+                }
                 let mut dhidden = [0.0; HIDDEN];
                 for (c, dl) in dlogits.iter().enumerate() {
                     for (h, dh) in dhidden.iter_mut().enumerate() {
@@ -200,6 +202,45 @@ impl Classifier for MlpClassifier {
             .map(|(i, _)| i)
             .expect("at least one class");
         Ok(self.classes[best])
+    }
+
+    fn predict_into(
+        &self,
+        samples: &[f64],
+        d: usize,
+        out: &mut Vec<usize>,
+    ) -> Result<(), MlError> {
+        crate::classify::check_batch(samples, d)?;
+        let mut scaled = vec![0.0; self.w1.first().map_or(0, |w| w.len() - 1)];
+        let mut hidden = vec![0.0; self.w1.len()];
+        out.clear();
+        out.reserve(samples.len() / d);
+        for row in samples.chunks_exact(d) {
+            self.scaler.transform_row_into(row, &mut scaled)?;
+            let dd = scaled.len();
+            for (hz, w) in hidden.iter_mut().zip(&self.w1) {
+                let z: f64 =
+                    w[..dd].iter().zip(&scaled).map(|(a, b)| a * b).sum::<f64>() + w[dd];
+                *hz = z.max(0.0);
+            }
+            let best = self
+                .w2
+                .iter()
+                .map(|w| {
+                    w[..HIDDEN]
+                        .iter()
+                        .zip(&hidden)
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>()
+                        + w[HIDDEN]
+                })
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("logits are finite"))
+                .map(|(i, _)| i)
+                .expect("at least one class");
+            out.push(self.classes[best]);
+        }
+        Ok(())
     }
 }
 

@@ -62,6 +62,10 @@ impl SgdClassifier {
         let mut weights = vec![vec![0.0; d + 1]; classes.len()];
         let mut order: Vec<usize> = (0..x.rows()).collect();
         let mut rng = UnitStream::new(seed ^ 0x5851_f42d_4c95_7f2d);
+        // Per-sample score scratch, hoisted out of the epoch loop; the
+        // arithmetic is identical to `softmax_scores`, only the allocations
+        // are amortised, so the fitted weights are bit-identical.
+        let mut probs = vec![0.0; classes.len()];
 
         for epoch in 0..EPOCHS {
             // Fisher–Yates shuffle.
@@ -72,7 +76,7 @@ impl SgdClassifier {
             let lr = LEARNING_RATE / (1.0 + epoch as f64 * 0.05);
             for &i in &order {
                 let row = xs.row(i);
-                let probs = softmax_scores(&weights, row);
+                softmax_scores_into(&weights, row, &mut probs);
                 let target = class_index(y[i]);
                 for (c, w) in weights.iter_mut().enumerate() {
                     let grad = probs[c] - if c == target { 1.0 } else { 0.0 };
@@ -98,28 +102,66 @@ impl SgdClassifier {
 }
 
 fn softmax_scores(weights: &[Vec<f64>], row: &[f64]) -> Vec<f64> {
+    let mut probs = vec![0.0; weights.len()];
+    softmax_scores_into(weights, row, &mut probs);
+    probs
+}
+
+/// Writes per-class softmax probabilities into `probs`: logits in class
+/// order, a shared max subtracted for stability, exponentials normalised in
+/// place. Every operation matches the original allocating formulation
+/// term-for-term, so scores (and therefore argmax decisions) are
+/// bit-identical.
+fn softmax_scores_into(weights: &[Vec<f64>], row: &[f64], probs: &mut [f64]) {
     let d = row.len();
-    let logits: Vec<f64> = weights
+    for (p, w) in probs.iter_mut().zip(weights) {
+        *p = w[..d].iter().zip(row).map(|(a, b)| a * b).sum::<f64>() + w[d];
+    }
+    let max = probs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    for p in probs.iter_mut() {
+        *p = (*p - max).exp();
+    }
+    let sum: f64 = probs.iter().sum();
+    for p in probs.iter_mut() {
+        *p /= sum;
+    }
+}
+
+/// Index of the maximum score, matching `Iterator::max_by` over
+/// `partial_cmp` (ties resolve to the last maximal index).
+fn argmax(scores: &[f64]) -> usize {
+    scores
         .iter()
-        .map(|w| w[..d].iter().zip(row).map(|(a, b)| a * b).sum::<f64>() + w[d])
-        .collect();
-    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
-    let sum: f64 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))
+        .map(|(i, _)| i)
+        .expect("at least one class")
 }
 
 impl Classifier for SgdClassifier {
     fn predict(&self, sample: &[f64]) -> Result<usize, MlError> {
         let scaled = self.scaler.transform_row(sample)?;
         let probs = softmax_scores(&self.weights, &scaled);
-        let best = probs
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
-            .map(|(i, _)| i)
-            .expect("at least one class");
-        Ok(self.classes[best])
+        Ok(self.classes[argmax(&probs)])
+    }
+
+    fn predict_into(
+        &self,
+        samples: &[f64],
+        d: usize,
+        out: &mut Vec<usize>,
+    ) -> Result<(), MlError> {
+        crate::classify::check_batch(samples, d)?;
+        let mut scaled = vec![0.0; self.scaler.means().len()];
+        let mut probs = vec![0.0; self.weights.len()];
+        out.clear();
+        out.reserve(samples.len() / d);
+        for row in samples.chunks_exact(d) {
+            self.scaler.transform_row_into(row, &mut scaled)?;
+            softmax_scores_into(&self.weights, &scaled, &mut probs);
+            out.push(self.classes[argmax(&probs)]);
+        }
+        Ok(())
     }
 }
 

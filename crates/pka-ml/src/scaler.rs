@@ -101,6 +101,30 @@ impl StandardScaler {
             .collect())
     }
 
+    /// Applies the learned standardisation to a single sample, writing into
+    /// a caller-provided buffer (the allocation-free twin of
+    /// [`transform_row`](Self::transform_row), bit-identical to it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if `row` and `out` do not both
+    /// match the fitted column count.
+    pub fn transform_row_into(&self, row: &[f64], out: &mut [f64]) -> Result<(), MlError> {
+        if row.len() != self.means.len() || out.len() != self.means.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.means.len(),
+                actual: row.len(),
+            });
+        }
+        for (o, (&x, (&m, &s))) in out
+            .iter_mut()
+            .zip(row.iter().zip(self.means.iter().zip(&self.std_devs)))
+        {
+            *o = (x - m) / s;
+        }
+        Ok(())
+    }
+
     /// Convenience: fit on `data`, then transform it.
     ///
     /// # Errors

@@ -1,7 +1,9 @@
 //! `pka.trace/v1` → Chrome trace-event JSON (`about:tracing` / Perfetto).
 //!
-//! The converter maps span records to `"X"` (complete) events and event
-//! records to `"i"` (instant) events, with one lane per source thread.
+//! The converter maps span records to `"X"` (complete) events, event
+//! records to `"i"` (instant) events, and counter records to `"C"`
+//! (counter) events, with one lane per source thread (counters additionally
+//! get one value track per record name).
 //! Lane (tid) assignment is deterministic and mirrors the executor's
 //! per-worker stage naming: the `main` thread gets tid 0, worker threads
 //! named `pka-w<N>` (the threads behind the `executor.worker_busy.w<N>`
@@ -107,6 +109,22 @@ pub fn chrome_trace(jsonl: &str) -> Result<Value, String> {
                     "args": row["fields"].clone(),
                 }));
             }
+            Some("counter") => {
+                let (Some(name), Some(values)) =
+                    (row["name"].as_str(), row["values"].as_object())
+                else {
+                    continue;
+                };
+                // Chrome renders one counter track per event name, with one
+                // series per args key — so `snapshot.shard0.records`,
+                // `snapshot.shard1.records`, ... each get their own lane.
+                events.push(json!({
+                    "ph": "C", "name": name, "cat": "counter",
+                    "pid": PID, "tid": tid,
+                    "ts": ts,
+                    "args": Value::Object(values.clone()),
+                }));
+            }
             _ => {} // unknown record types: skip, do not fail
         }
     }
@@ -180,6 +198,35 @@ mod tests {
         assert_eq!(i[0]["tid"].as_u64(), Some(2)); // pka-w1
         assert_eq!(i[0]["args"]["cycle"].as_u64(), Some(96500));
         assert_eq!(i[0]["s"].as_str(), Some("t"));
+    }
+
+    #[test]
+    fn converts_counter_records_to_counter_events() {
+        let body = [
+            r#"{"type":"header","schema":"pka.trace/v1"}"#,
+            r#"{"type":"counter","name":"snapshot.kernels_per_sec","t_ns":2000,"thread":"main","values":{"kernels_per_sec":1250000.0}}"#,
+            r#"{"type":"counter","name":"snapshot.shard0.records","t_ns":2000,"thread":"main","values":{"records":512}}"#,
+            r#"{"type":"counter","name":"snapshot.shard1.records","t_ns":2000,"thread":"main","values":{"records":488}}"#,
+            r#"{"type":"counter","name":"broken","t_ns":3000,"thread":"main"}"#,
+        ]
+        .join("\n");
+        let out = chrome_trace(&body).expect("convert");
+        let c: Vec<&Value> = out["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["ph"] == json!("C"))
+            .collect();
+        // The record missing `values` is skipped, not exported.
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0]["name"].as_str(), Some("snapshot.kernels_per_sec"));
+        assert_eq!(c[0]["args"]["kernels_per_sec"].as_f64(), Some(1_250_000.0));
+        assert_eq!(c[0]["ts"].as_f64(), Some(2.0));
+        // One counter lane per shard: distinct names, one series each.
+        assert_eq!(c[1]["name"].as_str(), Some("snapshot.shard0.records"));
+        assert_eq!(c[1]["args"]["records"].as_u64(), Some(512));
+        assert_eq!(c[2]["name"].as_str(), Some("snapshot.shard1.records"));
+        assert_eq!(c[2]["args"]["records"].as_u64(), Some(488));
     }
 
     #[test]

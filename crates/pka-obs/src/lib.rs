@@ -34,6 +34,7 @@
 mod diff;
 mod export;
 mod snapshot_sink;
+mod trend;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -49,6 +50,7 @@ use serde_json::{json, Map, Value};
 pub use diff::{diff_bench, diff_manifests, DiffEntry, DiffReport, DiffThresholds};
 pub use export::chrome_trace;
 pub use snapshot_sink::{SnapshotRecord, SNAPSHOT_SCHEMA};
+pub use trend::{trend_load, trend_push, trend_report, TrendThresholds};
 
 use snapshot_sink::SnapshotSink;
 
@@ -419,6 +421,24 @@ impl Registry {
         self.emit(line);
     }
 
+    /// Emit a counter-track record to the trace sink (no-op when disabled
+    /// or untraced). `values` should be an object of numeric series; the
+    /// Chrome exporter maps each record to a `"C"` event, so every distinct
+    /// `name` becomes its own counter lane in Perfetto.
+    pub fn trace_counter(&self, name: &str, values: Value) {
+        if !self.enabled() || !self.tracing() {
+            return;
+        }
+        let line = json!({
+            "type": "counter",
+            "name": name,
+            "t_ns": self.wall_ns(),
+            "thread": current_thread_label(),
+            "values": values,
+        });
+        self.emit(line);
+    }
+
     /// Route live snapshot records (`pka.snapshot/v1`) to a JSONL file at
     /// `path` (truncating it), with a cadence hint of one record per
     /// `every` stream records. The first line is a schema header.
@@ -453,8 +473,35 @@ impl Registry {
             return;
         }
         let t_ns = self.wall_ns();
-        if let Some(sink) = self.snapshots.lock().unwrap().as_mut() {
-            sink.emit(record, extra_timing, t_ns);
+        let kps = {
+            let mut guard = self.snapshots.lock().unwrap();
+            match guard.as_mut() {
+                Some(sink) => sink.emit(record, extra_timing, t_ns),
+                None => return,
+            }
+        };
+        // Mirror the snapshot into trace counter tracks so `pka trace
+        // export` can render throughput and occupancy lanes next to the
+        // span timeline. Counter records carry wall-clock-derived values;
+        // parity tooling compares only `"event"` records, so these never
+        // enter the determinism contract.
+        if self.tracing() {
+            self.trace_counter(
+                "snapshot.kernels_per_sec",
+                json!({ "kernels_per_sec": kps }),
+            );
+            if record.reservoir_cap > 0 {
+                self.trace_counter(
+                    "snapshot.reservoir",
+                    json!({ "len": record.reservoir_len, "cap": record.reservoir_cap }),
+                );
+            }
+            for (i, &n) in record.shards.iter().enumerate() {
+                self.trace_counter(
+                    &format!("snapshot.shard{i}.records"),
+                    json!({ "records": n }),
+                );
+            }
         }
     }
 
@@ -836,6 +883,11 @@ pub fn close_trace() -> io::Result<()> {
 /// Emit a free-form event to the global trace sink.
 pub fn trace_event(name: &str, fields: Value) {
     global().trace_event(name, fields)
+}
+
+/// Emit a counter-track record to the global trace sink.
+pub fn trace_counter(name: &str, values: Value) {
+    global().trace_counter(name, values)
 }
 
 /// [`trace_event`] for emitters without a JSON dependency: fields are

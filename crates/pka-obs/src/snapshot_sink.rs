@@ -49,13 +49,17 @@ pub struct SnapshotRecord {
     pub checkpoints: u64,
     /// Bounded-memory high-water mark (max records buffered at once).
     pub max_buffered: u64,
+    /// Per-shard records folded so far, indexed by shard id. Empty for
+    /// single-pipeline runs, in which case the field is omitted from the
+    /// JSONL line entirely (keeping pre-sharding snapshot bytes stable).
+    pub shards: Vec<u64>,
 }
 
 impl SnapshotRecord {
     /// The record as a JSON object (deterministic payload only; `type`,
     /// `seq`, and `timing` are stamped by the sink).
     pub fn to_value(&self) -> Value {
-        json!({
+        let mut v = json!({
             "phase": self.phase,
             "records": self.records,
             "selected_k": self.selected_k,
@@ -66,7 +70,13 @@ impl SnapshotRecord {
             "reclusters": self.reclusters,
             "checkpoints": self.checkpoints,
             "max_buffered": self.max_buffered,
-        })
+        });
+        if !self.shards.is_empty() {
+            if let Value::Object(m) = &mut v {
+                m.insert("shards".to_string(), json!(self.shards));
+            }
+        }
+        v
     }
 
     /// Rebuild a record from a JSONL snapshot line (sink-stamped fields are
@@ -97,6 +107,15 @@ impl SnapshotRecord {
             reclusters: need_u64("reclusters")?,
             checkpoints: need_u64("checkpoints")?,
             max_buffered: need_u64("max_buffered")?,
+            shards: match v.get("shards") {
+                None | Some(Value::Null) => Vec::new(),
+                Some(s) => s
+                    .as_array()
+                    .ok_or("snapshot record: invalid field `shards`")?
+                    .iter()
+                    .map(|n| n.as_u64().ok_or("snapshot record: non-integer shard count"))
+                    .collect::<Result<_, _>>()?,
+            },
         })
     }
 }
@@ -142,8 +161,9 @@ impl SnapshotSink {
     /// Emit one record: stamp `type`/`seq`, compute the volatile `timing`
     /// sub-object (elapsed ns, kernels/s over the window since the previous
     /// emit), merge caller-supplied timing extras, write the JSONL line, and
-    /// print the progress ticker when enabled.
-    pub(crate) fn emit(&mut self, record: &SnapshotRecord, extra_timing: Value, t_ns: u64) {
+    /// print the progress ticker when enabled. Returns the windowed
+    /// kernels/s so the registry can mirror it into trace counter tracks.
+    pub(crate) fn emit(&mut self, record: &SnapshotRecord, extra_timing: Value, t_ns: u64) -> f64 {
         let kps = match self.last {
             Some((last_t, last_records)) if t_ns > last_t => {
                 (record.records.saturating_sub(last_records)) as f64 * 1e9
@@ -182,8 +202,15 @@ impl SnapshotSink {
         }
 
         if self.progress {
+            let shards = if record.shards.is_empty() {
+                String::new()
+            } else {
+                let counts: Vec<String> =
+                    record.shards.iter().map(u64::to_string).collect();
+                format!(" shards=[{}]", counts.join(","))
+            };
             eprintln!(
-                "pka: phase={} records={} k={} reservoir={}/{} drifts={} reclusters={} ckpts={} {}",
+                "pka: phase={} records={} k={} reservoir={}/{} drifts={} reclusters={} ckpts={}{shards} {}",
                 record.phase,
                 record.records,
                 record.selected_k,
@@ -195,6 +222,7 @@ impl SnapshotSink {
                 human_rate(kps),
             );
         }
+        kps
     }
 
     pub(crate) fn close(&mut self) -> io::Result<()> {
@@ -231,7 +259,26 @@ mod tests {
             reclusters: 1,
             checkpoints: 6,
             max_buffered: 640,
+            shards: Vec::new(),
         }
+    }
+
+    #[test]
+    fn shards_field_is_omitted_when_empty_and_round_trips_when_set() {
+        let plain = sample();
+        let v = plain.to_value();
+        assert!(v.get("shards").is_none(), "empty shard lanes must not serialize");
+        assert_eq!(SnapshotRecord::from_value(&v).unwrap(), plain);
+
+        let mut sharded = sample();
+        sharded.shards = vec![30_000, 50_000, 40_000];
+        let v = sharded.to_value();
+        assert_eq!(
+            v["shards"].as_array().map(Vec::len),
+            Some(3),
+            "shard lanes serialize when present"
+        );
+        assert_eq!(SnapshotRecord::from_value(&v).unwrap(), sharded);
     }
 
     #[test]

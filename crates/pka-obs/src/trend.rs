@@ -1,0 +1,298 @@
+//! Cross-run performance trends: a bounded on-disk ring of per-commit run
+//! manifests plus a detector for *creeping* slowdowns.
+//!
+//! The single-run CI gate (`diff_manifests`) compares one commit against
+//! one baseline with a slowdown threshold, so a sequence of commits that
+//! each slow a stage by just under the threshold sails through while the
+//! cumulative regression compounds. The trend ring closes that gap:
+//! [`trend_push`] appends the current manifest to a bounded
+//! `results/trend/` ring (oldest entries pruned), and [`trend_report`]
+//! flags any stage (or the wall time) whose timings over the trailing
+//! window are monotonically non-decreasing, individually under the
+//! single-run threshold, but cumulatively past it.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde_json::Value;
+
+use crate::diff::{DiffEntry, DiffReport};
+use crate::MANIFEST_SCHEMA;
+
+/// Parameters of the creep detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendThresholds {
+    /// The single-run slowdown threshold, in percent. A step past this is
+    /// the ordinary gate's business; the trend detector looks for windows
+    /// whose *steps* all stay at or under it while their *total* exceeds it.
+    pub stage_pct: f64,
+    /// Number of trailing runs (including the current one) the detector
+    /// examines. Metrics present in fewer runs are reported but never flag.
+    pub window: usize,
+}
+
+impl Default for TrendThresholds {
+    fn default() -> Self {
+        Self {
+            stage_pct: 25.0,
+            window: 4,
+        }
+    }
+}
+
+fn entry_seq(name: &str) -> Option<u64> {
+    name.strip_prefix("trend-")?
+        .strip_suffix(".json")?
+        .parse()
+        .ok()
+}
+
+fn ring_entries(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut entries = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else {
+            continue;
+        };
+        if let Some(seq) = entry_seq(name) {
+            entries.push((seq, entry.path()));
+        }
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+/// Append `manifest` to the trend ring at `dir` (created if missing) as
+/// `trend-<seq>.json`, then prune the oldest entries down to `cap` files.
+/// Returns the path written.
+///
+/// # Errors
+///
+/// I/O failures, or [`io::ErrorKind::InvalidData`] when `manifest` does not
+/// declare `pka.run_manifest/v1`.
+pub fn trend_push(dir: &Path, manifest: &Value, cap: usize) -> io::Result<PathBuf> {
+    let schema = manifest["schema"].as_str().unwrap_or("");
+    if schema != MANIFEST_SCHEMA {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected schema `{MANIFEST_SCHEMA}`, got `{schema}`"),
+        ));
+    }
+    std::fs::create_dir_all(dir)?;
+    let mut entries = ring_entries(dir)?;
+    let seq = entries.last().map_or(0, |&(s, _)| s + 1);
+    let path = dir.join(format!("trend-{seq:08}.json"));
+    let mut text = serde_json::to_string_pretty(manifest)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    text.push('\n');
+    std::fs::write(&path, text)?;
+    entries.push((seq, path.clone()));
+    let cap = cap.max(1);
+    while entries.len() > cap {
+        let (_, oldest) = entries.remove(0);
+        std::fs::remove_file(oldest)?;
+    }
+    Ok(path)
+}
+
+/// Load every ring entry under `dir` in sequence order. A missing directory
+/// is an empty ring, not an error.
+pub fn trend_load(dir: &Path) -> io::Result<Vec<Value>> {
+    if !dir.is_dir() {
+        return Ok(Vec::new());
+    }
+    let mut runs = Vec::new();
+    for (_, path) in ring_entries(dir)? {
+        let text = std::fs::read_to_string(&path)?;
+        let value = serde_json::from_str(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })?;
+        runs.push(value);
+    }
+    Ok(runs)
+}
+
+/// Scan `runs` (oldest first) for creeping slowdowns in stage timings and
+/// wall time. An entry flags as a regression when, over the trailing
+/// `window` runs, its values are monotonically non-decreasing, every
+/// consecutive step is at or under `stage_pct`, and the cumulative slowdown
+/// across the window exceeds `stage_pct` — exactly the drift the single-run
+/// gate cannot see.
+///
+/// # Errors
+///
+/// Returns a message when any run does not declare `pka.run_manifest/v1`.
+pub fn trend_report(runs: &[Value], thresholds: &TrendThresholds) -> Result<DiffReport, String> {
+    for (i, run) in runs.iter().enumerate() {
+        let schema = run["schema"].as_str().unwrap_or("");
+        if schema != MANIFEST_SCHEMA {
+            return Err(format!(
+                "run {i}: expected schema `{MANIFEST_SCHEMA}`, got `{schema}`"
+            ));
+        }
+    }
+    let mut names: Vec<String> = runs
+        .iter()
+        .filter_map(|r| r["stages"].as_object())
+        .flat_map(|m| m.keys().cloned())
+        .collect();
+    names.sort();
+    names.dedup();
+
+    let mut report = DiffReport::default();
+    let window = thresholds.window.max(2);
+    let mut push = |name: &str, series: Vec<Option<f64>>| {
+        // The trailing window must be fully populated for the metric.
+        let tail: Vec<f64> = series
+            .iter()
+            .rev()
+            .take(window)
+            .rev()
+            .filter_map(|&v| v)
+            .collect();
+        let full = tail.len() == window && series.len() >= window;
+        let (first, last) = match (tail.first(), tail.last()) {
+            (Some(&f), Some(&l)) => (f, l),
+            _ => return,
+        };
+        let monotonic = tail.windows(2).all(|w| w[1] >= w[0]);
+        let steps_under = tail.windows(2).all(|w| {
+            w[0] <= 0.0 || (w[1] - w[0]) / w[0] * 100.0 <= thresholds.stage_pct
+        });
+        let cumulative = if first > 0.0 {
+            Some((last - first) / first * 100.0)
+        } else {
+            None
+        };
+        let creeping = full
+            && monotonic
+            && steps_under
+            && cumulative.is_some_and(|c| c > thresholds.stage_pct);
+        report.entries.push(DiffEntry {
+            kind: "trend",
+            name: name.to_string(),
+            base: format!("{}", first as u64),
+            current: format!("{}", last as u64),
+            delta_pct: cumulative,
+            regression: creeping,
+        });
+    };
+
+    for name in &names {
+        let series: Vec<Option<f64>> = runs
+            .iter()
+            .map(|r| r["stages"][name.as_str()]["total_ns"].as_f64())
+            .collect();
+        push(name, series);
+    }
+    let wall: Vec<Option<f64>> = runs.iter().map(|r| r["wall_ns"].as_f64()).collect();
+    push("wall_ns", wall);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn manifest(stage_ns: u64, wall_ns: u64) -> Value {
+        json!({
+            "schema": MANIFEST_SCHEMA,
+            "wall_ns": wall_ns,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "stages": { "pks.sweep": { "calls": 1u64, "total_ns": stage_ns } },
+            "checksums": {},
+        })
+    }
+
+    fn temp_ring(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pka_obs_trend_{}_{tag}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn push_is_bounded_and_load_returns_sequence_order() {
+        let dir = temp_ring("ring");
+        for i in 0..6u64 {
+            trend_push(&dir, &manifest(1_000 + i, 2_000 + i), 4).expect("push");
+        }
+        let runs = trend_load(&dir).expect("load");
+        assert_eq!(runs.len(), 4, "ring prunes to cap");
+        let walls: Vec<u64> = runs.iter().map(|r| r["wall_ns"].as_u64().unwrap()).collect();
+        assert_eq!(walls, vec![2_002, 2_003, 2_004, 2_005], "oldest pruned first");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn push_rejects_foreign_schema_and_load_tolerates_missing_dir() {
+        let dir = temp_ring("schema");
+        let err = trend_push(&dir, &json!({ "schema": "other/v1" }), 4).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(trend_load(&dir.join("missing")).expect("empty").is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn creeping_slowdown_under_single_run_threshold_flags() {
+        // +20% per run, each under the 25% single-run threshold, 72.8%
+        // cumulative over the 4-run window.
+        let runs: Vec<Value> = [1_000u64, 1_200, 1_440, 1_728]
+            .iter()
+            .map(|&ns| manifest(ns, 10_000))
+            .collect();
+        let report = trend_report(&runs, &TrendThresholds::default()).expect("report");
+        assert_eq!(report.regressions(), 1);
+        let creep = report.entries.iter().find(|e| e.regression).unwrap();
+        assert_eq!(creep.name, "pks.sweep");
+        assert!((creep.delta_pct.unwrap() - 72.8).abs() < 0.1);
+        // Flat wall time does not flag.
+        let wall = report.entries.iter().find(|e| e.name == "wall_ns").unwrap();
+        assert!(!wall.regression);
+    }
+
+    #[test]
+    fn non_monotonic_or_big_step_series_do_not_flag() {
+        // A dip breaks monotonicity even though first -> last is +80%.
+        let dip: Vec<Value> = [1_000u64, 1_500, 1_200, 1_800]
+            .iter()
+            .map(|&ns| manifest(ns, 1))
+            .collect();
+        let report = trend_report(&dip, &TrendThresholds::default()).expect("report");
+        assert_eq!(report.regressions(), 0, "non-monotonic window must not flag");
+
+        // A single +50% jump is the single-run gate's catch, not a creep.
+        let jump: Vec<Value> = [1_000u64, 1_010, 1_515, 1_520]
+            .iter()
+            .map(|&ns| manifest(ns, 1))
+            .collect();
+        let report = trend_report(&jump, &TrendThresholds::default()).expect("report");
+        assert_eq!(report.regressions(), 0, "over-threshold step must not flag");
+    }
+
+    #[test]
+    fn short_history_reports_but_never_flags() {
+        let runs: Vec<Value> = [1_000u64, 1_200, 1_440]
+            .iter()
+            .map(|&ns| manifest(ns, 1))
+            .collect();
+        let report = trend_report(&runs, &TrendThresholds::default()).expect("report");
+        assert_eq!(report.regressions(), 0);
+        assert!(report.entries.iter().any(|e| e.name == "pks.sweep"));
+    }
+
+    #[test]
+    fn trend_report_rejects_foreign_schema() {
+        let runs = vec![manifest(1, 1), json!({ "schema": "nope" })];
+        assert!(trend_report(&runs, &TrendThresholds::default()).is_err());
+    }
+}

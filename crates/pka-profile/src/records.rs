@@ -86,16 +86,40 @@ impl LightweightRecord {
     /// uses Nsight Systems output).
     pub fn to_feature_vector(&self) -> Vec<f64> {
         let mut v = Vec::with_capacity(Self::FEATURE_COUNT);
-        v.push((self.grid_blocks as f64).ln_1p());
-        v.push((self.block_threads as f64).ln_1p());
-        v.push((self.shared_mem_bytes as f64).ln_1p());
-        v.push((self.tensor_elements as f64).ln_1p());
-        let h = fnv1a(self.name.as_bytes());
+        Self::write_features(
+            &self.name,
+            self.grid_blocks,
+            self.block_threads,
+            self.shared_mem_bytes,
+            self.tensor_elements,
+            &mut v,
+        );
+        v
+    }
+
+    /// Appends the feature vector for raw launch geometry to `out` — the
+    /// allocation-free twin of [`to_feature_vector`](Self::to_feature_vector)
+    /// for callers that never materialise a record (the streaming tail's
+    /// feature-only fast path). Same expressions in the same order, so the
+    /// resulting floats are bit-identical.
+    pub fn write_features(
+        name: &str,
+        grid_blocks: u64,
+        block_threads: u32,
+        shared_mem_bytes: u32,
+        tensor_elements: u64,
+        out: &mut Vec<f64>,
+    ) {
+        out.reserve(Self::FEATURE_COUNT);
+        out.push((grid_blocks as f64).ln_1p());
+        out.push((block_threads as f64).ln_1p());
+        out.push((shared_mem_bytes as f64).ln_1p());
+        out.push((tensor_elements as f64).ln_1p());
+        let h = fnv1a(name.as_bytes());
         for b in 0..NAME_BUCKETS {
             // Two bits of the hash per bucket: a soft categorical encoding.
-            v.push(((h >> (b * 2)) & 0b11) as f64);
+            out.push(((h >> (b * 2)) & 0b11) as f64);
         }
-        v
     }
 }
 

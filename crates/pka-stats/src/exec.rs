@@ -392,12 +392,17 @@ impl Executor {
                 st.round += 1;
                 st.next_chunk = 0;
                 st.remaining = n_chunks;
-                st.results = (0..n_chunks).map(|_| None).collect();
-                st.traces = if tracing {
-                    (0..n_chunks).map(|_| None).collect()
-                } else {
-                    Vec::new()
-                };
+                // The result/trace slots are drained (not dropped) after
+                // every round, so from round 2 on these resizes are pure
+                // refills of already-allocated buffers — a long-lived pool
+                // (the streaming tail runs thousands of rounds) allocates
+                // its round state exactly once.
+                st.results.clear();
+                st.results.resize_with(n_chunks, || None);
+                st.traces.clear();
+                if tracing {
+                    st.traces.resize_with(n_chunks, || None);
+                }
                 ctl.work.notify_all();
                 while st.remaining > 0 {
                     st = ctl.done.wait(st).expect("pool mutex");
@@ -635,6 +640,36 @@ mod tests {
         let exec = Executor::new(4);
         let out: u32 = exec.rounds(100, 8, |i, _| i, |_| 7);
         assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn rounds_reuses_slots_across_many_rounds_with_owned_results() {
+        // Heap-owning results stress the drain/refill of the persistent
+        // round buffers: every slot must come back exactly once per round,
+        // in chunk order, for hundreds of rounds.
+        let round_no = std::sync::RwLock::new(0usize);
+        for workers in [2, 4] {
+            let exec = Executor::new(workers);
+            exec.rounds(
+                100,
+                16,
+                |i, r| {
+                    let round = *round_no.read().unwrap();
+                    vec![format!("r{round}c{i}"), format!("len{}", r.len())]
+                },
+                |run| {
+                    for round in 0..300 {
+                        *round_no.write().unwrap() = round;
+                        let out: Vec<Vec<String>> = run();
+                        assert_eq!(out.len(), 7);
+                        for (i, chunk) in out.iter().enumerate() {
+                            assert_eq!(chunk[0], format!("r{round}c{i}"));
+                        }
+                        assert_eq!(out[6][1], "len4", "last chunk covers 96..100");
+                    }
+                },
+            );
+        }
     }
 
     #[test]

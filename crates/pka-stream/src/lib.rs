@@ -49,15 +49,23 @@
 mod checkpoint;
 mod drift;
 mod error;
+mod merge;
 mod normalize;
 mod pipeline;
+mod ring;
+mod shard;
 mod source;
 
-pub use checkpoint::{Checkpoint, ReservoirItem, ReservoirState, CHECKPOINT_SCHEMA};
+pub use checkpoint::{
+    Checkpoint, MergedSection, ReservoirItem, ReservoirState, ShardSection, ShardedCheckpoint,
+    CHECKPOINT_SCHEMA,
+};
 pub use drift::{Drift, DriftTracker};
 pub use error::StreamError;
 pub use normalize::StreamingNormalizer;
 pub use pipeline::{StreamConfig, StreamOutcome, StreamPks, StreamReport};
+pub use ring::{HashRing, VIRTUAL_NODES};
+pub use shard::{ShardedOutcome, ShardedStreamPks};
 pub use source::{
     synthetic_workload, JsonlSource, KernelSource, RecordsSource, SourceRecord, WorkloadSource,
 };

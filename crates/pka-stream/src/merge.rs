@@ -1,0 +1,240 @@
+//! Deterministic reconciliation of per-shard online state.
+//!
+//! Two pieces live here: the bounded Lloyd refinement shared by the
+//! single-shard pipeline and the sharded engine (drift-triggered
+//! re-clusters and the final merge both run it over a reservoir sample),
+//! and the end-of-stream weighted merge that folds N shard sections into
+//! one [`MergedSection`]. Everything iterates in shard-id / group-id order
+//! with a fixed operation order, so the result is bitwise identical no
+//! matter how many workers ran the shards or how callers enumerate them.
+
+use crate::checkpoint::{MergedSection, ReservoirItem, ReservoirState, ShardSection};
+
+/// A few Lloyd iterations over `items` only, initialised at (and updating)
+/// `centroids` in place. Empty groups keep their previous centre; ties in
+/// the nearest-centroid scan resolve to the lowest group id via the strict
+/// `min_by` comparison order.
+pub(crate) fn lloyd_iterations(
+    centroids: &mut [Vec<f64>],
+    items: &[ReservoirItem],
+    iters: usize,
+) {
+    let k = centroids.len();
+    if k == 0 || items.is_empty() {
+        return;
+    }
+    let dims = centroids[0].len();
+    for _ in 0..iters {
+        let mut sums = vec![vec![0.0f64; dims]; k];
+        let mut counts = vec![0u64; k];
+        for item in items {
+            let nearest = centroids
+                .iter()
+                .enumerate()
+                .map(|(g, c)| {
+                    let d = c
+                        .iter()
+                        .zip(&item.features)
+                        .map(|(ci, xi)| (xi - ci) * (xi - ci))
+                        .sum::<f64>();
+                    (g, d)
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(g, _)| g)
+                .unwrap_or(0);
+            counts[nearest] += 1;
+            for (s, x) in sums[nearest].iter_mut().zip(&item.features) {
+                *s += x;
+            }
+        }
+        for g in 0..k {
+            if counts[g] > 0 {
+                for (c, s) in centroids[g].iter_mut().zip(&sums[g]) {
+                    *c = s / counts[g] as f64;
+                }
+            }
+        }
+    }
+}
+
+/// Reconciles the shard sections into the global [`MergedSection`]:
+///
+/// 1. **Centroids** — per group, the population-weighted mean of the shard
+///    centroids (weights are the shard `centroid_counts`, accumulated in
+///    shard-id order).
+/// 2. **Reservoir** — the union of the shard reservoirs sorted by stream
+///    position (positions are unique: the ring routes each record to
+///    exactly one shard) and truncated to the global cap, so the retained
+///    sample is the earliest-position subset regardless of sharding.
+/// 3. **Re-cluster** — `iters` Lloyd passes over the union reservoir,
+///    starting from the weighted centroids.
+pub(crate) fn merge_sections(
+    sections: &[ShardSection],
+    global_cap: usize,
+    iters: usize,
+) -> MergedSection {
+    let k = sections.first().map_or(0, |s| s.centroids.len());
+    let dims = sections
+        .first()
+        .and_then(|s| s.centroids.first())
+        .map_or(0, Vec::len);
+    let mut centroids = vec![vec![0.0f64; dims]; k];
+    let mut centroid_counts = vec![0u64; k];
+    for g in 0..k {
+        let total: u64 = sections.iter().map(|s| s.centroid_counts[g]).sum();
+        centroid_counts[g] = total;
+        if total == 0 {
+            // No population anywhere: keep the common prefix seed (every
+            // shard starts from the same centroid, so shard 0's copy is it).
+            centroids[g] = sections[0].centroids[g].clone();
+            continue;
+        }
+        for s in sections {
+            let w = s.centroid_counts[g] as f64 / total as f64;
+            for (c, x) in centroids[g].iter_mut().zip(&s.centroids[g]) {
+                *c += w * x;
+            }
+        }
+    }
+
+    let mut items: Vec<ReservoirItem> = sections
+        .iter()
+        .flat_map(|s| s.reservoir.items.iter().cloned())
+        .collect();
+    items.sort_by_key(|item| item.pos);
+    items.truncate(global_cap);
+    let seen = sections.iter().map(|s| s.reservoir.seen).sum();
+
+    lloyd_iterations(&mut centroids, &items, iters);
+    MergedSection {
+        centroids,
+        centroid_counts,
+        reservoir: ReservoirState {
+            cap: global_cap,
+            seen,
+            items,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drift::DriftTracker;
+    use pka_stats::OnlineStats;
+
+    fn item(pos: u64, label: usize, features: Vec<f64>) -> ReservoirItem {
+        ReservoirItem {
+            pos,
+            label,
+            features,
+        }
+    }
+
+    fn section(
+        centroids: Vec<Vec<f64>>,
+        centroid_counts: Vec<u64>,
+        items: Vec<ReservoirItem>,
+        seen: u64,
+    ) -> ShardSection {
+        let k = centroids.len();
+        let dims = centroids[0].len();
+        ShardSection {
+            records: items.len() as u64,
+            tail_counts: vec![0; k],
+            normalizer: vec![OnlineStats::new(); dims],
+            centroids,
+            centroid_counts,
+            drift: vec![DriftTracker::new(4, 3.0, 0.05); k],
+            reservoir: ReservoirState {
+                cap: 8,
+                seen,
+                items,
+            },
+            drifts: 0,
+            reclusters: 0,
+        }
+    }
+
+    #[test]
+    fn weighted_centroid_merge_uses_populations() {
+        let a = section(vec![vec![0.0, 0.0]], vec![1], vec![], 0);
+        let b = section(vec![vec![4.0, 8.0]], vec![3], vec![], 0);
+        // No reservoir items: the Lloyd pass is a no-op and the raw
+        // weighted mean survives — (1·0 + 3·4)/4 = 3, (1·0 + 3·8)/4 = 6.
+        let merged = merge_sections(&[a, b], 8, 2);
+        assert_eq!(merged.centroids, vec![vec![3.0, 6.0]]);
+        assert_eq!(merged.centroid_counts, vec![4]);
+    }
+
+    #[test]
+    fn union_reservoir_is_position_ordered_and_capped() {
+        let a = section(
+            vec![vec![0.0]],
+            vec![1],
+            vec![item(9, 0, vec![9.0]), item(1, 0, vec![1.0])],
+            5,
+        );
+        let b = section(
+            vec![vec![0.0]],
+            vec![1],
+            vec![item(4, 0, vec![4.0]), item(7, 0, vec![7.0])],
+            6,
+        );
+        let merged = merge_sections(&[a, b], 3, 1);
+        let positions: Vec<u64> = merged.reservoir.items.iter().map(|i| i.pos).collect();
+        assert_eq!(positions, vec![1, 4, 7], "sorted by position, capped at 3");
+        assert_eq!(merged.reservoir.seen, 11);
+        assert_eq!(merged.reservoir.cap, 3);
+    }
+
+    #[test]
+    fn merge_is_deterministic_for_identical_inputs() {
+        let make = || {
+            vec![
+                section(
+                    vec![vec![0.5, 1.5], vec![-2.0, 0.25]],
+                    vec![10, 3],
+                    vec![item(2, 0, vec![0.4, 1.6]), item(5, 1, vec![-1.9, 0.3])],
+                    12,
+                ),
+                section(
+                    vec![vec![0.75, 1.25], vec![-2.5, 0.5]],
+                    vec![4, 9],
+                    vec![item(3, 0, vec![0.6, 1.4]), item(8, 1, vec![-2.4, 0.4])],
+                    14,
+                ),
+            ]
+        };
+        let a = merge_sections(&make(), 8, 2);
+        let b = merge_sections(&make(), 8, 2);
+        assert_eq!(a, b);
+        assert!(a
+            .centroids
+            .iter()
+            .flatten()
+            .zip(b.centroids.iter().flatten())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn empty_group_keeps_the_prefix_seed() {
+        let a = section(vec![vec![1.0], vec![7.5]], vec![2, 0], vec![], 0);
+        let b = section(vec![vec![3.0], vec![7.5]], vec![2, 0], vec![], 0);
+        let merged = merge_sections(&[a, b], 8, 1);
+        assert_eq!(merged.centroids[1], vec![7.5], "zero-population group");
+        assert_eq!(merged.centroids[0], vec![2.0]);
+    }
+
+    #[test]
+    fn lloyd_moves_centroids_toward_reservoir_mass() {
+        let mut centroids = vec![vec![0.0], vec![10.0]];
+        let items = vec![
+            item(0, 0, vec![1.0]),
+            item(1, 0, vec![3.0]),
+            item(2, 1, vec![9.0]),
+        ];
+        lloyd_iterations(&mut centroids, &items, 1);
+        assert_eq!(centroids, vec![vec![2.0], vec![9.0]]);
+    }
+}

@@ -35,17 +35,17 @@ const CHECKPOINT_WRITE_EDGES: &[u64] =
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamConfig {
-    prefix: u64,
-    checkpoint_every: u64,
-    reservoir: usize,
-    batch: usize,
-    drift_sigma: f64,
-    drift_alpha: f64,
-    drift_calibration: u64,
-    recluster_iters: usize,
-    seed: u64,
-    classifier_seed: u64,
-    pks: PksConfig,
+    pub(crate) prefix: u64,
+    pub(crate) checkpoint_every: u64,
+    pub(crate) reservoir: usize,
+    pub(crate) batch: usize,
+    pub(crate) drift_sigma: f64,
+    pub(crate) drift_alpha: f64,
+    pub(crate) drift_calibration: u64,
+    pub(crate) recluster_iters: usize,
+    pub(crate) seed: u64,
+    pub(crate) classifier_seed: u64,
+    pub(crate) pks: PksConfig,
 }
 
 impl Default for StreamConfig {
@@ -342,6 +342,131 @@ pub struct StreamPks {
     exec: Executor,
 }
 
+/// Everything the detailed-prefix bootstrap produces, shared verbatim by
+/// the single-shard pipeline and the sharded engine: the batch-PKS
+/// selection (K, representatives, reference cycles), the prefix-seeded
+/// streaming normalizer and mini-batch centroids, and the tail classifier
+/// ensemble. Both pipelines bootstrapping through this one code path is
+/// what makes their selected K and representative sets *identical by
+/// construction* — the sharded/single parity contract starts here.
+pub(crate) struct PrefixModel {
+    pub selection: Selection,
+    pub normalizer: StreamingNormalizer,
+    pub centroids: Vec<Vec<f64>>,
+    pub centroid_counts: Vec<u64>,
+    /// Prefix records consumed.
+    pub records: u64,
+    /// `None` when the stream ended inside the prefix (no tail to label).
+    pub ensemble: Option<Ensemble>,
+    pub source_name: String,
+}
+
+impl PrefixModel {
+    /// Buffers the detailed prefix, runs batch PKS over it, trains the
+    /// tail ensemble, and seeds the streaming state. The prefix buffer is
+    /// dropped before returning — from here on memory is bounded.
+    pub(crate) fn bootstrap<S>(
+        config: &StreamConfig,
+        exec: &Executor,
+        source: &mut S,
+    ) -> Result<Self, StreamError>
+    where
+        S: KernelSource + ?Sized,
+    {
+        let _span = pka_obs::span("stream.prefix");
+        let source_name = source.name();
+        let j = match source.len_hint() {
+            Some(n) => config.prefix.min(n.max(1)),
+            None => config.prefix,
+        };
+        let mut prefix: Vec<SourceRecord> = Vec::new();
+        let mut ended = false;
+        while (prefix.len() as u64) < j {
+            match source.next_record(true)? {
+                Some(record) => prefix.push(record),
+                None => {
+                    ended = true;
+                    break;
+                }
+            }
+        }
+        if prefix.is_empty() {
+            return Err(StreamError::Pipeline {
+                message: "stream is empty: nothing to select from".into(),
+            });
+        }
+        let detailed: Vec<DetailedRecord> = prefix
+            .iter()
+            .map(|r| {
+                r.detailed.clone().ok_or_else(|| StreamError::Pipeline {
+                    message: "prefix record lacks its detailed view".into(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let selection = Pks::new(config.pks).with_executor(*exec).select(&detailed)?;
+        let k = selection.k();
+
+        // Streaming normalizer and mini-batch centroids, seeded from the
+        // prefix's lightweight view: observe every prefix record, then set
+        // each group's centroid to the mean of its members' normalised
+        // features, weighted by its profiled population.
+        let dims = LightweightRecord::FEATURE_COUNT;
+        let mut normalizer = StreamingNormalizer::new(dims);
+        let features: Vec<Vec<f64>> = prefix
+            .iter()
+            .map(|r| r.lightweight.to_feature_vector())
+            .collect();
+        for f in &features {
+            normalizer.observe(f);
+        }
+        let mut centroids = vec![vec![0.0f64; dims]; k];
+        let mut centroid_counts = vec![0u64; k];
+        for (f, &label) in features.iter().zip(selection.labels()) {
+            let mut x = f.clone();
+            normalizer.normalize(&mut x);
+            centroid_counts[label] += 1;
+            let n = centroid_counts[label] as f64;
+            for (c, xi) in centroids[label].iter_mut().zip(&x) {
+                *c += (xi - *c) / n;
+            }
+        }
+
+        // Train the tail ensemble exactly like the batch two-level pipeline
+        // (same models, same seeds) — unless the stream already ended
+        // inside the prefix, in which case there is no tail to classify.
+        let ensemble = if ended {
+            None
+        } else {
+            let rows: Vec<Vec<f64>> = features;
+            let x = Matrix::from_rows(&rows).map_err(|e| StreamError::Pipeline {
+                message: e.to_string(),
+            })?;
+            let y = selection.labels().to_vec();
+            let seed = config.classifier_seed;
+            Some(Ensemble::new(vec![
+                Box::new(SgdClassifier::fit(&x, &y, seed)?),
+                Box::new(GaussianNb::fit(&x, &y)?),
+                Box::new(MlpClassifier::fit(&x, &y, seed ^ 0xff)?),
+            ]))
+        };
+
+        let records = prefix.len() as u64;
+        if pka_obs::enabled() {
+            pka_obs::counter("stream.records").add(records);
+            pka_obs::gauge("stream.selected_k").set(k as i64);
+        }
+        Ok(Self {
+            selection,
+            normalizer,
+            centroids,
+            centroid_counts,
+            records,
+            ensemble,
+            source_name,
+        })
+    }
+}
+
 /// Tail-side mutable state (everything a checkpoint snapshots).
 struct TailState {
     selection: Selection,
@@ -510,90 +635,17 @@ impl StreamPks {
     where
         S: KernelSource + ?Sized,
     {
-        let _span = pka_obs::span("stream.prefix");
-        let source_name = source.name();
-        let j = match source.len_hint() {
-            Some(n) => self.config.prefix.min(n.max(1)),
-            None => self.config.prefix,
-        };
-        let mut prefix: Vec<SourceRecord> = Vec::new();
-        let mut ended = false;
-        while (prefix.len() as u64) < j {
-            match source.next_record(true)? {
-                Some(record) => prefix.push(record),
-                None => {
-                    ended = true;
-                    break;
-                }
-            }
-        }
-        if prefix.is_empty() {
-            return Err(StreamError::Pipeline {
-                message: "stream is empty: nothing to select from".into(),
-            });
-        }
-        let detailed: Vec<DetailedRecord> = prefix
-            .iter()
-            .map(|r| {
-                r.detailed.clone().ok_or_else(|| StreamError::Pipeline {
-                    message: "prefix record lacks its detailed view".into(),
-                })
-            })
-            .collect::<Result<_, _>>()?;
-        let selection = Pks::new(self.config.pks)
-            .with_executor(self.exec)
-            .select(&detailed)?;
+        let model = PrefixModel::bootstrap(&self.config, &self.exec, source)?;
+        let PrefixModel {
+            selection,
+            normalizer,
+            centroids,
+            centroid_counts,
+            records,
+            ensemble,
+            source_name,
+        } = model;
         let k = selection.k();
-
-        // Streaming normalizer and mini-batch centroids, seeded from the
-        // prefix's lightweight view: observe every prefix record, then set
-        // each group's centroid to the mean of its members' normalised
-        // features, weighted by its profiled population.
-        let dims = LightweightRecord::FEATURE_COUNT;
-        let mut normalizer = StreamingNormalizer::new(dims);
-        let features: Vec<Vec<f64>> = prefix
-            .iter()
-            .map(|r| r.lightweight.to_feature_vector())
-            .collect();
-        for f in &features {
-            normalizer.observe(f);
-        }
-        let mut centroids = vec![vec![0.0f64; dims]; k];
-        let mut centroid_counts = vec![0u64; k];
-        for (f, &label) in features.iter().zip(selection.labels()) {
-            let mut x = f.clone();
-            normalizer.normalize(&mut x);
-            centroid_counts[label] += 1;
-            let n = centroid_counts[label] as f64;
-            for (c, xi) in centroids[label].iter_mut().zip(&x) {
-                *c += (xi - *c) / n;
-            }
-        }
-
-        // Train the tail ensemble exactly like the batch two-level pipeline
-        // (same models, same seeds) — unless the stream already ended
-        // inside the prefix, in which case there is no tail to classify.
-        let ensemble = if ended {
-            None
-        } else {
-            let rows: Vec<Vec<f64>> = features;
-            let x = Matrix::from_rows(&rows).map_err(|e| StreamError::Pipeline {
-                message: e.to_string(),
-            })?;
-            let y = selection.labels().to_vec();
-            let seed = self.config.classifier_seed;
-            Some(Ensemble::new(vec![
-                Box::new(SgdClassifier::fit(&x, &y, seed)?),
-                Box::new(GaussianNb::fit(&x, &y)?),
-                Box::new(MlpClassifier::fit(&x, &y, seed ^ 0xff)?),
-            ]))
-        };
-
-        let records = prefix.len() as u64;
-        if pka_obs::enabled() {
-            pka_obs::counter("stream.records").add(records);
-            pka_obs::gauge("stream.selected_k").set(k as i64);
-        }
         let state = TailState {
             checkpoint_write_ns: 0,
             selection,
@@ -638,6 +690,7 @@ impl StreamPks {
             reclusters: state.reclusters,
             checkpoints: state.checkpoints_emitted,
             max_buffered: state.max_buffered,
+            shards: Vec::new(),
         };
         pka_obs::emit_snapshot(
             &record,
@@ -886,39 +939,11 @@ impl StreamPks {
         if k == 0 || state.reservoir_items.is_empty() {
             return;
         }
-        let dims = state.normalizer.dims();
-        for _ in 0..self.config.recluster_iters {
-            let mut sums = vec![vec![0.0f64; dims]; k];
-            let mut counts = vec![0u64; k];
-            for item in &state.reservoir_items {
-                let nearest = state
-                    .centroids
-                    .iter()
-                    .enumerate()
-                    .map(|(g, c)| {
-                        let d = c
-                            .iter()
-                            .zip(&item.features)
-                            .map(|(ci, xi)| (xi - ci) * (xi - ci))
-                            .sum::<f64>();
-                        (g, d)
-                    })
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-                    .map(|(g, _)| g)
-                    .unwrap_or(0);
-                counts[nearest] += 1;
-                for (s, x) in sums[nearest].iter_mut().zip(&item.features) {
-                    *s += x;
-                }
-            }
-            for g in 0..k {
-                if counts[g] > 0 {
-                    for (c, s) in state.centroids[g].iter_mut().zip(&sums[g]) {
-                        *c = s / counts[g] as f64;
-                    }
-                }
-            }
-        }
+        crate::merge::lloyd_iterations(
+            &mut state.centroids,
+            &state.reservoir_items,
+            self.config.recluster_iters,
+        );
         // Moved centroids invalidate every frozen envelope; learning rates
         // restart from the reservoir populations.
         for tracker in &mut state.drift {

@@ -83,6 +83,37 @@ pub trait KernelSource {
     /// set but the source cannot supply the detailed view for this record.
     fn next_record(&mut self, want_detailed: bool) -> Result<Option<SourceRecord>, StreamError>;
 
+    /// Pulls the next record's classifier feature vector
+    /// ([`LightweightRecord::FEATURE_COUNT`] values appended to `out`),
+    /// returning `false` at end of stream.
+    ///
+    /// This is the tail's feature-only fast path: the floats are
+    /// bit-identical to `next_record(false)` followed by
+    /// `to_feature_vector`, but sources that know their launch geometry up
+    /// front override it to skip materialising the record (and its name
+    /// `String`) entirely.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::next_record`] failures.
+    fn next_features_into(&mut self, out: &mut Vec<f64>) -> Result<bool, StreamError> {
+        match self.next_record(false)? {
+            None => Ok(false),
+            Some(rec) => {
+                let lw = &rec.lightweight;
+                LightweightRecord::write_features(
+                    &lw.name,
+                    lw.grid_blocks,
+                    lw.block_threads,
+                    lw.shared_mem_bytes,
+                    lw.tensor_elements,
+                    out,
+                );
+                Ok(true)
+            }
+        }
+    }
+
     /// Skips up to `n` records and returns how many were actually skipped
     /// (fewer at end of stream). Sources with random access override this
     /// with an O(1) seek; the default pulls and discards lightweight
@@ -178,6 +209,26 @@ impl KernelSource for WorkloadSource {
             lightweight,
             detailed,
         }))
+    }
+
+    fn next_features_into(&mut self, out: &mut Vec<f64>) -> Result<bool, StreamError> {
+        if self.pos >= self.workload.kernel_count() {
+            return Ok(false);
+        }
+        // The launch view skips the descriptor rebuild (and its name
+        // clones); `write_features` guarantees the floats match the
+        // record-materialising default bit-for-bit.
+        let view = self.workload.launch_view(KernelId::new(self.pos));
+        self.pos += 1;
+        LightweightRecord::write_features(
+            view.name,
+            view.total_blocks,
+            view.threads_per_block,
+            view.shared_mem_per_block,
+            view.total_threads(),
+            out,
+        );
+        Ok(true)
     }
 
     fn skip(&mut self, n: u64) -> Result<u64, StreamError> {
@@ -599,6 +650,48 @@ mod tests {
         src.restart().unwrap();
         let again = src.next_record(true).unwrap().unwrap();
         assert_eq!(again.detailed, first.detailed);
+    }
+
+    #[test]
+    fn feature_fast_path_is_bit_identical_to_records() {
+        // The launch-view override must produce exactly the floats the
+        // record-materialising path produces, for every launch across the
+        // synthetic operator and grid cycles.
+        let n = 2_500u64;
+        let profiler = Profiler::new(GpuConfig::v100());
+        let mut fast = WorkloadSource::new(synthetic_workload(n), profiler.clone());
+        let mut slow = WorkloadSource::new(synthetic_workload(n), profiler);
+        let mut features = Vec::new();
+        for i in 0..n {
+            features.clear();
+            assert!(fast.next_features_into(&mut features).unwrap());
+            let rec = slow.next_record(false).unwrap().unwrap();
+            let reference = rec.lightweight.to_feature_vector();
+            assert_eq!(features, reference, "launch {i}");
+        }
+        assert!(!fast.next_features_into(&mut features).unwrap());
+    }
+
+    #[test]
+    fn default_feature_path_appends_and_signals_end() {
+        let w = synthetic_workload(3);
+        let profiler = Profiler::new(GpuConfig::v100());
+        let mut via_jsonl = {
+            let mut src = WorkloadSource::new(w, profiler);
+            let mut lines = String::new();
+            while let Some(rec) = src.next_record(false).unwrap() {
+                lines.push_str(&rec.to_jsonl().to_string());
+                lines.push('\n');
+            }
+            JsonlSource::from_reader("jsonl:test", std::io::Cursor::new(lines))
+        };
+        let mut out = Vec::new();
+        for pulled in 0..3 {
+            assert!(via_jsonl.next_features_into(&mut out).unwrap());
+            assert_eq!(out.len(), (pulled + 1) * LightweightRecord::FEATURE_COUNT);
+        }
+        assert!(!via_jsonl.next_features_into(&mut out).unwrap());
+        assert_eq!(out.len(), 3 * LightweightRecord::FEATURE_COUNT);
     }
 
     #[test]

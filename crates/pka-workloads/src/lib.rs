@@ -45,7 +45,7 @@ pub mod polybench;
 pub mod rodinia;
 mod workload;
 
-pub use workload::{KernelTemplate, Suite, Workload, WorkloadBuilder};
+pub use workload::{KernelTemplate, LaunchView, Suite, Workload, WorkloadBuilder};
 
 /// All 147 workloads, grouped suite by suite in the paper's order.
 pub fn all_workloads() -> Vec<Workload> {

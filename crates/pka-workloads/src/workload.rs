@@ -91,6 +91,22 @@ impl KernelTemplate {
             .build()
             .expect("template base was already validated")
     }
+
+    /// The lightweight geometry of occurrence `occurrence` of this template,
+    /// without materialising the descriptor.
+    fn launch_view(&self, occurrence: u64) -> LaunchView<'_> {
+        let total_blocks = if self.grid_cycle.is_empty() {
+            self.base.total_blocks()
+        } else {
+            u64::from(self.grid_cycle[(occurrence % self.grid_cycle.len() as u64) as usize])
+        };
+        LaunchView {
+            name: self.base.name(),
+            total_blocks,
+            threads_per_block: self.base.threads_per_block(),
+            shared_mem_per_block: self.base.shared_mem_per_block(),
+        }
+    }
 }
 
 /// Copies every behavioural field from a validated descriptor into a fresh
@@ -125,6 +141,34 @@ fn clone_counts(
         .phases(base.phases().to_vec())
 }
 
+/// A borrowed, allocation-free view of one launch's lightweight geometry.
+///
+/// Everything an Nsight-Systems-style consumer reads from a launch — name,
+/// grid, block, shared memory — computed straight from the template's
+/// validated base descriptor without rebuilding it or cloning the name.
+/// `total_blocks` honours the template's grid cycle exactly as
+/// [`Workload::kernel`] does, so for every launch
+/// `workload.launch_view(id)` agrees field-for-field with the descriptor
+/// `workload.kernel(id)` materialises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchView<'a> {
+    /// Kernel (mangled) name, borrowed from the template.
+    pub name: &'a str,
+    /// Grid size in thread blocks.
+    pub total_blocks: u64,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Static + dynamic shared memory per block, bytes.
+    pub shared_mem_per_block: u32,
+}
+
+impl LaunchView<'_> {
+    /// Total threads in the launch (`total_blocks * threads_per_block`).
+    pub fn total_threads(&self) -> u64 {
+        self.total_blocks * self.threads_per_block as u64
+    }
+}
+
 /// One stretch of a workload's launch stream.
 #[derive(Debug, Clone, PartialEq)]
 enum Segment {
@@ -154,6 +198,17 @@ impl Segment {
                 let t = (offset % templates.len() as u64) as usize;
                 let occurrence = offset / templates.len() as u64;
                 templates[t].instantiate(workload, launch_index, occurrence)
+            }
+        }
+    }
+
+    fn launch_view(&self, offset: u64) -> LaunchView<'_> {
+        match self {
+            Segment::Run { template, .. } => template.launch_view(offset),
+            Segment::Cycle { templates, .. } => {
+                let t = (offset % templates.len() as u64) as usize;
+                let occurrence = offset / templates.len() as u64;
+                templates[t].launch_view(occurrence)
             }
         }
     }
@@ -223,6 +278,27 @@ impl Workload {
         let seg = self.cumulative.partition_point(|&end| end <= idx);
         let start = if seg == 0 { 0 } else { self.cumulative[seg - 1] };
         self.segments[seg].kernel(&self.name, idx, idx - start)
+    }
+
+    /// The lightweight geometry of launch `id`, without materialising the
+    /// descriptor — the O(1)-allocation fast path for feature-only
+    /// consumers (the streaming tail). Agrees field-for-field with
+    /// [`kernel`](Self::kernel) for every launch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn launch_view(&self, id: KernelId) -> LaunchView<'_> {
+        let idx = id.index();
+        assert!(
+            idx < self.kernel_count(),
+            "kernel {idx} out of range for `{}` ({} kernels)",
+            self.name,
+            self.kernel_count()
+        );
+        let seg = self.cumulative.partition_point(|&end| end <= idx);
+        let start = if seg == 0 { 0 } else { self.cumulative[seg - 1] };
+        self.segments[seg].launch_view(idx - start)
     }
 
     /// Iterates over `(id, descriptor)` pairs lazily, in launch order.
@@ -385,6 +461,39 @@ mod tests {
         assert_eq!(grids[0], ("a".into(), 8));
         assert_eq!(grids[2], ("a".into(), 16));
         assert_eq!(grids[4], ("a".into(), 8));
+    }
+
+    #[test]
+    fn launch_view_matches_materialised_descriptor() {
+        // Mixed segments, grid cycles inside and outside a template cycle,
+        // and a non-trivial block/shared-mem configuration: the view must
+        // agree with the built descriptor on every launch.
+        let fancy = KernelTemplate::new(
+            KernelDescriptor::builder("fancy")
+                .grid(Dim3 { x: 4, y: 3, z: 2 })
+                .block(Dim3 { x: 32, y: 4, z: 1 })
+                .shared_mem_per_block(8192)
+                .fp32_per_thread(2)
+                .build()
+                .unwrap(),
+        );
+        let cycled = template("cyc", 1).with_grid_cycle(vec![16, 32, 64]);
+        let plain = template("plain", 2);
+        let w = Workload::builder("w", Suite::MlPerf)
+            .run(fancy, 3)
+            .cycle(vec![cycled, plain], 4)
+            .run(template("tail", 3).with_grid_cycle(vec![5, 9]), 5)
+            .build();
+        for i in 0..w.kernel_count() {
+            let id = KernelId::new(i);
+            let k = w.kernel(id);
+            let v = w.launch_view(id);
+            assert_eq!(v.name, k.name(), "launch {i}");
+            assert_eq!(v.total_blocks, k.total_blocks(), "launch {i}");
+            assert_eq!(v.threads_per_block, k.threads_per_block(), "launch {i}");
+            assert_eq!(v.shared_mem_per_block, k.shared_mem_per_block(), "launch {i}");
+            assert_eq!(v.total_threads(), k.total_threads(), "launch {i}");
+        }
     }
 
     #[test]

@@ -207,11 +207,14 @@ const USAGE: &str = "usage:
   pka stream --source <FILE.jsonl|-|synthetic:N|WORKLOAD>
              [--prefix J] [--checkpoint-every N] [--checkpoint FILE.json]
              [--resume] [--reservoir N] [--batch N] [--verify-batch]
+             [--shards N [--reshard-at REC[:SHARD:LANE]]]
              [--gpu ...] [--workers N] [observability flags]
   pka trace export TRACE.jsonl [--out FILE.json]
   pka obs diff BASELINE.json CURRENT.json [--counters-only]
               [--counter-tol PCT] [--gauge-tol PCT] [--stage-tol PCT]
               [--bench [--bench-tol PCT]]
+  pka obs diff --trend TREND_DIR [--trend-window N] [--stage-tol PCT]
+  pka obs trend-push MANIFEST.json TREND_DIR [--trend-cap N]
 
 `stream` runs the bounded-memory online PKS pipeline: the first J kernels
 are profiled in detail and clustered exactly like the batch pipeline, then
@@ -225,6 +228,15 @@ true mismatch is refused). `--verify-batch` re-runs
 the batch two-level pipeline on the same workload-backed source and fails
 unless the selected K matches exactly and projected cycles agree within
 1%.
+
+`--shards N` partitions the tail across N independent shard pipelines
+placed by a deterministic hash ring and reconciled at end of stream with a
+weighted merge + re-cluster; the selection is identical to the
+single-pipeline engine and the final checkpoint is byte-identical for any
+worker count. `--reshard-at REC[:SHARD:LANE]` forces one live reshard
+(state move to another executor lane) once REC records have streamed —
+the output is unchanged, which is the point. Sharded checkpoints carry a
+`topology` section; `--resume` detects the layout automatically.
 
 `--workers N` fans profiling, clustering and per-representative simulation
 out over N threads (0 = one per hardware thread). Results are bitwise
@@ -243,6 +255,11 @@ chrome://tracing, one lane per executor worker. `obs diff` compares two
 ratios, checksum changes) — or, with `--bench`, two bench-medians files —
 and exits non-zero when any delta exceeds its threshold; `--counters-only`
 skips the machine-dependent stage/wall sections for cross-host CI gating.
+`obs trend-push` appends a manifest to a bounded per-commit ring
+(`--trend-cap` files, default 16), and `obs diff --trend` scans that ring
+for creeping slowdowns: stage timings that rise monotonically across the
+trailing `--trend-window` runs (default 4), each step under the single-run
+threshold but cumulatively past it.
 
 observability flags (any of them turns collection on; results are
 unchanged — observability output is excluded from parity):
@@ -586,11 +603,39 @@ fn int_flag(flags: &HashMap<String, String>, name: &str) -> Result<Option<u64>, 
         .transpose()
 }
 
+/// Parses `--reshard-at REC[:SHARD:LANE]` into a scheduled live reshard
+/// (defaults: move shard 0 to the last lane).
+fn reshard_from(
+    flags: &HashMap<String, String>,
+    shards: usize,
+) -> Result<Option<(u64, usize, usize)>, String> {
+    let Some(spec) = flags.get("reshard-at") else {
+        return Ok(None);
+    };
+    let bad = || format!("--reshard-at `{spec}` must be REC or REC:SHARD:LANE");
+    let parts: Vec<&str> = spec.split(':').collect();
+    let (at, shard, lane) = match parts.as_slice() {
+        [at] => (at.parse().map_err(|_| bad())?, 0usize, shards - 1),
+        [at, shard, lane] => (
+            at.parse().map_err(|_| bad())?,
+            shard.parse().map_err(|_| bad())?,
+            lane.parse().map_err(|_| bad())?,
+        ),
+        _ => return Err(bad()),
+    };
+    if shard >= shards || lane >= shards {
+        return Err(format!(
+            "--reshard-at: shard {shard} / lane {lane} out of range for {shards} shards"
+        ));
+    }
+    Ok(Some((at, shard, lane)))
+}
+
 fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
     use principal_kernel_analysis::core::{Executor, TwoLevel, TwoLevelConfig};
     use principal_kernel_analysis::stream::{
-        synthetic_workload, Checkpoint, JsonlSource, KernelSource, StreamConfig, StreamError,
-        StreamPks, WorkloadSource,
+        synthetic_workload, Checkpoint, JsonlSource, KernelSource, ShardedCheckpoint,
+        ShardedStreamPks, StreamConfig, StreamError, StreamPks, WorkloadSource,
     };
 
     let gpu = gpu_from(flags)?;
@@ -600,20 +645,38 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
 
     // A resume adopts the checkpoint's embedded config echo, so the original
     // run's parameters need not be re-specified; explicit flags still apply
-    // on top (and `StreamPks::resume` refuses any true mismatch).
-    let resume_cp = if flags.contains_key("resume") {
+    // on top (and the resume paths refuse any true mismatch). The layout is
+    // sniffed from the file: a `topology` section marks a sharded
+    // checkpoint, plain ones resume through the single-pipeline engine.
+    let resume_value = if flags.contains_key("resume") {
         let p = flags
             .get("checkpoint")
             .ok_or("--resume requires --checkpoint FILE.json")?;
-        let cp =
-            Checkpoint::read_from(std::path::Path::new(p)).map_err(|e| e.to_string())?;
-        Some(cp)
+        let text = std::fs::read_to_string(p).map_err(|e| format!("read {p}: {e}"))?;
+        let v: serde_json::Value =
+            serde_json::from_str(&text).map_err(|e| format!("parse {p}: {e}"))?;
+        Some(v)
     } else {
         None
     };
-    let mut config = match &resume_cp {
-        Some(cp) => StreamConfig::from_value(&cp.config).map_err(|e| e.to_string())?,
-        None => StreamConfig::default(),
+    let resume_is_sharded = resume_value
+        .as_ref()
+        .is_some_and(|v| v["topology"].as_object().is_some());
+    let (resume_cp, resume_sharded_cp) = match &resume_value {
+        Some(v) if resume_is_sharded => (
+            None,
+            Some(ShardedCheckpoint::from_value(v).map_err(|e| e.to_string())?),
+        ),
+        Some(v) => (
+            Some(Checkpoint::from_value(v).map_err(|e| e.to_string())?),
+            None,
+        ),
+        None => (None, None),
+    };
+    let mut config = match (&resume_cp, &resume_sharded_cp) {
+        (Some(cp), _) => StreamConfig::from_value(&cp.config).map_err(|e| e.to_string())?,
+        (_, Some(cp)) => StreamConfig::from_value(&cp.config).map_err(|e| e.to_string())?,
+        _ => StreamConfig::default(),
     };
     if let Some(j) = int_flag(flags, "prefix")? {
         config = config.with_prefix(j);
@@ -656,20 +719,75 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
         };
 
     let ckpt_path = flags.get("checkpoint").map(std::path::PathBuf::from);
-    let stream = StreamPks::new(config).with_executor(exec);
-    let on_checkpoint = |cp: &Checkpoint| -> Result<(), StreamError> {
-        match &ckpt_path {
-            Some(p) => cp.write_to(p),
-            None => Ok(()),
+
+    // `--shards N` (or resuming a sharded checkpoint) switches to the
+    // sharded multi-stream engine; selection results are identical to the
+    // single-pipeline engine on the same records.
+    let shards_flag = int_flag(flags, "shards")?.map(|n| n as usize);
+    let shards = match (shards_flag, &resume_sharded_cp) {
+        (Some(n), _) => Some(n),
+        (None, Some(cp)) => Some(cp.shards),
+        (None, None) => None,
+    };
+    if shards.is_none() && flags.contains_key("reshard-at") {
+        return Err("--reshard-at requires --shards N".to_string());
+    }
+
+    let (report, selection, checkpoint_json, shard_summary) = match shards {
+        Some(n) => {
+            let mut engine = ShardedStreamPks::new(config, n).with_executor(exec);
+            if let Some((at, shard, lane)) = reshard_from(flags, n)? {
+                engine = engine.with_reshard(at, shard, lane);
+            }
+            let on_checkpoint = |cp: &ShardedCheckpoint| -> Result<(), StreamError> {
+                match &ckpt_path {
+                    Some(p) => cp.write_to(p),
+                    None => Ok(()),
+                }
+            };
+            let outcome = match &resume_sharded_cp {
+                Some(cp) => engine.resume(&mut *source, cp, on_checkpoint),
+                None => engine.run(&mut *source, on_checkpoint),
+            }
+            .map_err(|e| e.to_string())?;
+            if let Some(p) = &ckpt_path {
+                outcome
+                    .final_checkpoint
+                    .write_to(p)
+                    .map_err(|e| e.to_string())?;
+            }
+            let json = outcome.final_checkpoint.to_json();
+            (
+                outcome.report,
+                outcome.selection,
+                json,
+                Some((outcome.shard_records, outcome.map_hash)),
+            )
+        }
+        None => {
+            let stream = StreamPks::new(config).with_executor(exec);
+            let on_checkpoint = |cp: &Checkpoint| -> Result<(), StreamError> {
+                match &ckpt_path {
+                    Some(p) => cp.write_to(p),
+                    None => Ok(()),
+                }
+            };
+            let outcome = match &resume_cp {
+                Some(cp) => stream.resume(&mut *source, cp, on_checkpoint),
+                None => stream.run(&mut *source, on_checkpoint),
+            }
+            .map_err(|e| e.to_string())?;
+            if let Some(p) = &ckpt_path {
+                outcome
+                    .final_checkpoint
+                    .write_to(p)
+                    .map_err(|e| e.to_string())?;
+            }
+            let json = outcome.final_checkpoint.to_json();
+            (outcome.report, outcome.selection, json, None)
         }
     };
-    let outcome = match &resume_cp {
-        Some(cp) => stream.resume(&mut *source, cp, on_checkpoint),
-        None => stream.run(&mut *source, on_checkpoint),
-    }
-    .map_err(|e| e.to_string())?;
-
-    let report = &outcome.report;
+    let report = &report;
     println!("stream:   {spec}");
     println!(
         "records:  {} ({} profiled in detail, {} classified)",
@@ -683,8 +801,7 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
         "tail:     {} drift firings, {} re-clusters, {} checkpoints, max {} records buffered",
         report.drifts, report.reclusters, report.checkpoints, report.max_buffered
     );
-    for (i, (group, &count)) in outcome
-        .selection
+    for (i, (group, &count)) in selection
         .groups()
         .iter()
         .zip(&report.group_counts)
@@ -695,11 +812,16 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
             group.representative()
         );
     }
+    if let Some((shard_records, map_hash)) = &shard_summary {
+        println!(
+            "shards:   {} lanes, map hash {map_hash:#018x}",
+            shard_records.len()
+        );
+        for (i, n) in shard_records.iter().enumerate() {
+            println!("  shard {i:>2}: {n} kernels");
+        }
+    }
     if let Some(p) = &ckpt_path {
-        outcome
-            .final_checkpoint
-            .write_to(p)
-            .map_err(|e| e.to_string())?;
         println!("checkpoint written to {}", p.display());
     }
 
@@ -741,7 +863,7 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
     }
 
     if principal_kernel_analysis::obs::enabled() {
-        record_checksum("stream_checkpoint", &outcome.final_checkpoint.to_json());
+        record_checksum("stream_checkpoint", &checkpoint_json);
         let mut value = report.to_value();
         if let serde_json::Value::Object(m) = &mut value {
             m.insert(
@@ -752,6 +874,13 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
                 "source".to_string(),
                 serde_json::Value::String(spec.clone()),
             );
+            if let Some((shard_records, map_hash)) = &shard_summary {
+                m.insert("shards".to_string(), serde_json::json!(shard_records));
+                m.insert(
+                    "map_hash".to_string(),
+                    serde_json::Value::String(format!("{map_hash:#018x}")),
+                );
+            }
         }
         record_report(value);
     }
@@ -791,14 +920,9 @@ fn cmd_trace(flags: &HashMap<String, String>, positional: &[String]) -> Result<(
 /// bench medians files with `--bench`) and fail on regressions past the
 /// thresholds — the CI regression gate.
 fn cmd_obs(flags: &HashMap<String, String>, positional: &[String]) -> Result<(), String> {
-    use principal_kernel_analysis::obs::{diff_bench, diff_manifests, DiffThresholds};
-    match positional.first().map(String::as_str) {
-        Some("diff") => {}
-        Some(other) => return Err(format!("unknown obs subcommand `{other}`\n{USAGE}")),
-        None => return Err(format!("obs needs a subcommand (diff)\n{USAGE}")),
-    }
-    let (Some(base_path), Some(cur_path)) = (positional.get(1), positional.get(2)) else {
-        return Err("obs diff needs BASELINE and CURRENT file paths".to_string());
+    use principal_kernel_analysis::obs::{
+        diff_bench, diff_manifests, trend_load, trend_push, trend_report, DiffThresholds,
+        TrendThresholds,
     };
     let read = |path: &String| -> Result<serde_json::Value, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
@@ -815,6 +939,56 @@ fn cmd_obs(flags: &HashMap<String, String>, positional: &[String]) -> Result<(),
             })
             .transpose()
             .map(|p| p.unwrap_or(default))
+    };
+    match positional.first().map(String::as_str) {
+        Some("diff") => {}
+        Some("trend-push") => {
+            let manifest_path = positional
+                .get(1)
+                .ok_or("obs trend-push needs a MANIFEST.json path")?;
+            let dir = positional
+                .get(2)
+                .ok_or("obs trend-push needs a TREND_DIR path")?;
+            let cap = int_flag(flags, "trend-cap")?.unwrap_or(16) as usize;
+            let manifest = read(manifest_path)?;
+            let written = trend_push(std::path::Path::new(dir), &manifest, cap)
+                .map_err(|e| format!("trend-push {dir}: {e}"))?;
+            println!("trend ring: appended {}", written.display());
+            return Ok(());
+        }
+        Some(other) => return Err(format!("unknown obs subcommand `{other}`\n{USAGE}")),
+        None => return Err(format!("obs needs a subcommand (diff, trend-push)\n{USAGE}")),
+    }
+    if let Some(dir) = flags.get("trend") {
+        // Trend mode: scan the bounded manifest ring for creeping
+        // slowdowns the single-run gate cannot see.
+        let runs = trend_load(std::path::Path::new(dir))
+            .map_err(|e| format!("trend ring {dir}: {e}"))?;
+        let defaults = TrendThresholds::default();
+        let window = match int_flag(flags, "trend-window")? {
+            Some(n) if n >= 2 => n as usize,
+            Some(_) => return Err("--trend-window must be at least 2".to_string()),
+            None => defaults.window,
+        };
+        let thresholds = TrendThresholds {
+            stage_pct: pct_flag("stage-tol", defaults.stage_pct)?,
+            window,
+        };
+        let report = trend_report(&runs, &thresholds)?;
+        println!(
+            "trend ring {dir}: {} run(s), window {window}",
+            runs.len()
+        );
+        for line in report.lines() {
+            println!("{line}");
+        }
+        return match report.regressions() {
+            0 => Ok(()),
+            n => Err(format!("{n} creeping slowdown(s) across the trend window")),
+        };
+    }
+    let (Some(base_path), Some(cur_path)) = (positional.get(1), positional.get(2)) else {
+        return Err("obs diff needs BASELINE and CURRENT file paths".to_string());
     };
     let base = read(base_path)?;
     let current = read(cur_path)?;

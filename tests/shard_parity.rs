@@ -1,0 +1,175 @@
+//! Sharded-vs-single parity: the `pka-stream` sharding acceptance contract.
+//!
+//! The sharded engine partitions the tail across N shard pipelines by
+//! consistent hashing and reconciles them with a deterministic weighted
+//! merge. The contract: routing assigns every record to exactly one shard
+//! and is a pure function of the shard count; the merged selection matches
+//! the single-pipeline stream exactly (same K, same projected cycles); the
+//! final checkpoint is byte-identical across worker counts, across a live
+//! mid-run reshard (lane moves are pure scheduling), and across a
+//! checkpoint→resume round trip at any worker count.
+
+use principal_kernel_analysis::core::Executor;
+use principal_kernel_analysis::gpu::GpuConfig;
+use principal_kernel_analysis::profile::Profiler;
+use principal_kernel_analysis::stream::{
+    synthetic_workload, HashRing, ShardedCheckpoint, ShardedOutcome, ShardedStreamPks,
+    StreamConfig, StreamPks, WorkloadSource,
+};
+use principal_kernel_analysis::workloads::Workload;
+
+const PREFIX: u64 = 400;
+
+fn stream_config() -> StreamConfig {
+    StreamConfig::default()
+        .with_prefix(PREFIX)
+        .with_checkpoint_every(1_500)
+        .with_reservoir(256)
+        .with_batch(128)
+}
+
+fn source_for(w: &Workload) -> WorkloadSource {
+    WorkloadSource::new(w.clone(), Profiler::new(GpuConfig::v100()))
+}
+
+fn run_sharded(w: &Workload, shards: usize, workers: usize) -> ShardedOutcome {
+    let mut source = source_for(w);
+    ShardedStreamPks::new(stream_config(), shards)
+        .with_executor(Executor::new(workers))
+        .run(&mut source, |_| Ok(()))
+        .expect("sharded stream runs")
+}
+
+#[test]
+fn every_position_routes_to_exactly_one_in_range_owner() {
+    for shards in 1..=8usize {
+        let ring = HashRing::new(shards);
+        for pos in 0..10_000u64 {
+            let owner = ring.route(pos);
+            assert!(owner < shards, "pos {pos} routed to {owner} of {shards}");
+            // Routing is a function: re-asking can never re-place a record.
+            assert_eq!(owner, ring.route(pos));
+        }
+    }
+}
+
+#[test]
+fn ring_placement_is_a_pure_function_of_the_shard_count() {
+    for shards in 1..=8usize {
+        let a = HashRing::new(shards);
+        let b = HashRing::new(shards);
+        // Independent constructions agree point for point, so placement
+        // cannot depend on construction order, machine, or enumeration.
+        assert_eq!(a.points(), b.points());
+        assert_eq!(a.map_hash(), b.map_hash());
+    }
+    // Pin the 4-shard routing table across platforms and refactors: any
+    // change to the hash, salt, or virtual-node layout lands here.
+    assert_eq!(HashRing::new(4).map_hash(), 0xb59d_600c_c97f_f777);
+}
+
+#[test]
+fn sharded_selection_matches_the_single_pipeline_exactly() {
+    let w = synthetic_workload(6_000);
+    let mut source = source_for(&w);
+    let single = StreamPks::new(stream_config())
+        .with_executor(Executor::sequential())
+        .run(&mut source, |_| Ok(()))
+        .expect("single-pipeline stream runs");
+
+    for shards in [2usize, 4] {
+        let sharded = run_sharded(&w, shards, 4);
+        // The acceptance tolerance is 1% on projected cycles; the merge
+        // reconciliation is deterministic shared code, so demand exactness.
+        assert_eq!(sharded.report.selected_k, single.report.selected_k, "shards={shards}");
+        assert_eq!(
+            sharded.report.projected_cycles, single.report.projected_cycles,
+            "shards={shards}"
+        );
+        assert_eq!(
+            sharded.report.group_counts, single.report.group_counts,
+            "shards={shards}"
+        );
+        // Every tail record landed on exactly one shard.
+        assert_eq!(sharded.shard_records.len(), shards);
+        assert_eq!(
+            sharded.shard_records.iter().sum::<u64>(),
+            sharded.report.records - PREFIX,
+            "shards={shards}"
+        );
+        assert_eq!(sharded.map_hash, HashRing::new(shards).map_hash());
+    }
+}
+
+#[test]
+fn worker_counts_produce_byte_identical_sharded_checkpoints() {
+    let w = synthetic_workload(5_000);
+    let sequential = run_sharded(&w, 4, 1);
+    for workers in [2usize, 4, 8] {
+        let parallel = run_sharded(&w, 4, workers);
+        assert_eq!(
+            parallel.final_checkpoint.to_json(),
+            sequential.final_checkpoint.to_json(),
+            "workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn live_reshard_leaves_every_checkpoint_byte_identical() {
+    let w = synthetic_workload(5_000);
+    let collect = |engine: ShardedStreamPks| {
+        let mut periodic: Vec<String> = Vec::new();
+        let mut source = source_for(&w);
+        let outcome = engine
+            .with_executor(Executor::new(4))
+            .run(&mut source, |cp| {
+                periodic.push(cp.to_json());
+                Ok(())
+            })
+            .expect("sharded stream runs");
+        (periodic, outcome.final_checkpoint.to_json())
+    };
+    let (base_periodic, base_final) = collect(ShardedStreamPks::new(stream_config(), 4));
+    // Migrate shard 1 to lane 3 mid-stream: ownership is pure scheduling,
+    // so nothing serialized may move by a single byte.
+    let (moved_periodic, moved_final) =
+        collect(ShardedStreamPks::new(stream_config(), 4).with_reshard(2_500, 1, 3));
+    assert!(!base_periodic.is_empty());
+    assert_eq!(moved_periodic, base_periodic);
+    assert_eq!(moved_final, base_final);
+}
+
+#[test]
+fn sharded_resume_reproduces_the_final_checkpoint_at_any_worker_count() {
+    let w = synthetic_workload(5_000);
+    let uninterrupted = run_sharded(&w, 4, 4);
+
+    let mut first: Option<ShardedCheckpoint> = None;
+    let mut source = source_for(&w);
+    ShardedStreamPks::new(stream_config(), 4)
+        .with_executor(Executor::new(4))
+        .run(&mut source, |cp| {
+            if first.is_none() {
+                first = Some(cp.clone());
+            }
+            Ok(())
+        })
+        .expect("sharded stream runs");
+    let mid = first.expect("at least one periodic checkpoint");
+    assert!(mid.records < uninterrupted.final_checkpoint.records);
+
+    for workers in [1usize, 2, 4, 8] {
+        let mut source = source_for(&w);
+        let resumed = ShardedStreamPks::new(stream_config(), 4)
+            .with_executor(Executor::new(workers))
+            .resume(&mut source, &mid, |_| Ok(()))
+            .expect("sharded resume runs");
+        assert_eq!(
+            resumed.final_checkpoint.to_json(),
+            uninterrupted.final_checkpoint.to_json(),
+            "workers={workers}"
+        );
+        assert_eq!(resumed.report.selected_k, uninterrupted.report.selected_k);
+    }
+}

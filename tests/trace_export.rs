@@ -99,6 +99,60 @@ fn export_is_valid_chrome_trace_json() {
         .any(|e| e["name"].as_str() == Some("ignored")));
 }
 
+/// Golden test for the counter-track fixture: a trace carrying
+/// `"counter"` records (snapshot throughput, reservoir occupancy, one
+/// lane per shard) converts to the committed Chrome JSON byte for byte,
+/// with one `"C"` event per well-formed counter record.
+#[test]
+fn counter_tracks_match_committed_golden() {
+    let out = temp_path("counters_chrome.json");
+    let run = Command::new(pka_bin())
+        .args([
+            "trace",
+            "export",
+            fixture("trace_fixture_counters.jsonl").to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run pka trace export");
+    assert!(
+        run.status.success(),
+        "pka trace export failed: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let produced = std::fs::read_to_string(&out).expect("read produced chrome json");
+    let golden = std::fs::read_to_string(fixture("trace_fixture_counters_chrome.json"))
+        .expect("read golden chrome json");
+    assert_eq!(produced, golden, "counter-track export diverged from the golden fixture");
+    std::fs::remove_file(&out).ok();
+
+    let doc: Value = serde_json::from_str(&golden).expect("golden is valid JSON");
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    let counters: Vec<&Value> = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("C"))
+        .collect();
+    // 8 well-formed counter records; the one missing `values` is skipped.
+    assert_eq!(counters.len(), 8);
+    for c in &counters {
+        assert!(c["name"].as_str().is_some());
+        assert!(c["ts"].as_f64().is_some());
+        assert!(c["args"].as_object().is_some_and(|m| !m.is_empty()));
+    }
+    // One counter lane per shard: distinct per-shard track names.
+    for name in ["snapshot.shard0.records", "snapshot.shard1.records"] {
+        assert_eq!(
+            counters.iter().filter(|c| c["name"].as_str() == Some(name)).count(),
+            2,
+            "missing shard lane {name}"
+        );
+    }
+    assert!(!events
+        .iter()
+        .any(|e| e["name"].as_str() == Some("malformed-no-values")));
+}
+
 /// A file that is not a `pka.trace/v1` stream is refused.
 #[test]
 fn export_rejects_non_trace_input() {

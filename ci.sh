@@ -34,6 +34,12 @@
 #      against results/ci_baseline_bench.json (catastrophic-only tolerance
 #      — medians jitter across hosts), and a self-test proving the gate
 #      fires on an injected 1.3x stage-timing regression
+#  10. attribution smoke — a `pka.attribution/v1` artifact from
+#      `--attribution-out`, jq-validated (schema, per-group terms summing
+#      exactly to the reported error), rendered through `pka obs explain`,
+#      byte-identical across --workers counts on the stream path, and a
+#      self-test proving the accuracy gate fires on an injected
+#      representative swap
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -235,6 +241,59 @@ if command -v jq >/dev/null 2>&1; then
     fi
     grep -q "REGRESSION" "$LIVE_DIR/diff_out.txt"
     echo "obs diff gate OK (injected regression detected)"
+fi
+
+echo "==> attribution smoke (pka.attribution/v1, explain, accuracy gate)"
+ATTR_DIR="$(mktemp -d -t pka_attr.XXXXXX)"
+trap 'rm -f "$BENCH_SMOKE_JSON" "$OBS_MANIFEST" "$OBS_TRACE" "$STREAM_CKPT"; rm -rf "$LIVE_DIR" "$ATTR_DIR"' EXIT
+./target/release/pka simulate --workload bfs65536 \
+    --attribution-out "$ATTR_DIR/attr.json" >/dev/null
+if command -v jq >/dev/null 2>&1; then
+    # The decomposition contract: signed per-group terms sum exactly to the
+    # signed reported errors (1e-9 relative in the library; 1e-6 absolute
+    # here to stay clear of jq's float re-rendering).
+    jq -e '
+        def abs: if . < 0 then -. else . end;
+        .schema == "pka.attribution/v1"
+        and .kind == "simulation"
+        and (.groups | length) >= 1
+        and ((([.groups[].pks_term_pct] | add) - .pks_err_signed_pct) | abs) < 1e-6
+        and ((([.groups[].total_term_pct] | add) - .pka_err_signed_pct) | abs) < 1e-6
+        and ((.pks_err_signed_pct | abs) - .pks_err_pct | abs) < 1e-9
+        and all(.groups[]; has("representative") and has("chrono_rank")
+                           and has("distance_to_centroid") and has("weight")
+                           and has("member_mean_ci_low") and has("member_mean_ci_high"))
+    ' "$ATTR_DIR/attr.json" >/dev/null
+    echo "attribution artifact OK ($(jq '.groups | length' "$ATTR_DIR/attr.json") groups)"
+else
+    echo "jq not found; skipping attribution schema check" >&2
+fi
+./target/release/pka obs explain "$ATTR_DIR/attr.json" > "$ATTR_DIR/explain.txt"
+grep -q "pka.attribution/v1" "$ATTR_DIR/explain.txt"
+echo "obs explain OK ($(wc -l < "$ATTR_DIR/explain.txt") lines)"
+
+# Stream-path determinism: the artifact is byte-identical for any worker
+# count (the same contract the checkpoints already gate on).
+./target/release/pka stream --source synthetic:100000 --prefix 1000 \
+    --workers 1 --attribution-out "$ATTR_DIR/attr_w1.json" >/dev/null
+./target/release/pka stream --source synthetic:100000 --prefix 1000 \
+    --workers 4 --attribution-out "$ATTR_DIR/attr_w4.json" >/dev/null
+cmp -s "$ATTR_DIR/attr_w1.json" "$ATTR_DIR/attr_w4.json"
+echo "attribution worker parity OK"
+
+# The accuracy gate must actually fire: identical artifacts pass, an
+# injected representative swap is an exact-match regression.
+./target/release/pka obs diff "$ATTR_DIR/attr.json" "$ATTR_DIR/attr.json" >/dev/null
+if command -v jq >/dev/null 2>&1; then
+    jq '.groups[0].representative = 424242' "$ATTR_DIR/attr.json" \
+        > "$ATTR_DIR/attr_swapped.json"
+    if ./target/release/pka obs diff "$ATTR_DIR/attr.json" \
+        "$ATTR_DIR/attr_swapped.json" > "$ATTR_DIR/attr_diff_out.txt" 2>&1; then
+        echo "obs diff failed to flag an injected representative swap" >&2
+        exit 1
+    fi
+    grep -q "REGRESSION" "$ATTR_DIR/attr_diff_out.txt"
+    echo "attribution gate OK (injected representative swap detected)"
 fi
 
 echo "CI OK"

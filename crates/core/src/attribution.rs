@@ -1,0 +1,552 @@
+//! Error attribution: an exact per-group decomposition of PKA's projection
+//! error, plus the provenance of every group representative.
+//!
+//! The paper's headline numbers (Table 3/4) report one scalar error per
+//! workload; when a run drifts toward the 5% target nothing in the pipeline
+//! says *which group* is responsible. This module decomposes the reported
+//! error into additive signed per-group terms:
+//!
+//! * the **PKS term** — how much scaling the group's representative by the
+//!   group population deviates from the group's share of the truth
+//!   (per-kernel silicon cycles when silicon is available, the profiled
+//!   members' measured cycles otherwise), and
+//! * the **PKP term** — how much the stop-rule projection of the
+//!   representative deviates from its full simulation, scaled by the group
+//!   population.
+//!
+//! The decomposition is exact, not heuristic: the signed terms sum to the
+//! pipeline's reported `pks_error_pct` / `pka_error_pct` within 1e-9
+//! relative, and [`ErrorAttribution::verify_sums`] enforces it. DRAM
+//! utilisation decomposes the same way into additive per-group shares.
+//!
+//! Everything here is a pure function of the selection, the provenance and
+//! the per-representative simulation samples, so artifacts are
+//! byte-identical across worker counts and across sharded vs.
+//! single-pipeline runs.
+
+use serde::value::{Map, Value, ValueError};
+use serde::{Deserialize, Serialize};
+
+use crate::Selection;
+
+/// Schema identifier stamped into every attribution artifact.
+pub const ATTRIBUTION_SCHEMA: &str = "pka.attribution/v1";
+
+/// Relative tolerance of the sum-to-total invariant.
+const SUM_REL_TOL: f64 = 1e-9;
+
+/// Provenance of one group's representative, computed from the detailed
+/// records the selection was made from (see `Pks::provenance`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupProvenance {
+    /// 0-based launch rank of the representative among its group's profiled
+    /// members (0 = earliest member; always 0 under the default
+    /// first-chronological policy).
+    pub chrono_rank: u64,
+    /// Euclidean distance from the representative's row to its group's mean
+    /// in the PCA-projected feature space the clustering ran in.
+    pub distance_to_centroid: f64,
+    /// Lower bound of the seeded bootstrap 95% confidence interval on the
+    /// mean member cycles — the within-group variance witness.
+    pub member_mean_ci_low: f64,
+    /// Upper bound of the same interval.
+    pub member_mean_ci_high: f64,
+}
+
+/// Per-representative simulation samples feeding the simulation-kind
+/// decomposition, in group order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepSimulation {
+    /// Cycles of the representative simulated to completion (the PKS path).
+    pub pks_cycles: u64,
+    /// Cycles projected for the representative by the PKP stop rule.
+    pub pka_cycles: u64,
+    /// Simulator cycles actually spent under the PKP monitor.
+    pub simulated_cycles: u64,
+    /// DRAM utilisation of the projected representative, percent.
+    pub dram_util_pct: f64,
+}
+
+/// One group's provenance and its additive contribution to the total error.
+///
+/// Serialization skips the `None` simulation-only fields, so selection-kind
+/// artifacts carry no dangling keys. (The vendored serde derive has no
+/// `skip_serializing_if`, hence the hand-written impls below.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupAttribution {
+    /// Group index (cluster order, matching `Selection::groups`).
+    pub group: usize,
+    /// The representative's kernel id.
+    pub representative: u64,
+    /// Launch rank of the representative within its group (provenance).
+    pub chrono_rank: u64,
+    /// Distance from the representative to the group mean in PCA space.
+    pub distance_to_centroid: f64,
+    /// The projection weight: kernels this group represents, including
+    /// two-level / streamed classified members.
+    pub weight: u64,
+    /// Members profiled in detail.
+    pub profiled_count: u64,
+    /// Total measured cycles of the profiled members.
+    pub member_cycles: u64,
+    /// Bootstrap CI (low) on the mean member cycles.
+    pub member_mean_ci_low: f64,
+    /// Bootstrap CI (high) on the mean member cycles.
+    pub member_mean_ci_high: f64,
+    /// Representative cycles on the PKS path (measured on silicon for
+    /// selection-kind artifacts, fully simulated for simulation-kind).
+    pub rep_cycles_pks: u64,
+    /// Representative cycles projected by PKP (simulation-kind only).
+    pub rep_cycles_pka: Option<u64>,
+    /// `simulated / projected` for the representative under PKP
+    /// (simulation-kind only).
+    pub skip_ratio: Option<f64>,
+    /// Signed PKS (group-scaling) error contribution, percent points.
+    pub pks_term_pct: f64,
+    /// Signed PKP (stop-rule) error contribution, percent points
+    /// (simulation-kind only).
+    pub pkp_term_pct: Option<f64>,
+    /// Signed total contribution: PKS term plus PKP term when present.
+    pub total_term_pct: f64,
+    /// DRAM utilisation of the projected representative, percent
+    /// (simulation-kind only).
+    pub dram_util_pct: Option<f64>,
+    /// Additive share of the application-level DRAM utilisation, percent
+    /// points (simulation-kind only; shares sum to the reported value).
+    pub dram_share_pct: Option<f64>,
+}
+
+/// Per-shard provenance section of a sharded streaming run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardAttribution {
+    /// Shard index (hash-ring order).
+    pub shard: usize,
+    /// Tail records this shard consumed.
+    pub records: u64,
+    /// Per-group classified-member counts this shard contributed, in group
+    /// order (summing shard sections in shard-id order reproduces the
+    /// merged group weights).
+    pub tail_counts: Vec<u64>,
+}
+
+/// The `pka.attribution/v1` artifact: an exact per-group decomposition of
+/// the reported projection error plus each representative's provenance.
+///
+/// Serialization skips the `None` simulation-only fields and an empty
+/// `shards` section, so batch / single-pipeline artifacts carry no dangling
+/// keys and a sharded run's artifact differs from the single pipeline's by
+/// exactly its `shards` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorAttribution {
+    /// Always [`ATTRIBUTION_SCHEMA`].
+    pub schema: String,
+    /// Workload (or stream source) name.
+    pub workload: String,
+    /// `"selection"` (truth = profiled members) or `"simulation"`
+    /// (truth = silicon, with a PKP term per representative).
+    pub kind: String,
+    /// The error reference: profiled-member cycles for selection-kind,
+    /// silicon cycles for simulation-kind.
+    pub reference_cycles: u64,
+    /// PKS-path projected application cycles.
+    pub pks_projected_cycles: u64,
+    /// PKA-path (PKP-stopped) projected application cycles
+    /// (simulation-kind only).
+    pub pka_projected_cycles: Option<u64>,
+    /// Signed PKS error, percent (sum of the groups' `pks_term_pct`).
+    pub pks_err_signed_pct: f64,
+    /// The pipeline's reported absolute PKS error, percent.
+    pub pks_err_pct: f64,
+    /// Signed PKA error, percent (sum of the groups' `total_term_pct`;
+    /// simulation-kind only).
+    pub pka_err_signed_pct: Option<f64>,
+    /// The pipeline's reported absolute PKA error, percent
+    /// (simulation-kind only).
+    pub pka_err_pct: Option<f64>,
+    /// Reported application-level DRAM utilisation, percent
+    /// (simulation-kind only; the groups' `dram_share_pct` sum to it).
+    pub dram_util_pct: Option<f64>,
+    /// Per-group decomposition, in group order.
+    pub groups: Vec<GroupAttribution>,
+    /// Per-shard sections of a sharded streaming run (empty and omitted
+    /// for batch and single-pipeline runs).
+    pub shards: Vec<ShardAttribution>,
+}
+
+fn put<T: Serialize>(m: &mut Map, key: &str, value: &T) {
+    m.insert(key.to_string(), value.to_json_value());
+}
+
+fn put_opt<T: Serialize>(m: &mut Map, key: &str, value: &Option<T>) {
+    if let Some(v) = value {
+        m.insert(key.to_string(), v.to_json_value());
+    }
+}
+
+fn req<T: Deserialize>(value: &Value, key: &str) -> Result<T, ValueError> {
+    T::from_json_value(&value[key])
+        .map_err(|e| ValueError::custom(format!("attribution field `{key}`: {e}")))
+}
+
+fn opt<T: Deserialize>(value: &Value, key: &str) -> Result<Option<T>, ValueError> {
+    if value[key].is_null() {
+        Ok(None)
+    } else {
+        req(value, key).map(Some)
+    }
+}
+
+impl Serialize for GroupAttribution {
+    fn to_json_value(&self) -> Value {
+        let mut m = Map::new();
+        put(&mut m, "group", &self.group);
+        put(&mut m, "representative", &self.representative);
+        put(&mut m, "chrono_rank", &self.chrono_rank);
+        put(&mut m, "distance_to_centroid", &self.distance_to_centroid);
+        put(&mut m, "weight", &self.weight);
+        put(&mut m, "profiled_count", &self.profiled_count);
+        put(&mut m, "member_cycles", &self.member_cycles);
+        put(&mut m, "member_mean_ci_low", &self.member_mean_ci_low);
+        put(&mut m, "member_mean_ci_high", &self.member_mean_ci_high);
+        put(&mut m, "rep_cycles_pks", &self.rep_cycles_pks);
+        put_opt(&mut m, "rep_cycles_pka", &self.rep_cycles_pka);
+        put_opt(&mut m, "skip_ratio", &self.skip_ratio);
+        put(&mut m, "pks_term_pct", &self.pks_term_pct);
+        put_opt(&mut m, "pkp_term_pct", &self.pkp_term_pct);
+        put(&mut m, "total_term_pct", &self.total_term_pct);
+        put_opt(&mut m, "dram_util_pct", &self.dram_util_pct);
+        put_opt(&mut m, "dram_share_pct", &self.dram_share_pct);
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for GroupAttribution {
+    fn from_json_value(value: &Value) -> Result<Self, ValueError> {
+        Ok(Self {
+            group: req(value, "group")?,
+            representative: req(value, "representative")?,
+            chrono_rank: req(value, "chrono_rank")?,
+            distance_to_centroid: req(value, "distance_to_centroid")?,
+            weight: req(value, "weight")?,
+            profiled_count: req(value, "profiled_count")?,
+            member_cycles: req(value, "member_cycles")?,
+            member_mean_ci_low: req(value, "member_mean_ci_low")?,
+            member_mean_ci_high: req(value, "member_mean_ci_high")?,
+            rep_cycles_pks: req(value, "rep_cycles_pks")?,
+            rep_cycles_pka: opt(value, "rep_cycles_pka")?,
+            skip_ratio: opt(value, "skip_ratio")?,
+            pks_term_pct: req(value, "pks_term_pct")?,
+            pkp_term_pct: opt(value, "pkp_term_pct")?,
+            total_term_pct: req(value, "total_term_pct")?,
+            dram_util_pct: opt(value, "dram_util_pct")?,
+            dram_share_pct: opt(value, "dram_share_pct")?,
+        })
+    }
+}
+
+impl Serialize for ErrorAttribution {
+    fn to_json_value(&self) -> Value {
+        let mut m = Map::new();
+        put(&mut m, "schema", &self.schema);
+        put(&mut m, "workload", &self.workload);
+        put(&mut m, "kind", &self.kind);
+        put(&mut m, "reference_cycles", &self.reference_cycles);
+        put(&mut m, "pks_projected_cycles", &self.pks_projected_cycles);
+        put_opt(&mut m, "pka_projected_cycles", &self.pka_projected_cycles);
+        put(&mut m, "pks_err_signed_pct", &self.pks_err_signed_pct);
+        put(&mut m, "pks_err_pct", &self.pks_err_pct);
+        put_opt(&mut m, "pka_err_signed_pct", &self.pka_err_signed_pct);
+        put_opt(&mut m, "pka_err_pct", &self.pka_err_pct);
+        put_opt(&mut m, "dram_util_pct", &self.dram_util_pct);
+        put(&mut m, "groups", &self.groups);
+        if !self.shards.is_empty() {
+            put(&mut m, "shards", &self.shards);
+        }
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for ErrorAttribution {
+    fn from_json_value(value: &Value) -> Result<Self, ValueError> {
+        Ok(Self {
+            schema: req(value, "schema")?,
+            workload: req(value, "workload")?,
+            kind: req(value, "kind")?,
+            reference_cycles: req(value, "reference_cycles")?,
+            pks_projected_cycles: req(value, "pks_projected_cycles")?,
+            pka_projected_cycles: opt(value, "pka_projected_cycles")?,
+            pks_err_signed_pct: req(value, "pks_err_signed_pct")?,
+            pks_err_pct: req(value, "pks_err_pct")?,
+            pka_err_signed_pct: opt(value, "pka_err_signed_pct")?,
+            pka_err_pct: opt(value, "pka_err_pct")?,
+            dram_util_pct: opt(value, "dram_util_pct")?,
+            groups: req(value, "groups")?,
+            shards: if value["shards"].is_null() {
+                Vec::new()
+            } else {
+                req(value, "shards")?
+            },
+        })
+    }
+}
+
+fn signed_pct(projected: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        0.0
+    } else {
+        (projected - reference) / reference * 100.0
+    }
+}
+
+impl ErrorAttribution {
+    /// Sum of the signed per-group PKS terms.
+    pub fn pks_term_sum(&self) -> f64 {
+        self.groups.iter().map(|g| g.pks_term_pct).sum()
+    }
+
+    /// Sum of the signed per-group total terms.
+    pub fn total_term_sum(&self) -> f64 {
+        self.groups.iter().map(|g| g.total_term_pct).sum()
+    }
+
+    /// Sum of the per-group DRAM shares, when present.
+    pub fn dram_share_sum(&self) -> Option<f64> {
+        if self.groups.iter().all(|g| g.dram_share_pct.is_some()) && !self.groups.is_empty() {
+            Some(self.groups.iter().filter_map(|g| g.dram_share_pct).sum())
+        } else {
+            None
+        }
+    }
+
+    /// Enforces the sum-to-total invariant: the absolute value of each
+    /// signed term sum must match the reported error within 1e-9 relative
+    /// (and the DRAM shares must sum to the reported utilisation).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated total.
+    pub fn verify_sums(&self) -> Result<(), String> {
+        let check = |name: &str, sum: f64, reported: f64| -> Result<(), String> {
+            if (sum - reported).abs() <= SUM_REL_TOL * reported.abs().max(1.0) {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{name}: per-group terms sum to {sum}, pipeline reported {reported}"
+                ))
+            }
+        };
+        check("pks_err_pct", self.pks_term_sum().abs(), self.pks_err_pct)?;
+        check("pks_err_signed_pct", self.pks_term_sum(), self.pks_err_signed_pct)?;
+        if let (Some(signed), Some(abs)) = (self.pka_err_signed_pct, self.pka_err_pct) {
+            check("pka_err_pct", self.total_term_sum().abs(), abs)?;
+            check("pka_err_signed_pct", self.total_term_sum(), signed)?;
+        }
+        if let (Some(sum), Some(reported)) = (self.dram_share_sum(), self.dram_util_pct) {
+            check("dram_util_pct", sum, reported)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds a selection-kind attribution: the truth is the profiled members'
+/// measured cycles, so each group's signed term is its representative
+/// scaled by the *profiled* member count against the members' total —
+/// exactly the quantity [`Selection::error_pct`] aggregates. Valid at any
+/// point of a streaming run: tail classification only grows the projection
+/// weights, never the profiled population.
+///
+/// # Panics
+///
+/// Panics when `provenance.len() != selection.k()`.
+pub fn selection_attribution(
+    workload: &str,
+    selection: &Selection,
+    provenance: &[GroupProvenance],
+) -> ErrorAttribution {
+    assert_eq!(
+        provenance.len(),
+        selection.k(),
+        "one provenance entry per group"
+    );
+    let reference = selection.reference_cycles();
+    let reference_f = reference as f64;
+    let groups: Vec<GroupAttribution> = selection
+        .groups()
+        .iter()
+        .zip(provenance)
+        .enumerate()
+        .map(|(i, (g, p))| {
+            let scaled = g.representative_cycles() as f64 * g.profiled_count() as f64;
+            let term = if reference == 0 {
+                0.0
+            } else {
+                (scaled - g.member_cycles() as f64) / reference_f * 100.0
+            };
+            GroupAttribution {
+                group: i,
+                representative: g.representative().index(),
+                chrono_rank: p.chrono_rank,
+                distance_to_centroid: p.distance_to_centroid,
+                weight: g.count(),
+                profiled_count: g.profiled_count(),
+                member_cycles: g.member_cycles(),
+                member_mean_ci_low: p.member_mean_ci_low,
+                member_mean_ci_high: p.member_mean_ci_high,
+                rep_cycles_pks: g.representative_cycles(),
+                rep_cycles_pka: None,
+                skip_ratio: None,
+                pks_term_pct: term,
+                pkp_term_pct: None,
+                total_term_pct: term,
+                dram_util_pct: None,
+                dram_share_pct: None,
+            }
+        })
+        .collect();
+    let projected_profiled: u64 = selection
+        .groups()
+        .iter()
+        .map(|g| g.representative_cycles() * g.profiled_count())
+        .sum();
+    ErrorAttribution {
+        schema: ATTRIBUTION_SCHEMA.to_string(),
+        workload: workload.to_string(),
+        kind: "selection".to_string(),
+        reference_cycles: reference,
+        pks_projected_cycles: selection.projected_cycles(),
+        pka_projected_cycles: None,
+        pks_err_signed_pct: signed_pct(projected_profiled as f64, reference_f),
+        pks_err_pct: selection.error_pct(),
+        pka_err_signed_pct: None,
+        pka_err_pct: None,
+        dram_util_pct: None,
+        groups,
+        shards: Vec::new(),
+    }
+}
+
+/// Builds a simulation-kind attribution against silicon truth.
+///
+/// Each group's share of the silicon total is its profiled members'
+/// measured cycles plus a proportional share of the residual (silicon
+/// cycles not covered by detailed profiling — the two-level classified
+/// tail, apportioned by classified counts). The PKS term scales the fully
+/// simulated representative by the group weight against that share; the PKP
+/// term is the stop-rule projection minus the full simulation, scaled by
+/// the weight. Both telescope: the signed sums reproduce the
+/// `SimulationReport`'s `pks_error_pct` / `pka_error_pct`.
+///
+/// # Panics
+///
+/// Panics when `reps` or `provenance` do not have one entry per group.
+pub fn simulation_attribution(
+    workload: &str,
+    selection: &Selection,
+    provenance: &[GroupProvenance],
+    silicon_cycles: u64,
+    reps: &[RepSimulation],
+) -> ErrorAttribution {
+    assert_eq!(reps.len(), selection.k(), "one simulation sample per group");
+    assert_eq!(
+        provenance.len(),
+        selection.k(),
+        "one provenance entry per group"
+    );
+    let silicon = silicon_cycles as f64;
+    let member_total: u64 = selection.groups().iter().map(|g| g.member_cycles()).sum();
+    let classified_total: u64 = selection
+        .groups()
+        .iter()
+        .map(|g| g.count() - g.profiled_count())
+        .sum();
+    let residual = silicon - member_total as f64;
+
+    // Accumulate the DRAM reduction in group order with the exact fold the
+    // pipeline uses, so the reported utilisation is reproduced bit-for-bit.
+    let mut dram_weighted = 0.0f64;
+    let mut dram_weight = 0.0f64;
+    for r in reps {
+        dram_weighted += r.dram_util_pct * r.pka_cycles as f64;
+        dram_weight += r.pka_cycles as f64;
+    }
+    let dram_util = dram_weighted / dram_weight.max(1e-12);
+
+    let groups: Vec<GroupAttribution> = selection
+        .groups()
+        .iter()
+        .zip(provenance)
+        .zip(reps)
+        .enumerate()
+        .map(|(i, ((g, p), r))| {
+            let classified = g.count() - g.profiled_count();
+            let truth_share = if classified_total > 0 {
+                classified as f64 / classified_total as f64
+            } else if member_total > 0 {
+                g.member_cycles() as f64 / member_total as f64
+            } else if i == 0 {
+                1.0
+            } else {
+                0.0
+            };
+            let truth = g.member_cycles() as f64 + residual * truth_share;
+            let (pks_term, pkp_term) = if silicon_cycles == 0 {
+                (0.0, 0.0)
+            } else {
+                (
+                    (r.pks_cycles as f64 * g.count() as f64 - truth) / silicon * 100.0,
+                    (r.pka_cycles as f64 - r.pks_cycles as f64) * g.count() as f64 / silicon
+                        * 100.0,
+                )
+            };
+            GroupAttribution {
+                group: i,
+                representative: g.representative().index(),
+                chrono_rank: p.chrono_rank,
+                distance_to_centroid: p.distance_to_centroid,
+                weight: g.count(),
+                profiled_count: g.profiled_count(),
+                member_cycles: g.member_cycles(),
+                member_mean_ci_low: p.member_mean_ci_low,
+                member_mean_ci_high: p.member_mean_ci_high,
+                rep_cycles_pks: r.pks_cycles,
+                rep_cycles_pka: Some(r.pka_cycles),
+                skip_ratio: Some(r.simulated_cycles as f64 / r.pka_cycles.max(1) as f64),
+                pks_term_pct: pks_term,
+                pkp_term_pct: Some(pkp_term),
+                total_term_pct: pks_term + pkp_term,
+                dram_util_pct: Some(r.dram_util_pct),
+                dram_share_pct: Some(
+                    r.dram_util_pct * r.pka_cycles as f64 / dram_weight.max(1e-12),
+                ),
+            }
+        })
+        .collect();
+
+    let pks_projected: u64 = selection
+        .groups()
+        .iter()
+        .zip(reps)
+        .map(|(g, r)| r.pks_cycles * g.count())
+        .sum();
+    let pka_projected: u64 = selection
+        .groups()
+        .iter()
+        .zip(reps)
+        .map(|(g, r)| r.pka_cycles * g.count())
+        .sum();
+    ErrorAttribution {
+        schema: ATTRIBUTION_SCHEMA.to_string(),
+        workload: workload.to_string(),
+        kind: "simulation".to_string(),
+        reference_cycles: silicon_cycles,
+        pks_projected_cycles: pks_projected,
+        pka_projected_cycles: Some(pka_projected),
+        pks_err_signed_pct: signed_pct(pks_projected as f64, silicon),
+        pks_err_pct: pka_stats::error::abs_pct_error(pks_projected as f64, silicon),
+        pka_err_signed_pct: Some(signed_pct(pka_projected as f64, silicon)),
+        pka_err_pct: Some(pka_stats::error::abs_pct_error(pka_projected as f64, silicon)),
+        dram_util_pct: Some(dram_util),
+        groups,
+        shards: Vec::new(),
+    }
+}

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attribution;
 mod error;
 mod features;
 mod pipeline;
@@ -53,6 +54,10 @@ mod pkp;
 mod pks;
 mod two_level;
 
+pub use attribution::{
+    selection_attribution, simulation_attribution, ErrorAttribution, GroupAttribution,
+    GroupProvenance, RepSimulation, ShardAttribution, ATTRIBUTION_SCHEMA,
+};
 pub use error::PkaError;
 pub use pka_stats::Executor;
 pub use features::feature_matrix;

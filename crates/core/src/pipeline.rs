@@ -5,7 +5,10 @@ use pka_stats::error::abs_pct_error;
 use pka_stats::Executor;
 use pka_workloads::Workload;
 
-use crate::{PkaError, Pks, PkpConfig, PkpMonitor, PksConfig, ProjectedKernel, Selection, TwoLevel, TwoLevelConfig};
+use crate::{
+    selection_attribution, simulation_attribution, ErrorAttribution, PkaError, Pks, PkpConfig,
+    PkpMonitor, PksConfig, ProjectedKernel, RepSimulation, Selection, TwoLevel, TwoLevelConfig,
+};
 
 /// End-to-end PKA configuration: selection, projection, two-level and
 /// simulator knobs.
@@ -312,6 +315,47 @@ impl Pka {
         })
     }
 
+    /// The detailed records a selection over `workload` was derived from
+    /// (the full stream, or the two-level detailed prefix), plus the PKS
+    /// configuration that clustered them — the inputs the attribution
+    /// provenance must be computed against.
+    fn attribution_inputs(
+        &self,
+        workload: &Workload,
+    ) -> Result<(Vec<pka_profile::DetailedRecord>, PksConfig), PkaError> {
+        let cost = self.profiler.profiling_cost(workload);
+        if cost.detailed_is_intractable() {
+            let j = TwoLevel::new(self.config.two_level).detailed_prefix(workload);
+            let records = self.profiler.detailed(workload, 0..j)?;
+            Ok((records, self.config.two_level.pks()))
+        } else {
+            let records = self
+                .profiler
+                .detailed(workload, 0..workload.kernel_count())?;
+            Ok((records, self.config.pks))
+        }
+    }
+
+    /// Selects principal kernels and builds the selection-kind
+    /// `pka.attribution/v1` decomposition: each group's signed contribution
+    /// to the reported [`Selection::error_pct`], plus its representative's
+    /// provenance (launch rank, distance to the PCA-space group mean,
+    /// bootstrap CI on the mean member cycles).
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling and clustering failures.
+    pub fn select_kernels_with_attribution(
+        &self,
+        workload: &Workload,
+    ) -> Result<(Selection, ErrorAttribution), PkaError> {
+        let selection = self.select_kernels(workload)?;
+        let (records, pks_config) = self.attribution_inputs(workload)?;
+        let provenance = Pks::new(pks_config).provenance(&records, &selection)?;
+        let attribution = selection_attribution(workload.name(), &selection, &provenance);
+        Ok((selection, attribution))
+    }
+
     /// Full evaluation in simulation: full-sim baseline (optional — skip it
     /// for workloads where it is intractable), PKS-only, and full PKA.
     ///
@@ -323,6 +367,34 @@ impl Pka {
         workload: &Workload,
         run_full_sim: bool,
     ) -> Result<SimulationReport, PkaError> {
+        Ok(self.evaluate_inner(workload, run_full_sim, false)?.0)
+    }
+
+    /// [`evaluate_in_simulation`](Self::evaluate_in_simulation) plus the
+    /// simulation-kind `pka.attribution/v1` decomposition: per group, a
+    /// signed PKS term (group scaling against the group's share of silicon
+    /// truth) and a signed PKP term (stop-rule projection against the full
+    /// simulation of the representative), summing exactly to the report's
+    /// `pks_error_pct` / `pka_error_pct`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling, clustering and simulation failures.
+    pub fn evaluate_with_attribution(
+        &self,
+        workload: &Workload,
+        run_full_sim: bool,
+    ) -> Result<(SimulationReport, ErrorAttribution), PkaError> {
+        let (report, attribution) = self.evaluate_inner(workload, run_full_sim, true)?;
+        Ok((report, attribution.expect("attribution was requested")))
+    }
+
+    fn evaluate_inner(
+        &self,
+        workload: &Workload,
+        run_full_sim: bool,
+        with_attribution: bool,
+    ) -> Result<(SimulationReport, Option<ErrorAttribution>), PkaError> {
         let _span = pka_obs::span("pka.evaluate");
         let selection = self.select_kernels(workload)?;
         let silicon = self.profiler.silicon_run(workload)?;
@@ -379,6 +451,7 @@ impl Pka {
         let mut pka_dram_weighted = 0.0f64;
         let mut pka_weight = 0.0f64;
         let mut per_representative = Vec::with_capacity(selection.k());
+        let mut rep_samples = Vec::with_capacity(selection.k());
         for (&id, (full_cycles, projected)) in reps.iter().zip(rep_runs) {
             pks_rep_cycles.push(full_cycles);
             pks_spent += full_cycles;
@@ -391,6 +464,12 @@ impl Pka {
                 simulated_cycles: projected.simulated_cycles,
                 projected_cycles: projected.cycles,
             });
+            rep_samples.push(RepSimulation {
+                pks_cycles: full_cycles,
+                pka_cycles: projected.cycles,
+                simulated_cycles: projected.simulated_cycles,
+                dram_util_pct: projected.dram_util_pct,
+            });
         }
 
         let pks_projected = selection.project_with(&pks_rep_cycles);
@@ -398,7 +477,21 @@ impl Pka {
         let fullsim_hours =
             cost::projected_sim_hours(fullsim_cycles.unwrap_or(silicon.total_cycles));
 
-        Ok(SimulationReport {
+        let attribution = if with_attribution {
+            let (records, pks_config) = self.attribution_inputs(workload)?;
+            let provenance = Pks::new(pks_config).provenance(&records, &selection)?;
+            Some(simulation_attribution(
+                workload.name(),
+                &selection,
+                &provenance,
+                silicon.total_cycles,
+                &rep_samples,
+            ))
+        } else {
+            None
+        };
+
+        let report = SimulationReport {
             workload: workload.name().to_string(),
             silicon_cycles: silicon.total_cycles,
             fullsim_cycles,
@@ -415,7 +508,8 @@ impl Pka {
             pka_hours: cost::projected_sim_hours(pka_spent),
             pka_dram_util_pct: pka_dram_weighted / pka_weight.max(1e-12),
             per_representative,
-        })
+        };
+        Ok((report, attribution))
     }
 }
 
@@ -507,6 +601,50 @@ mod tests {
                 "skip ratio {ratio} out of range for kernel {:?}",
                 rep.kernel_id
             );
+        }
+    }
+
+    #[test]
+    fn simulation_attribution_sums_to_reported_errors() {
+        let pka = tiny_pka();
+        let w = find(parboil::workloads(), "cutcp");
+        let (report, attribution) = pka.evaluate_with_attribution(&w, false).unwrap();
+        attribution.verify_sums().expect("exact decomposition");
+        assert_eq!(attribution.kind, "simulation");
+        assert_eq!(attribution.pks_err_pct, report.pks_error_pct);
+        assert_eq!(attribution.pka_err_pct, Some(report.pka_error_pct));
+        assert_eq!(attribution.pks_projected_cycles, report.pks_projected_cycles);
+        assert_eq!(
+            attribution.pka_projected_cycles,
+            Some(report.pka_projected_cycles)
+        );
+        assert_eq!(attribution.dram_util_pct, Some(report.pka_dram_util_pct));
+        assert_eq!(attribution.groups.len(), report.per_representative.len());
+        for (g, rep) in attribution.groups.iter().zip(&report.per_representative) {
+            assert_eq!(g.representative, rep.kernel_id.index());
+            assert_eq!(g.skip_ratio, Some(rep.skip_ratio()));
+        }
+        // Requesting the attribution must not perturb the report itself.
+        let plain = pka.evaluate_in_simulation(&w, false).unwrap();
+        assert_eq!(plain, report);
+    }
+
+    #[test]
+    fn selection_attribution_sums_to_selection_error() {
+        let pka = Pka::new(GpuConfig::v100(), PkaConfig::default());
+        let w = find(rodinia::workloads(), "gauss_208");
+        let (selection, attribution) = pka.select_kernels_with_attribution(&w).unwrap();
+        attribution.verify_sums().expect("exact decomposition");
+        assert_eq!(attribution.kind, "selection");
+        assert_eq!(attribution.groups.len(), selection.k());
+        assert_eq!(attribution.pks_err_pct, selection.error_pct());
+        assert_eq!(attribution.reference_cycles, selection.reference_cycles());
+        assert!(attribution.shards.is_empty());
+        for g in &attribution.groups {
+            assert_eq!(g.chrono_rank, 0, "first-chronological reps rank first");
+            assert!(g.distance_to_centroid.is_finite());
+            assert!(g.member_mean_ci_low <= g.member_mean_ci_high);
+            assert!(g.rep_cycles_pka.is_none());
         }
     }
 

@@ -340,6 +340,105 @@ impl Pks {
         Ok(selection)
     }
 
+    /// Computes each group representative's provenance for the error
+    /// attribution artifact: its launch rank within the group, its distance
+    /// to the group mean in the PCA-projected feature space the clustering
+    /// ran in, and a seeded bootstrap confidence interval on the mean
+    /// member cycles (the within-group variance witness).
+    ///
+    /// `records` must be the same detailed records `selection` was made
+    /// from, in the same order — the preprocessing (scaler fit, PCA fit,
+    /// projection) is re-derived from them exactly as
+    /// [`select`](Self::select) derived it, so the distances are measured
+    /// in the very space the groups were formed in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PkaError::InvalidInput`] when `records` does not match the
+    /// selection's label count, and propagates ML errors.
+    pub fn provenance(
+        &self,
+        records: &[DetailedRecord],
+        selection: &Selection,
+    ) -> Result<Vec<crate::GroupProvenance>, PkaError> {
+        if records.len() != selection.labels().len() {
+            return Err(PkaError::InvalidInput {
+                message: format!(
+                    "provenance needs the selection's input records: got {} records for {} labels",
+                    records.len(),
+                    selection.labels().len()
+                ),
+            });
+        }
+        let features = feature_matrix(records)?;
+        let (_, scaled) = StandardScaler::fit_transform(&features)?;
+        let pca = Pca::full()
+            .fit(&scaled)?
+            .truncated_to_variance(self.config.pca_variance);
+        let projected = pca.transform(&scaled)?;
+
+        let k = selection.k();
+        let dims = projected.cols();
+        let mut sums = vec![0.0f64; k * dims];
+        let mut counts = vec![0u64; k];
+        for (i, &label) in selection.labels().iter().enumerate() {
+            for (c, v) in projected.row(i).iter().enumerate() {
+                sums[label * dims + c] += v;
+            }
+            counts[label] += 1;
+        }
+
+        selection
+            .groups()
+            .iter()
+            .enumerate()
+            .map(|(g, group)| {
+                let mut rank = 0u64;
+                let mut rep_row = None;
+                let mut member_cycles = Vec::with_capacity(counts[g] as usize);
+                for (i, &label) in selection.labels().iter().enumerate() {
+                    if label != g {
+                        continue;
+                    }
+                    if records[i].kernel_id == group.representative() {
+                        rep_row = Some(i);
+                        rank = member_cycles.len() as u64;
+                    }
+                    member_cycles.push(records[i].cycles as f64);
+                }
+                let rep_row = rep_row.ok_or_else(|| PkaError::InvalidInput {
+                    message: format!(
+                        "representative {:?} of group {g} is not among the records",
+                        group.representative()
+                    ),
+                })?;
+                let n = counts[g].max(1) as f64;
+                let distance = projected
+                    .row(rep_row)
+                    .iter()
+                    .enumerate()
+                    .map(|(c, v)| {
+                        let mean = sums[g * dims + c] / n;
+                        (v - mean) * (v - mean)
+                    })
+                    .sum::<f64>()
+                    .sqrt();
+                let ci = pka_stats::bootstrap::bootstrap_ci(
+                    &member_cycles,
+                    pka_stats::summary::mean,
+                    0.95,
+                    self.config.seed ^ g as u64,
+                );
+                Ok(crate::GroupProvenance {
+                    chrono_rank: rank,
+                    distance_to_centroid: distance,
+                    member_mean_ci_low: ci.low,
+                    member_mean_ci_high: ci.high,
+                })
+            })
+            .collect()
+    }
+
     fn select_inner(&self, records: &[DetailedRecord]) -> Result<Selection, PkaError> {
         let features = feature_matrix(records)?;
         let projected;

@@ -1,0 +1,448 @@
+//! `pka.attribution/v1` rendering and diffing: the engine behind
+//! `pka obs explain` and the attribution branch of `pka obs diff`.
+//!
+//! The artifact itself is produced by `pka-core` (an exact per-group
+//! decomposition of the projection error plus representative provenance);
+//! this module only consumes the JSON document, so it stays below
+//! `pka-core` in the crate DAG. [`explain_attribution`] renders a ranked
+//! table (largest absolute error contribution first) and flags any single
+//! group past the dominance threshold; [`diff_attributions`] compares two
+//! artifacts for CI accuracy gating — representative swaps, group-count
+//! changes and error drift beyond an absolute tolerance are regressions.
+
+use serde_json::Value;
+
+use crate::diff::{DiffEntry, DiffReport};
+
+/// Schema identifier of an attribution artifact (matches
+/// `pka_core::ATTRIBUTION_SCHEMA`).
+pub const ATTRIBUTION_SCHEMA: &str = "pka.attribution/v1";
+
+/// A single group contributing more than this share of the total absolute
+/// error is flagged by [`explain_attribution`].
+pub const DOMINANCE_THRESHOLD_PCT: f64 = 50.0;
+
+fn check_schema(label: &str, doc: &Value) -> Result<(), String> {
+    let schema = doc["schema"].as_str().unwrap_or("");
+    if schema == ATTRIBUTION_SCHEMA {
+        Ok(())
+    } else {
+        Err(format!(
+            "{label}: expected schema `{ATTRIBUTION_SCHEMA}`, got `{schema}`"
+        ))
+    }
+}
+
+struct Row {
+    group: u64,
+    representative: u64,
+    chrono_rank: u64,
+    distance: f64,
+    weight: u64,
+    skip_ratio: Option<f64>,
+    ci_low: f64,
+    ci_high: f64,
+    pks_term: f64,
+    pkp_term: Option<f64>,
+    total_term: f64,
+}
+
+fn rows(doc: &Value) -> Result<Vec<Row>, String> {
+    let groups = doc["groups"]
+        .as_array()
+        .ok_or_else(|| "attribution document has no `groups` array".to_string())?;
+    groups
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let num = |key: &str| {
+                g[key]
+                    .as_f64()
+                    .ok_or_else(|| format!("group {i}: missing numeric `{key}`"))
+            };
+            let int = |key: &str| {
+                g[key]
+                    .as_u64()
+                    .ok_or_else(|| format!("group {i}: missing integer `{key}`"))
+            };
+            Ok(Row {
+                group: int("group")?,
+                representative: int("representative")?,
+                chrono_rank: int("chrono_rank")?,
+                distance: num("distance_to_centroid")?,
+                weight: int("weight")?,
+                skip_ratio: g["skip_ratio"].as_f64(),
+                ci_low: num("member_mean_ci_low")?,
+                ci_high: num("member_mean_ci_high")?,
+                pks_term: num("pks_term_pct")?,
+                pkp_term: g["pkp_term_pct"].as_f64(),
+                total_term: num("total_term_pct")?,
+            })
+        })
+        .collect()
+}
+
+/// Renders an attribution artifact as a ranked table: groups ordered by
+/// absolute total error contribution (descending), each with its
+/// representative's provenance, the bootstrap CI on the mean member cycles,
+/// the PKP skip ratio, and the signed PKS / PKP / total terms. Any single
+/// group past [`DOMINANCE_THRESHOLD_PCT`] of the total absolute error gets
+/// a trailing `WARNING:` line.
+///
+/// # Errors
+///
+/// Returns a message when the document does not declare
+/// `pka.attribution/v1` or its groups are malformed.
+pub fn explain_attribution(doc: &Value) -> Result<Vec<String>, String> {
+    check_schema("attribution", doc)?;
+    let workload = doc["workload"].as_str().unwrap_or("?");
+    let kind = doc["kind"].as_str().unwrap_or("?");
+    let mut rows = rows(doc)?;
+    rows.sort_by(|a, b| {
+        b.total_term
+            .abs()
+            .partial_cmp(&a.total_term.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.group.cmp(&b.group))
+    });
+    let total_abs: f64 = rows.iter().map(|r| r.total_term.abs()).sum();
+
+    let mut lines = Vec::new();
+    lines.push(format!("{ATTRIBUTION_SCHEMA} — {workload} ({kind})"));
+    let mut totals = format!(
+        "reference {} cycles; PKS error {:+.4}% (reported {:.4}%)",
+        doc["reference_cycles"].as_u64().unwrap_or(0),
+        doc["pks_err_signed_pct"].as_f64().unwrap_or(0.0),
+        doc["pks_err_pct"].as_f64().unwrap_or(0.0),
+    );
+    if let (Some(signed), Some(abs)) = (
+        doc["pka_err_signed_pct"].as_f64(),
+        doc["pka_err_pct"].as_f64(),
+    ) {
+        totals.push_str(&format!("; PKA error {signed:+.4}% (reported {abs:.4}%)"));
+    }
+    if let Some(dram) = doc["dram_util_pct"].as_f64() {
+        totals.push_str(&format!("; DRAM {dram:.2}%"));
+    }
+    lines.push(totals);
+    lines.push(format!(
+        "{} group(s), ranked by |total contribution|:",
+        rows.len()
+    ));
+    lines.push(format!(
+        "{:>4} {:>5} {:>6} {:>6} {:>10} {:>10} {:>6} {:>9} {:>9} {:>9} {:>7}  {}",
+        "rank",
+        "group",
+        "rep",
+        "chrono",
+        "weight",
+        "dist",
+        "skip%",
+        "pks%",
+        "pkp%",
+        "total%",
+        "share%",
+        "ci(mean member cycles)"
+    ));
+    let mut warnings = Vec::new();
+    for (rank, r) in rows.iter().enumerate() {
+        let share = if total_abs > 0.0 {
+            r.total_term.abs() / total_abs * 100.0
+        } else {
+            0.0
+        };
+        let skip = r
+            .skip_ratio
+            .map_or("-".to_string(), |s| format!("{:.1}", s * 100.0));
+        let pkp = r
+            .pkp_term
+            .map_or("-".to_string(), |t| format!("{t:+.4}"));
+        lines.push(format!(
+            "{:>4} {:>5} {:>6} {:>6} {:>10} {:>10.4} {:>6} {:>9} {:>9} {:>9} {:>7.1}  [{:.1}, {:.1}]",
+            rank + 1,
+            r.group,
+            r.representative,
+            r.chrono_rank,
+            r.weight,
+            r.distance,
+            skip,
+            format!("{:+.4}", r.pks_term),
+            pkp,
+            format!("{:+.4}", r.total_term),
+            share,
+            r.ci_low,
+            r.ci_high,
+        ));
+        if share > DOMINANCE_THRESHOLD_PCT {
+            warnings.push(format!(
+                "WARNING: group {} (representative {}) contributes {share:.1}% of the total \
+                 error (> {DOMINANCE_THRESHOLD_PCT:.0}%) — raise K or inspect its representative",
+                r.group, r.representative
+            ));
+        }
+    }
+    lines.extend(warnings);
+    Ok(lines)
+}
+
+fn push_scalar(
+    report: &mut DiffReport,
+    name: &str,
+    base: Option<f64>,
+    current: Option<f64>,
+    tol_points: f64,
+) {
+    let render = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.6}"));
+    let (delta, regression) = match (base, current) {
+        (Some(b), Some(c)) => (Some(c - b), (c - b).abs() > tol_points),
+        (Some(_), None) => (None, true), // reported value disappeared
+        (None, Some(_)) => (None, false), // new value: informational
+        (None, None) => (None, false),
+    };
+    report.entries.push(DiffEntry {
+        kind: "attribution",
+        name: name.to_string(),
+        base: render(base),
+        current: render(current),
+        delta_pct: delta,
+        regression,
+    });
+}
+
+fn push_exact(report: &mut DiffReport, name: &str, base: Option<String>, current: Option<String>) {
+    let regression = match (&base, &current) {
+        (Some(b), Some(c)) => b != c,
+        (Some(_), None) => true,
+        _ => false,
+    };
+    report.entries.push(DiffEntry {
+        kind: "attribution",
+        name: name.to_string(),
+        base: base.unwrap_or_else(|| "-".to_string()),
+        current: current.unwrap_or_else(|| "-".to_string()),
+        delta_pct: None,
+        regression,
+    });
+}
+
+/// Compare two attribution artifacts for CI accuracy gating.
+///
+/// Exact comparisons (any change is a regression): workload, kind, group
+/// count, and each group's representative — a representative swap means
+/// the clustering itself changed. Tolerance comparisons (`error_tol_pct`
+/// absolute percent points): `pks_err_pct`, `pka_err_pct` and
+/// `dram_util_pct`. Per-group weights are reported informationally (they
+/// legitimately grow with stream length) and never flag on their own.
+///
+/// # Errors
+///
+/// Returns a message when either document does not declare
+/// `pka.attribution/v1`.
+pub fn diff_attributions(
+    base: &Value,
+    current: &Value,
+    error_tol_pct: f64,
+) -> Result<DiffReport, String> {
+    check_schema("baseline", base)?;
+    check_schema("current", current)?;
+    let mut report = DiffReport::default();
+    for key in ["workload", "kind"] {
+        push_exact(
+            &mut report,
+            key,
+            base[key].as_str().map(str::to_string),
+            current[key].as_str().map(str::to_string),
+        );
+    }
+    let groups = |doc: &Value| doc["groups"].as_array().cloned().unwrap_or_default();
+    let (bg, cg) = (groups(base), groups(current));
+    push_exact(
+        &mut report,
+        "selected_k",
+        Some(bg.len().to_string()),
+        Some(cg.len().to_string()),
+    );
+    push_scalar(
+        &mut report,
+        "pks_err_pct",
+        base["pks_err_pct"].as_f64(),
+        current["pks_err_pct"].as_f64(),
+        error_tol_pct,
+    );
+    push_scalar(
+        &mut report,
+        "pka_err_pct",
+        base["pka_err_pct"].as_f64(),
+        current["pka_err_pct"].as_f64(),
+        error_tol_pct,
+    );
+    push_scalar(
+        &mut report,
+        "dram_util_pct",
+        base["dram_util_pct"].as_f64(),
+        current["dram_util_pct"].as_f64(),
+        error_tol_pct,
+    );
+    for i in 0..bg.len().max(cg.len()) {
+        let rep = |g: Option<&Value>| {
+            g.and_then(|g| g["representative"].as_u64())
+                .map(|r| r.to_string())
+        };
+        push_exact(
+            &mut report,
+            &format!("group{i}.representative"),
+            rep(bg.get(i)),
+            rep(cg.get(i)),
+        );
+        // Weights drift legitimately (longer streams); informational only.
+        let weight = |g: Option<&Value>| g.and_then(|g| g["weight"].as_u64());
+        let render = |v: Option<u64>| v.map_or("-".to_string(), |v| v.to_string());
+        report.entries.push(DiffEntry {
+            kind: "attribution",
+            name: format!("group{i}.weight"),
+            base: render(weight(bg.get(i))),
+            current: render(weight(cg.get(i))),
+            delta_pct: None,
+            regression: false,
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn group(i: u64, rep: u64, weight: u64, pks: f64, pkp: f64) -> Value {
+        json!({
+            "group": i,
+            "representative": rep,
+            "chrono_rank": 0u64,
+            "distance_to_centroid": 0.25,
+            "weight": weight,
+            "profiled_count": weight,
+            "member_cycles": 1_000u64 * weight,
+            "member_mean_ci_low": 990.0,
+            "member_mean_ci_high": 1_010.0,
+            "rep_cycles_pks": 1_000u64,
+            "rep_cycles_pka": 995u64,
+            "skip_ratio": 0.4,
+            "pks_term_pct": pks,
+            "pkp_term_pct": pkp,
+            "total_term_pct": pks + pkp,
+        })
+    }
+
+    fn artifact(groups: Vec<Value>) -> Value {
+        json!({
+            "schema": ATTRIBUTION_SCHEMA,
+            "workload": "synthetic:1000",
+            "kind": "simulation",
+            "reference_cycles": 1_000_000u64,
+            "pks_projected_cycles": 1_010_000u64,
+            "pka_projected_cycles": 1_005_000u64,
+            "pks_err_signed_pct": 1.0,
+            "pks_err_pct": 1.0,
+            "pka_err_signed_pct": 0.5,
+            "pka_err_pct": 0.5,
+            "dram_util_pct": 12.0,
+            "groups": groups,
+        })
+    }
+
+    #[test]
+    fn explain_ranks_by_absolute_contribution_and_flags_dominance() {
+        let doc = artifact(vec![
+            group(0, 3, 100, 0.1, 0.0),
+            group(1, 7, 50, -2.0, -0.5),
+            group(2, 9, 10, 0.3, 0.1),
+        ]);
+        let lines = explain_attribution(&doc).expect("explain");
+        let rank1 = lines.iter().find(|l| l.trim_start().starts_with("1 ")).unwrap();
+        assert!(rank1.contains(" 1 "), "group 1 leads: {rank1}");
+        // |−2.5| of |−2.5|+0.1+0.4 = 83% > 50% dominance.
+        let warning = lines.last().unwrap();
+        assert!(warning.starts_with("WARNING:"), "{warning}");
+        assert!(warning.contains("group 1"), "{warning}");
+        assert!(warning.contains("representative 7"), "{warning}");
+    }
+
+    #[test]
+    fn explain_without_dominant_group_has_no_warning() {
+        let doc = artifact(vec![
+            group(0, 3, 100, 0.5, 0.0),
+            group(1, 7, 50, -0.5, 0.0),
+        ]);
+        let lines = explain_attribution(&doc).expect("explain");
+        assert!(lines.iter().all(|l| !l.starts_with("WARNING:")));
+    }
+
+    #[test]
+    fn explain_rejects_foreign_schema() {
+        assert!(explain_attribution(&json!({ "schema": "other/v1" })).is_err());
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let doc = artifact(vec![group(0, 3, 100, 0.5, 0.1)]);
+        let report = diff_attributions(&doc, &doc, 0.5).expect("diff");
+        assert_eq!(report.regressions(), 0);
+    }
+
+    #[test]
+    fn representative_swap_is_a_regression() {
+        let base = artifact(vec![group(0, 3, 100, 0.5, 0.1)]);
+        let swapped = artifact(vec![group(0, 4, 100, 0.5, 0.1)]);
+        let report = diff_attributions(&base, &swapped, 0.5).expect("diff");
+        assert_eq!(report.regressions(), 1);
+        let e = report.entries.iter().find(|e| e.regression).unwrap();
+        assert_eq!(e.name, "group0.representative");
+    }
+
+    #[test]
+    fn error_drift_past_tolerance_flags_but_weight_growth_does_not() {
+        let base = artifact(vec![group(0, 3, 100, 0.5, 0.1)]);
+        let mut drifted = artifact(vec![group(0, 3, 900, 0.5, 0.1)]);
+        if let Value::Object(m) = &mut drifted {
+            m.insert("pks_err_pct".to_string(), json!(2.1)); // +1.1 > 0.5 tol
+        }
+        let report = diff_attributions(&base, &drifted, 0.5).expect("diff");
+        assert_eq!(report.regressions(), 1);
+        let e = report.entries.iter().find(|e| e.regression).unwrap();
+        assert_eq!(e.name, "pks_err_pct");
+        let w = report
+            .entries
+            .iter()
+            .find(|e| e.name == "group0.weight")
+            .unwrap();
+        assert!(!w.regression && w.base != w.current);
+    }
+
+    #[test]
+    fn group_count_change_is_a_regression() {
+        let base = artifact(vec![group(0, 3, 100, 0.5, 0.1)]);
+        let split = artifact(vec![group(0, 3, 60, 0.3, 0.1), group(1, 9, 40, 0.2, 0.0)]);
+        let report = diff_attributions(&base, &split, 0.5).expect("diff");
+        assert_eq!(report.regressions(), 1, "only the K change flags");
+        assert!(report
+            .entries
+            .iter()
+            .any(|e| e.name == "selected_k" && e.regression));
+        // The new group's representative row is informational, mirroring
+        // the new-checksum convention in manifest diffs.
+        let new_rep = report
+            .entries
+            .iter()
+            .find(|e| e.name == "group1.representative")
+            .unwrap();
+        assert!(!new_rep.regression && new_rep.base == "-");
+    }
+
+    #[test]
+    fn diff_rejects_foreign_schema() {
+        let doc = artifact(vec![group(0, 3, 100, 0.5, 0.1)]);
+        assert!(diff_attributions(&doc, &json!({}), 0.5).is_err());
+        assert!(diff_attributions(&json!({}), &doc, 0.5).is_err());
+    }
+}

@@ -31,6 +31,7 @@
 
 #![forbid(unsafe_code)]
 
+mod attribution;
 mod diff;
 mod export;
 mod snapshot_sink;
@@ -47,6 +48,9 @@ use std::time::Instant;
 
 use serde_json::{json, Map, Value};
 
+pub use attribution::{
+    diff_attributions, explain_attribution, ATTRIBUTION_SCHEMA, DOMINANCE_THRESHOLD_PCT,
+};
 pub use diff::{diff_bench, diff_manifests, DiffEntry, DiffReport, DiffThresholds};
 pub use export::chrome_trace;
 pub use snapshot_sink::{SnapshotRecord, SNAPSHOT_SCHEMA};
@@ -59,6 +63,54 @@ pub const MANIFEST_SCHEMA: &str = "pka.run_manifest/v1";
 
 /// Schema identifier stamped into every JSONL trace line.
 pub const TRACE_SCHEMA: &str = "pka.trace/v1";
+
+/// Percentile routine injected by the binary (see [`set_percentile_fn`]).
+static PERCENTILE_FN: OnceLock<fn(&[f64], f64) -> f64> = OnceLock::new();
+
+/// Register the percentile routine used to annotate manifest histogram
+/// sections with `p50`/`p95`/`p99`.
+///
+/// `pka-obs` sits below `pka-stats` in the crate DAG, so it cannot call
+/// `pka_stats::summary::percentile` directly; binaries inject it once at
+/// startup. Until a routine is registered (and for empty histograms),
+/// manifests simply omit the percentile keys — existing `edges`/`counts`
+/// bytes are unchanged either way, so `obs diff` baselines do not churn.
+/// The first registration wins; later calls are ignored.
+pub fn set_percentile_fn(f: fn(&[f64], f64) -> f64) {
+    let _ = PERCENTILE_FN.set(f);
+}
+
+/// Approximate percentile `p` of a fixed-bucket histogram: rank the sample
+/// index `p/100 * (total - 1)` into the cumulative counts, map bucket `i`
+/// to its inclusive upper edge (the overflow bucket maps to the last edge),
+/// and linearly interpolate fractional ranks via the injected routine.
+fn histogram_percentile(
+    edges: &[u64],
+    counts: &[u64],
+    p: f64,
+    percentile: fn(&[f64], f64) -> f64,
+) -> f64 {
+    let total: u64 = counts.iter().sum();
+    debug_assert!(total > 0, "caller guards empty histograms");
+    let rank = p / 100.0 * (total.saturating_sub(1)) as f64;
+    let value_at = |target: u64| -> f64 {
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative > target {
+                return edges
+                    .get(i)
+                    .or_else(|| edges.last())
+                    .copied()
+                    .unwrap_or(0) as f64;
+            }
+        }
+        edges.last().copied().unwrap_or(0) as f64
+    };
+    let low = value_at(rank.floor() as u64);
+    let high = value_at(rank.ceil() as u64);
+    percentile(&[low, high], (rank - rank.floor()) * 100.0)
+}
 
 // ---------------------------------------------------------------------------
 // Metric primitives
@@ -704,14 +756,27 @@ pub struct Snapshot {
 impl Snapshot {
     /// The snapshot as a JSON value (the manifest body minus config).
     pub fn to_value(&self) -> Value {
+        let percentile = PERCENTILE_FN.get().copied();
         let histograms: Map = self
             .histograms
             .iter()
             .map(|(k, (edges, counts))| {
-                (
-                    k.clone(),
-                    json!({ "edges": edges.clone(), "counts": counts.clone() }),
-                )
+                let mut section = match json!({ "edges": edges.clone(), "counts": counts.clone() })
+                {
+                    Value::Object(m) => m,
+                    _ => unreachable!("histogram section serializes to an object"),
+                };
+                if let Some(f) = percentile {
+                    if counts.iter().any(|&c| c > 0) {
+                        for (key, p) in [("p50", 50.0), ("p95", 95.0), ("p99", 99.0)] {
+                            section.insert(
+                                key.to_string(),
+                                json!(histogram_percentile(edges, counts, p, f)),
+                            );
+                        }
+                    }
+                }
+                (k.clone(), Value::Object(section))
             })
             .collect();
         let stages: Map = self
@@ -1275,5 +1340,52 @@ mod tests {
         assert_eq!(v["counters"]["test.manifest"].as_u64(), Some(7));
         assert_eq!(v["stages"]["test.stage"]["total_ns"].as_u64(), Some(42));
         assert_eq!(v["stages"]["test.stage"]["calls"].as_u64(), Some(1));
+    }
+
+    /// Mirrors `pka_stats::summary::percentile` (rank `p/100 * (n-1)`,
+    /// linear interpolation) without the upward crate dependency.
+    fn linear_percentile(xs: &[f64], p: f64) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let rank = p / 100.0 * (xs.len() - 1) as f64;
+        let lo = xs[rank.floor() as usize];
+        let hi = xs[rank.ceil() as usize];
+        lo + (hi - lo) * (rank - rank.floor())
+    }
+
+    #[test]
+    fn histogram_percentiles_appear_once_routine_is_registered() {
+        set_percentile_fn(linear_percentile);
+        let r = Registry::new();
+        let h = r.histogram("test.pctl", &[10, 100, 1000]);
+        for _ in 0..90 {
+            h.record(5); // bucket 0 -> upper edge 10
+        }
+        for _ in 0..9 {
+            h.record(50); // bucket 1 -> upper edge 100
+        }
+        h.record(5_000); // overflow bucket -> last edge 1000
+        let v = r.snapshot().to_value();
+        let section = &v["histograms"]["test.pctl"];
+        // Pre-existing fields stay byte-identical alongside the new keys.
+        assert_eq!(section["edges"][0].as_u64(), Some(10));
+        assert_eq!(section["counts"][0].as_u64(), Some(90));
+        assert_eq!(section["counts"][3].as_u64(), Some(1));
+        // 100 samples: rank(p50) = 49.5 lands inside bucket 0; rank(p95) =
+        // 94.05 inside bucket 1; rank(p99) = 98.01 straddles bucket 1 and
+        // the overflow bucket, interpolating 100 -> 1000 at 1%.
+        assert_eq!(section["p50"].as_f64(), Some(10.0));
+        assert_eq!(section["p95"].as_f64(), Some(100.0));
+        let p99 = section["p99"].as_f64().expect("p99 present");
+        assert!((p99 - 109.0).abs() < 1e-9, "p99 = {p99}");
+
+        // All-zero histograms omit the percentile keys entirely.
+        let empty = Registry::new();
+        empty.histogram("test.pctl_empty", &[10]);
+        let v = empty.snapshot().to_value();
+        let section = &v["histograms"]["test.pctl_empty"];
+        assert!(section.get("p50").is_none(), "{section}");
+        assert!(section["counts"].as_array().is_some());
     }
 }

@@ -172,6 +172,10 @@ impl SnapshotSink {
             _ if t_ns > 0 => record.records as f64 * 1e9 / t_ns as f64,
             _ => 0.0,
         };
+        // Belt over the window guards above: a pathological clock (zero or
+        // backwards elapsed time) must never leak `inf`/`NaN` into the JSONL
+        // timing object — downstream jq/plot tooling chokes on both.
+        let kps = if kps.is_finite() { kps } else { 0.0 };
         self.last = Some((t_ns, record.records));
 
         let mut timing = Map::new();
@@ -310,6 +314,39 @@ mod tests {
         };
         line.remove("reservoir_len");
         assert!(SnapshotRecord::from_value(&Value::Object(line)).is_err());
+    }
+
+    #[test]
+    fn zero_elapsed_window_never_emits_non_finite_rate() {
+        let path = std::env::temp_dir().join(format!(
+            "pka_obs_test_zero_window_{}.jsonl",
+            std::process::id()
+        ));
+        let mut sink = SnapshotSink::new(100);
+        sink.attach(&path).expect("open sink");
+        // t_ns == 0 on the first emit, then two emits on a stalled clock:
+        // every window below has zero elapsed time.
+        assert_eq!(sink.emit(&sample(), Value::Null, 0), 0.0);
+        sink.emit(&sample(), Value::Null, 7);
+        let mut more = sample();
+        more.records += 5_000;
+        let kps = sink.emit(&more, Value::Null, 7);
+        assert!(kps.is_finite(), "stalled-clock window must stay finite: {kps}");
+        sink.close().expect("close");
+        let body = std::fs::read_to_string(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+        for line in body.lines().skip(1) {
+            let v: Value = serde_json::from_str(line).expect("valid json");
+            let kps = v["timing"]["kernels_per_sec"]
+                .as_f64()
+                .expect("kernels_per_sec is numeric");
+            assert!(kps.is_finite(), "line carries non-finite rate: {line}");
+        }
+        let lower = body.to_lowercase();
+        assert!(
+            !lower.contains("inf") && !lower.contains("nan"),
+            "JSONL must never contain inf/NaN: {body}"
+        );
     }
 
     #[test]

@@ -295,4 +295,76 @@ mod tests {
         let runs = vec![manifest(1, 1), json!({ "schema": "nope" })];
         assert!(trend_report(&runs, &TrendThresholds::default()).is_err());
     }
+
+    #[test]
+    fn empty_ring_yields_an_empty_report() {
+        let report = trend_report(&[], &TrendThresholds::default()).expect("report");
+        assert!(report.entries.is_empty(), "no runs, no entries");
+        assert_eq!(report.regressions(), 0);
+    }
+
+    #[test]
+    fn single_entry_reports_but_never_flags() {
+        let runs = vec![manifest(1_000, 2_000)];
+        let report = trend_report(&runs, &TrendThresholds::default()).expect("report");
+        assert_eq!(report.regressions(), 0, "one run cannot creep");
+        let stage = report.entries.iter().find(|e| e.name == "pks.sweep").unwrap();
+        assert_eq!((stage.base.as_str(), stage.current.as_str()), ("1000", "1000"));
+        assert_eq!(stage.delta_pct, Some(0.0));
+    }
+
+    #[test]
+    fn exact_window_wrap_detects_creep_over_surviving_entries() {
+        // Ring cap equals the detector window: the sixth push evicts the
+        // oldest two runs, and the surviving four form a textbook creep
+        // (+20% steps, 72.8% cumulative). The evicted flat runs must not
+        // dilute the detection.
+        let dir = temp_ring("wrap");
+        for &ns in &[500u64, 500, 1_000, 1_200, 1_440, 1_728] {
+            trend_push(&dir, &manifest(ns, 9_000), 4).expect("push");
+        }
+        let runs = trend_load(&dir).expect("load");
+        assert_eq!(runs.len(), 4, "ring wrapped to cap");
+        let report = trend_report(&runs, &TrendThresholds::default()).expect("report");
+        assert_eq!(report.regressions(), 1);
+        let creep = report.entries.iter().find(|e| e.regression).unwrap();
+        assert_eq!(creep.name, "pks.sweep");
+        assert!((creep.delta_pct.unwrap() - 72.8).abs() < 0.1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn push_after_wrap_with_partial_window_does_not_fire() {
+        // A stage that first appears mid-ring has a partially populated
+        // trailing window; even a monotonic over-threshold rise must wait
+        // for a full window before the creep rule may fire.
+        let dir = temp_ring("partial");
+        let no_stage = json!({
+            "schema": MANIFEST_SCHEMA,
+            "wall_ns": 9_000u64,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "stages": {},
+            "checksums": {},
+        });
+        for _ in 0..3 {
+            trend_push(&dir, &no_stage, 4).expect("push");
+        }
+        for &ns in &[1_000u64, 1_200, 1_440] {
+            trend_push(&dir, &manifest(ns, 9_000), 4).expect("push");
+        }
+        let runs = trend_load(&dir).expect("load");
+        assert_eq!(runs.len(), 4, "ring wrapped to cap");
+        assert!(
+            runs[0]["stages"]["pks.sweep"].is_null(),
+            "oldest surviving run predates the stage"
+        );
+        let report = trend_report(&runs, &TrendThresholds::default()).expect("report");
+        assert_eq!(report.regressions(), 0, "partial window must not fire");
+        let stage = report.entries.iter().find(|e| e.name == "pks.sweep").unwrap();
+        assert!(!stage.regression);
+        assert!((stage.delta_pct.unwrap() - 44.0).abs() < 0.1, "still reported");
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -1,4 +1,7 @@
-use pka_core::{Pks, PksConfig, RepresentativePolicy, Selection};
+use pka_core::{
+    selection_attribution, ErrorAttribution, GroupProvenance, Pks, PksConfig,
+    RepresentativePolicy, Selection,
+};
 use pka_ml::classify::{Classifier, Ensemble, GaussianNb, MlpClassifier, SgdClassifier};
 use pka_ml::Matrix;
 use pka_profile::{DetailedRecord, LightweightRecord};
@@ -322,6 +325,10 @@ pub struct StreamOutcome {
     /// Snapshot of the pipeline at end of stream (resumable, and the
     /// object byte-compared by the checkpoint→resume parity test).
     pub final_checkpoint: Checkpoint,
+    /// Per-group error attribution (`pka.attribution/v1`): each group's
+    /// representative provenance and its signed contribution to the
+    /// selection's projected-cycle error over the detailed prefix.
+    pub attribution: ErrorAttribution,
 }
 
 /// The online PKS pipeline.
@@ -351,6 +358,10 @@ pub struct StreamPks {
 /// construction* — the sharded/single parity contract starts here.
 pub(crate) struct PrefixModel {
     pub selection: Selection,
+    /// Representative provenance per group, re-derived from the detailed
+    /// prefix (always available here, so checkpoints need not carry it —
+    /// resume re-derives it through this same bootstrap).
+    pub provenance: Vec<GroupProvenance>,
     pub normalizer: StreamingNormalizer,
     pub centroids: Vec<Vec<f64>>,
     pub centroid_counts: Vec<u64>,
@@ -404,6 +415,7 @@ impl PrefixModel {
             })
             .collect::<Result<_, _>>()?;
         let selection = Pks::new(config.pks).with_executor(*exec).select(&detailed)?;
+        let provenance = Pks::new(config.pks).provenance(&detailed, &selection)?;
         let k = selection.k();
 
         // Streaming normalizer and mini-batch centroids, seeded from the
@@ -457,6 +469,7 @@ impl PrefixModel {
         }
         Ok(Self {
             selection,
+            provenance,
             normalizer,
             centroids,
             centroid_counts,
@@ -470,6 +483,9 @@ impl PrefixModel {
 /// Tail-side mutable state (everything a checkpoint snapshots).
 struct TailState {
     selection: Selection,
+    /// Representative provenance, fixed at bootstrap (never checkpointed:
+    /// resume re-derives it from the same prefix).
+    provenance: Vec<GroupProvenance>,
     normalizer: StreamingNormalizer,
     centroids: Vec<Vec<f64>>,
     centroid_counts: Vec<u64>,
@@ -638,6 +654,7 @@ impl StreamPks {
         let model = PrefixModel::bootstrap(&self.config, &self.exec, source)?;
         let PrefixModel {
             selection,
+            provenance,
             normalizer,
             centroids,
             centroid_counts,
@@ -649,6 +666,7 @@ impl StreamPks {
         let state = TailState {
             checkpoint_write_ns: 0,
             selection,
+            provenance,
             normalizer,
             centroids,
             centroid_counts,
@@ -856,10 +874,17 @@ impl StreamPks {
             checkpoints: state.checkpoints_emitted,
             max_buffered: state.max_buffered,
         };
+        // Attribution over the final selection: tail classification only
+        // bumps member counts, so every error term still measures the
+        // profiled prefix — the same decomposition the batch two-level
+        // pipeline would report for this stream.
+        let attribution =
+            selection_attribution(source_name, &state.selection, &state.provenance);
         Ok(StreamOutcome {
             report,
             selection: state.selection.clone(),
             final_checkpoint,
+            attribution,
         })
     }
 
@@ -1077,6 +1102,34 @@ mod tests {
             b.final_checkpoint.to_json(),
             "final checkpoints must be byte-identical across worker counts"
         );
+        assert_eq!(
+            serde_json::to_string(&a.attribution).unwrap(),
+            serde_json::to_string(&b.attribution).unwrap(),
+            "attribution artifacts must be byte-identical across worker counts"
+        );
+    }
+
+    #[test]
+    fn attribution_sums_to_selection_error() {
+        let mut src = source(2_000);
+        let outcome = StreamPks::new(small_config())
+            .run(&mut src, |_| Ok(()))
+            .unwrap();
+        let attribution = &outcome.attribution;
+        attribution.verify_sums().expect("per-group terms sum to the reported error");
+        assert_eq!(attribution.kind, "selection");
+        assert_eq!(attribution.workload, "workload:synthetic2000");
+        assert_eq!(attribution.groups.len(), outcome.selection.k());
+        assert!(attribution.shards.is_empty(), "single pipeline has no shard sections");
+        assert_eq!(
+            (attribution.pks_err_pct * 1e9).round(),
+            (outcome.selection.error_pct() * 1e9).round()
+        );
+        // Weights cover the whole stream; profiled counts only the prefix.
+        let weights: u64 = attribution.groups.iter().map(|g| g.weight).sum();
+        let profiled: u64 = attribution.groups.iter().map(|g| g.profiled_count).sum();
+        assert_eq!(weights, 2_000);
+        assert_eq!(profiled, 200);
     }
 
     #[test]

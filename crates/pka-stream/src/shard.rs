@@ -36,7 +36,7 @@
 //! memo table keyed on the raw feature bits, and records fold shard-local
 //! with no cross-shard synchronisation inside a round.
 
-use pka_core::Selection;
+use pka_core::{selection_attribution, ErrorAttribution, Selection, ShardAttribution};
 use pka_ml::classify::{Classifier, Ensemble};
 use pka_stats::hash::{mix64, UnitStream};
 use pka_stats::Executor;
@@ -225,6 +225,10 @@ pub struct ShardedOutcome {
     pub selection: Selection,
     /// Final resumable snapshot, including the [`MergedSection`].
     pub final_checkpoint: ShardedCheckpoint,
+    /// Per-group error attribution (`pka.attribution/v1`) over the merged
+    /// selection, with one shard section per shard pipeline. Identical to
+    /// the single-shard pipeline's artifact apart from those sections.
+    pub attribution: ErrorAttribution,
 }
 
 /// The sharded online PKS engine. See the module docs for the contract.
@@ -710,12 +714,28 @@ impl ShardedStreamPks {
             checkpoints: checkpoints_emitted,
             max_buffered,
         };
+        // Attribution over the merged selection. The merged selection and
+        // the provenance both come from the shared prefix bootstrap, so the
+        // group sections are byte-identical to the single-shard pipeline's;
+        // only the shard sections below are new.
+        let mut attribution =
+            selection_attribution(&source_name, &selection, &model.provenance);
+        attribution.shards = states
+            .iter()
+            .enumerate()
+            .map(|(shard, state)| ShardAttribution {
+                shard,
+                records: state.records,
+                tail_counts: state.tail_counts.clone(),
+            })
+            .collect();
         Ok(ShardedOutcome {
             report,
             shard_records,
             map_hash,
             selection,
             final_checkpoint,
+            attribution,
         })
     }
 }
@@ -1030,6 +1050,50 @@ mod tests {
             a.final_checkpoint.to_json(),
             b.final_checkpoint.to_json(),
             "final checkpoints must be byte-identical across worker counts"
+        );
+        assert_eq!(
+            serde_json::to_string(&a.attribution).unwrap(),
+            serde_json::to_string(&b.attribution).unwrap(),
+            "attribution artifacts must be byte-identical across worker counts"
+        );
+    }
+
+    #[test]
+    fn attribution_matches_single_pipeline_apart_from_shard_sections() {
+        let mut src = source(2_000);
+        let sharded = ShardedStreamPks::new(small_config(), 4)
+            .run(&mut src, |_| Ok(()))
+            .unwrap();
+        let mut src = source(2_000);
+        let single = crate::StreamPks::new(small_config())
+            .run(&mut src, |_| Ok(()))
+            .unwrap();
+
+        sharded.attribution.verify_sums().expect("sharded terms sum");
+        assert_eq!(sharded.attribution.shards.len(), 4);
+        assert_eq!(
+            sharded
+                .attribution
+                .shards
+                .iter()
+                .map(|s| s.records)
+                .collect::<Vec<_>>(),
+            sharded.shard_records
+        );
+
+        // Strip the shard sections: what remains must be byte-identical to
+        // the single-shard pipeline's artifact.
+        let strip = |a: &pka_core::ErrorAttribution| {
+            let mut v = serde_json::to_value(a).unwrap();
+            if let serde_json::Value::Object(m) = &mut v {
+                m.remove("shards");
+            }
+            serde_json::to_string(&v).unwrap()
+        };
+        assert_eq!(
+            strip(&sharded.attribution),
+            strip(&single.attribution),
+            "sharded attribution differs from single only by its shard sections"
         );
     }
 

@@ -11,6 +11,7 @@
 //!            [--checkpoint-every N] [--checkpoint FILE.json] [--resume]
 //!            [--verify-batch]
 //! pka trace export TRACE.jsonl [--out FILE.json]
+//! pka obs explain ATTRIBUTION.json
 //! pka obs diff BASELINE.json CURRENT.json [--counters-only]
 //! ```
 //!
@@ -50,6 +51,11 @@ fn main() -> ExitCode {
         eprintln!("error: unexpected argument `{}`\n{USAGE}", positional[0]);
         return ExitCode::from(2);
     }
+    // Manifest histograms render p50/p95/p99 through the shared stats
+    // routine; registration is process-global and first-wins.
+    principal_kernel_analysis::obs::set_percentile_fn(
+        principal_kernel_analysis::stats::summary::percentile,
+    );
     if let Err(e) = obs_setup(&flags) {
         eprintln!("error: {e}");
         return ExitCode::from(2);
@@ -200,19 +206,23 @@ const USAGE: &str = "usage:
   pka list [--suite NAME]
   pka info --workload NAME
   pka select --workload NAME [--target-error PCT] [--out FILE.json]
-             [--workers N] [observability flags]
+             [--attribution-out FILE.json] [--workers N]
+             [observability flags]
   pka simulate --workload NAME [--gpu v100|rtx2060|rtx3070|v100-half]
                [--threshold S] [--selection FILE.json] [--full]
-               [--workers N] [observability flags]
+               [--attribution-out FILE.json] [--workers N]
+               [observability flags]
   pka stream --source <FILE.jsonl|-|synthetic:N|WORKLOAD>
              [--prefix J] [--checkpoint-every N] [--checkpoint FILE.json]
              [--resume] [--reservoir N] [--batch N] [--verify-batch]
              [--shards N [--reshard-at REC[:SHARD:LANE]]]
+             [--attribution-out FILE.json]
              [--gpu ...] [--workers N] [observability flags]
   pka trace export TRACE.jsonl [--out FILE.json]
+  pka obs explain ATTRIBUTION.json
   pka obs diff BASELINE.json CURRENT.json [--counters-only]
               [--counter-tol PCT] [--gauge-tol PCT] [--stage-tol PCT]
-              [--bench [--bench-tol PCT]]
+              [--bench [--bench-tol PCT]] [--error-tol PCT]
   pka obs diff --trend TREND_DIR [--trend-window N] [--stage-tol PCT]
   pka obs trend-push MANIFEST.json TREND_DIR [--trend-cap N]
 
@@ -241,6 +251,19 @@ the output is unchanged, which is the point. Sharded checkpoints carry a
 `--workers N` fans profiling, clustering and per-representative simulation
 out over N threads (0 = one per hardware thread). Results are bitwise
 identical for any worker count.
+
+`--attribution-out FILE` (on select, simulate and stream) writes a
+`pka.attribution/v1` artifact: per PKS group, its representative's
+provenance (kernel id, launch rank, distance to the group mean, weight)
+and its signed contribution to the reported projection error — split into
+a PKS group-scaling term and a PKP stop-rule term for simulation runs.
+The per-group terms sum exactly to the reported error, the artifact is
+byte-identical for any `--workers` count, and sharded stream runs add a
+per-shard section on top of the merged decomposition. `obs explain`
+renders it as a ranked table (worst group first, with bootstrap CIs and
+PKP skip ratios) and flags any group past 50% of the total error; feeding
+two attribution artifacts to `obs diff` gates on representative swaps and
+on error drift past `--error-tol` percentage points (default 0.5).
 
 `--fast-math` lets the SIMD distance/projection kernels reassociate their
 reductions across vector lanes. Results are then no longer bitwise equal
@@ -386,6 +409,27 @@ fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes the `pka.attribution/v1` artifact for `--attribution-out` (pretty
+/// JSON with a trailing newline, so the bytes are shell/jq friendly) and
+/// registers its checksum when observability is on. No-op without the flag.
+fn write_attribution(
+    flags: &HashMap<String, String>,
+    attribution: Option<&principal_kernel_analysis::core::ErrorAttribution>,
+) -> Result<(), String> {
+    let Some(path) = flags.get("attribution-out") else {
+        return Ok(());
+    };
+    let attribution =
+        attribution.expect("attribution is computed whenever --attribution-out is present");
+    let mut payload = serde_json::to_string_pretty(attribution)
+        .map_err(|e| format!("serialise attribution: {e}"))?;
+    payload.push('\n');
+    std::fs::write(path, &payload).map_err(|e| format!("write {path}: {e}"))?;
+    record_checksum("attribution", &payload);
+    println!("attribution written to {path}");
+    Ok(())
+}
+
 fn cmd_select(flags: &HashMap<String, String>) -> Result<(), String> {
     let w = find_workload(flags)?;
     let target: f64 = flags
@@ -397,7 +441,16 @@ fn cmd_select(flags: &HashMap<String, String>) -> Result<(), String> {
         .with_pks(PksConfig::default().with_target_error_pct(target))
         .with_workers(workers_from(flags)?);
     let pka = Pka::new(GpuConfig::v100(), config);
-    let selection = pka.select_kernels(&w).map_err(|e| e.to_string())?;
+    // `--attribution-out` switches to the attribution-carrying entry point;
+    // the selection itself is identical either way.
+    let (selection, attribution) = if flags.contains_key("attribution-out") {
+        let (selection, attribution) = pka
+            .select_kernels_with_attribution(&w)
+            .map_err(|e| e.to_string())?;
+        (selection, Some(attribution))
+    } else {
+        (pka.select_kernels(&w).map_err(|e| e.to_string())?, None)
+    };
 
     println!(
         "{}: {} launches -> {} principal kernels (target error {target}%)",
@@ -464,6 +517,7 @@ fn cmd_select(flags: &HashMap<String, String>) -> Result<(), String> {
         std::fs::write(path, payload).map_err(|e| format!("write {path}: {e}"))?;
         println!("selection written to {path}");
     }
+    write_attribution(flags, attribution.as_ref())?;
     Ok(())
 }
 
@@ -484,6 +538,13 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     // An externally supplied selection (e.g. made on Volta) overrides
     // re-selection — the cross-generation workflow.
     if let Some(path) = flags.get("selection") {
+        if flags.contains_key("attribution-out") {
+            return Err(
+                "--attribution-out needs the selection made in-run; it cannot \
+                 attribute a transferred --selection (re-run without --selection)"
+                    .to_string(),
+            );
+        }
         let payload =
             std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
         let envelope: serde_json::Value =
@@ -509,9 +570,17 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
         return Ok(());
     }
 
-    let report = pka
-        .evaluate_in_simulation(&w, run_full)
-        .map_err(|e| e.to_string())?;
+    let (report, attribution) = if flags.contains_key("attribution-out") {
+        let (report, attribution) = pka
+            .evaluate_with_attribution(&w, run_full)
+            .map_err(|e| e.to_string())?;
+        (report, Some(attribution))
+    } else {
+        let report = pka
+            .evaluate_in_simulation(&w, run_full)
+            .map_err(|e| e.to_string())?;
+        (report, None)
+    };
     println!("workload: {} on {}", report.workload, pka.gpu().name());
     println!("silicon:  {:>16} cycles", report.silicon_cycles);
     if let (Some(cycles), Some(err)) = (report.fullsim_cycles, report.sim_error_pct) {
@@ -587,6 +656,7 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
         };
         principal_kernel_analysis::obs::emit_snapshot(&snapshot, serde_json::json!({}));
     }
+    write_attribution(flags, attribution.as_ref())?;
     Ok(())
 }
 
@@ -733,7 +803,7 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err("--reshard-at requires --shards N".to_string());
     }
 
-    let (report, selection, checkpoint_json, shard_summary) = match shards {
+    let (report, selection, checkpoint_json, shard_summary, attribution) = match shards {
         Some(n) => {
             let mut engine = ShardedStreamPks::new(config, n).with_executor(exec);
             if let Some((at, shard, lane)) = reshard_from(flags, n)? {
@@ -762,6 +832,7 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
                 outcome.selection,
                 json,
                 Some((outcome.shard_records, outcome.map_hash)),
+                outcome.attribution,
             )
         }
         None => {
@@ -784,7 +855,13 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
                     .map_err(|e| e.to_string())?;
             }
             let json = outcome.final_checkpoint.to_json();
-            (outcome.report, outcome.selection, json, None)
+            (
+                outcome.report,
+                outcome.selection,
+                json,
+                None,
+                outcome.attribution,
+            )
         }
     };
     let report = &report;
@@ -824,6 +901,7 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(p) = &ckpt_path {
         println!("checkpoint written to {}", p.display());
     }
+    write_attribution(flags, Some(&attribution))?;
 
     if flags.contains_key("verify-batch") {
         let w = workload.as_ref().ok_or(
@@ -942,6 +1020,16 @@ fn cmd_obs(flags: &HashMap<String, String>, positional: &[String]) -> Result<(),
     };
     match positional.first().map(String::as_str) {
         Some("diff") => {}
+        Some("explain") => {
+            let path = positional
+                .get(1)
+                .ok_or("obs explain needs an ATTRIBUTION.json path")?;
+            let doc = read(path)?;
+            for line in principal_kernel_analysis::obs::explain_attribution(&doc)? {
+                println!("{line}");
+            }
+            return Ok(());
+        }
         Some("trend-push") => {
             let manifest_path = positional
                 .get(1)
@@ -957,7 +1045,11 @@ fn cmd_obs(flags: &HashMap<String, String>, positional: &[String]) -> Result<(),
             return Ok(());
         }
         Some(other) => return Err(format!("unknown obs subcommand `{other}`\n{USAGE}")),
-        None => return Err(format!("obs needs a subcommand (diff, trend-push)\n{USAGE}")),
+        None => {
+            return Err(format!(
+                "obs needs a subcommand (diff, explain, trend-push)\n{USAGE}"
+            ))
+        }
     }
     if let Some(dir) = flags.get("trend") {
         // Trend mode: scan the bounded manifest ring for creeping
@@ -993,7 +1085,18 @@ fn cmd_obs(flags: &HashMap<String, String>, positional: &[String]) -> Result<(),
     let base = read(base_path)?;
     let current = read(cur_path)?;
     let defaults = DiffThresholds::default();
-    let report = if flags.contains_key("bench") {
+    // Attribution artifacts are sniffed by schema so the same `obs diff`
+    // entry point gates accuracy drift next to the performance manifests.
+    let attribution_schema = principal_kernel_analysis::obs::ATTRIBUTION_SCHEMA;
+    let report = if base["schema"].as_str() == Some(attribution_schema)
+        || current["schema"].as_str() == Some(attribution_schema)
+    {
+        principal_kernel_analysis::obs::diff_attributions(
+            &base,
+            &current,
+            pct_flag("error-tol", 0.5)?,
+        )?
+    } else if flags.contains_key("bench") {
         diff_bench(&base, &current, pct_flag("bench-tol", defaults.stage_pct)?)?
     } else {
         let thresholds = DiffThresholds {

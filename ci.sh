@@ -40,6 +40,12 @@
 #      byte-identical across --workers counts on the stream path, and a
 #      self-test proving the accuracy gate fires on an injected
 #      representative swap
+#  11. server smoke — `pka serve` driven end-to-end over HTTP with curl:
+#      a streaming session must report the same selected K and projected
+#      cycles as the batch CLI run and serve byte-identical checkpoint and
+#      attribution artifacts (`cmp`), including under `--shards 2`; a
+#      DELETE mid-stream must exit cleanly leaving a resumable checkpoint
+#      the CLI can finish from
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -80,6 +86,7 @@ if command -v jq >/dev/null 2>&1; then
         and any(.[]; .name == "stream_ingest/online_pks/500000")
         and any(.[]; .name == "stream_ingest/sharded_s2/500000")
         and any(.[]; .name == "stream_ingest/sharded_s4/500000")
+        and any(.[]; .name == "server_session_roundtrip/http_session/100000")
     ' "$BENCH_SMOKE_JSON" >/dev/null
     echo "bench json OK ($(jq length "$BENCH_SMOKE_JSON") records)"
 else
@@ -294,6 +301,106 @@ if command -v jq >/dev/null 2>&1; then
     fi
     grep -q "REGRESSION" "$ATTR_DIR/attr_diff_out.txt"
     echo "attribution gate OK (injected representative swap detected)"
+fi
+
+echo "==> server smoke (pka serve: HTTP session parity, sharded, teardown)"
+SRV_DIR="$(mktemp -d -t pka_srv.XXXXXX)"
+SERVE_PID=""
+cleanup_server() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -f "$BENCH_SMOKE_JSON" "$OBS_MANIFEST" "$OBS_TRACE" "$STREAM_CKPT"
+    rm -rf "$LIVE_DIR" "$ATTR_DIR" "$SRV_DIR"
+}
+trap cleanup_server EXIT
+if command -v curl >/dev/null 2>&1 && command -v jq >/dev/null 2>&1; then
+    # Batch CLI reference artifacts the service must reproduce bytewise.
+    ./target/release/pka stream --source synthetic:60000 --prefix 800 \
+        --checkpoint-every 20000 --checkpoint "$SRV_DIR/cli_ckpt.json" \
+        --attribution-out "$SRV_DIR/cli_attr.json" >/dev/null
+    ./target/release/pka stream --source synthetic:60000 --prefix 800 \
+        --checkpoint-every 20000 --shards 2 \
+        --checkpoint "$SRV_DIR/cli_shard_ckpt.json" >/dev/null
+
+    ./target/release/pka serve --addr 127.0.0.1:0 > "$SRV_DIR/serve.log" 2>&1 &
+    SERVE_PID=$!
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR="$(sed -n 's#^pka-server listening on http://##p' "$SRV_DIR/serve.log")"
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || { echo "pka serve did not come up" >&2; exit 1; }
+    curl -sf "http://$ADDR/healthz" >/dev/null
+
+    # Wait for a session to leave the running states and fetch its result.
+    wait_result() {
+        for _ in $(seq 1 600); do
+            CODE="$(curl -s -o "$SRV_DIR/result.json" -w '%{http_code}' \
+                "http://$ADDR/v1/sessions/$1/result")"
+            [ "$CODE" = 200 ] && return 0
+            [ "$CODE" = 202 ] || break
+            sleep 0.1
+        done
+        echo "session $1 did not finish (last status $CODE)" >&2
+        cat "$SRV_DIR/result.json" >&2
+        return 1
+    }
+
+    # Single-pipeline streaming session: K and projected cycles must match
+    # the CLI run exactly; checkpoint/attribution must be byte-identical.
+    SID="$(curl -sf -X POST "http://$ADDR/v1/sessions" \
+        -d '{"mode":"stream","source":"synthetic:60000","prefix":800,"checkpoint_every":20000}' \
+        | jq -r .id)"
+    wait_result "$SID"
+    jq -e --argjson k "$(jq .selected_k "$SRV_DIR/cli_ckpt.json")" \
+        --argjson cycles "$(jq .projected_cycles "$SRV_DIR/cli_ckpt.json")" \
+        '.selected_k == $k and .projected_cycles == $cycles' \
+        "$SRV_DIR/result.json" >/dev/null
+    curl -sf "http://$ADDR/v1/sessions/$SID/checkpoint" -o "$SRV_DIR/srv_ckpt.json"
+    curl -sf "http://$ADDR/v1/sessions/$SID/attribution" -o "$SRV_DIR/srv_attr.json"
+    cmp -s "$SRV_DIR/cli_ckpt.json" "$SRV_DIR/srv_ckpt.json"
+    cmp -s "$SRV_DIR/cli_attr.json" "$SRV_DIR/srv_attr.json"
+    head -n 1 <(curl -sf "http://$ADDR/v1/sessions/$SID/progress") \
+        | jq -e '.schema == "pka.snapshot/v1" and .type == "header"' >/dev/null
+    echo "server session parity OK (K=$(jq .selected_k "$SRV_DIR/result.json"), artifacts byte-identical)"
+
+    # Sharded session: same contract under --shards 2.
+    SID="$(curl -sf -X POST "http://$ADDR/v1/sessions" \
+        -d '{"mode":"stream","source":"synthetic:60000","prefix":800,"checkpoint_every":20000,"shards":2}' \
+        | jq -r .id)"
+    wait_result "$SID"
+    curl -sf "http://$ADDR/v1/sessions/$SID/checkpoint" -o "$SRV_DIR/srv_shard_ckpt.json"
+    cmp -s "$SRV_DIR/cli_shard_ckpt.json" "$SRV_DIR/srv_shard_ckpt.json"
+    echo "server sharded parity OK (map_hash=$(jq .topology.map_hash "$SRV_DIR/srv_shard_ckpt.json"))"
+
+    # DELETE mid-stream: cancellation-safe teardown must stop at a batch
+    # boundary and leave a checkpoint the CLI can resume to completion.
+    SID="$(curl -sf -X POST "http://$ADDR/v1/sessions" \
+        -d "{\"mode\":\"stream\",\"source\":\"synthetic:1000000\",\"prefix\":800,\"checkpoint_every\":10000,\"checkpoint_path\":\"$SRV_DIR/teardown_ckpt.json\"}" \
+        | jq -r .id)"
+    for _ in $(seq 1 600); do
+        REC="$(curl -sf "http://$ADDR/v1/sessions/$SID" | jq .records)"
+        [ "$REC" -ge 10000 ] && break
+        sleep 0.05
+    done
+    curl -sf -X DELETE "http://$ADDR/v1/sessions/$SID" -o "$SRV_DIR/teardown.json"
+    jq -e '.status == "cancelled" and .records < 1000000' \
+        "$SRV_DIR/teardown.json" >/dev/null
+    jq -e '.schema == "pka.stream_checkpoint/v1" and .records < 1000000' \
+        "$SRV_DIR/teardown_ckpt.json" >/dev/null
+    ./target/release/pka stream --source synthetic:1000000 --resume \
+        --checkpoint "$SRV_DIR/teardown_ckpt.json" >/dev/null
+    jq -e '.records == 1000000' "$SRV_DIR/teardown_ckpt.json" >/dev/null
+    echo "server teardown OK (cancelled at $(jq .records "$SRV_DIR/teardown.json") records, CLI resumed to 1000000)"
+
+    # Clean service exit: shutdown joins every worker before returning.
+    curl -sf -X POST "http://$ADDR/v1/shutdown" >/dev/null
+    wait "$SERVE_PID"
+    SERVE_PID=""
+    grep -q "pka-server stopped" "$SRV_DIR/serve.log"
+    echo "server shutdown OK"
+else
+    echo "curl or jq not found; skipping server smoke" >&2
 fi
 
 echo "CI OK"

@@ -17,6 +17,11 @@
 //!   single-pipeline reference; `sharded_s{2,4}` run the sharded engine
 //!   (hash-ring routing + batched tail classification) on the same
 //!   sequential executor, so the ratio isolates the per-core win.
+//! * `server_session_roundtrip` — the full `pka-server` service path:
+//!   `POST /v1/sessions` over a real socket, a 100k-record synthetic
+//!   streaming session, and `GET .../result`. The delta against
+//!   `stream_ingest/online_pks` is the whole service overhead (HTTP
+//!   parse, session registry, worker spawn, progress ring).
 //!
 //! Run with `cargo bench -p pka-bench --bench hot_paths`; CI runs a
 //! reduced-iteration smoke via `PKA_BENCH_SAMPLES` / `PKA_BENCH_WARMUP`.
@@ -26,6 +31,7 @@ use pka_core::{PkpConfig, PkpMonitor};
 use pka_gpu::{GpuConfig, KernelDescriptor};
 use pka_ml::{KMeans, Matrix, Pca, StandardScaler};
 use pka_profile::Profiler;
+use pka_server::{PkaServer, ServerConfig};
 use pka_sim::{SimOptions, Simulator};
 use pka_stats::hash::UnitStream;
 use pka_stats::Executor;
@@ -208,11 +214,98 @@ fn bench_stream_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// One raw-socket HTTP exchange against the in-process service.
+fn http_roundtrip(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, String) {
+    use std::io::{BufRead, BufReader, Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: b\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h).expect("header");
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some(v) = h.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("length");
+        }
+    }
+    let mut out = vec![0u8; content_length];
+    reader.read_exact(&mut out).expect("body");
+    (status, String::from_utf8(out).expect("utf8"))
+}
+
+fn bench_server_roundtrip(c: &mut Criterion) {
+    const N: u64 = 100_000;
+    let server =
+        PkaServer::bind(ServerConfig::default()).expect("bind analysis service");
+    let addr = server.addr().expect("addr");
+    let spec = serde_json::json!({
+        "mode": "stream",
+        "source": format!("synthetic:{N}"),
+        "prefix": 2_000,
+        "checkpoint_every": 100_000,
+        "reservoir": 2_048,
+        "batch": 1_024,
+    })
+    .to_string();
+
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run().expect("serve"));
+        let mut group = c.benchmark_group("server_session_roundtrip");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(N));
+        group.bench_function(BenchmarkId::new("http_session", N), |b| {
+            b.iter(|| {
+                let (status, body) = http_roundtrip(addr, "POST", "/v1/sessions", &spec);
+                assert_eq!(status, 200, "{body}");
+                let created: serde_json::Value =
+                    serde_json::from_str(&body).expect("create response");
+                let id = created.get("id").and_then(|v| v.as_str()).expect("id");
+                // Join in-process (the worker finishes the whole stream),
+                // then fetch the result over the socket like a client would.
+                server.registry().get(id).expect("registered").join();
+                let (status, body) = http_roundtrip(
+                    addr,
+                    "GET",
+                    &format!("/v1/sessions/{id}/result"),
+                    "",
+                );
+                assert_eq!(status, 200, "{body}");
+                black_box(body.len())
+            })
+        });
+        group.finish();
+        let (status, _) = http_roundtrip(addr, "POST", "/v1/shutdown", "");
+        assert_eq!(status, 200);
+        handle.join().expect("server thread");
+    });
+}
+
 criterion_group!(
     hot_paths,
     bench_kmeans_sweep,
     bench_pca_fit,
     bench_pkp_engine,
-    bench_stream_ingest
+    bench_stream_ingest,
+    bench_server_roundtrip
 );
 criterion_main!(hot_paths);

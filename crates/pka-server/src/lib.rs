@@ -1,0 +1,547 @@
+//! **PKA as a long-running analysis service.**
+//!
+//! Everything the CLI does in one shot — batch select/simulate, streaming
+//! ingestion with checkpoints — hosted behind a hand-rolled HTTP/1.1
+//! endpoint (`std::net::TcpListener` + a bounded connection thread pool;
+//! zero external dependencies, like the rest of the workspace) as
+//! long-lived *session objects* with live progress and cancellation-safe
+//! teardown.
+//!
+//! # Protocol
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness probe |
+//! | `POST /v1/sessions` | create a session from a JSON spec |
+//! | `GET /v1/sessions` | list sessions |
+//! | `GET /v1/sessions/{id}` | one session's status |
+//! | `POST /v1/sessions/{id}/records` | append JSONL kernel records (feed sessions) |
+//! | `POST /v1/sessions/{id}/finish` | end-of-stream for a feed session |
+//! | `GET /v1/sessions/{id}/progress` | `pka.snapshot/v1` NDJSON progress stream |
+//! | `GET /v1/sessions/{id}/result` | result document (`202` while running) |
+//! | `GET /v1/sessions/{id}/checkpoint` | checkpoint bytes (final, else latest) |
+//! | `GET /v1/sessions/{id}/attribution` | `pka.attribution/v1` bytes |
+//! | `DELETE /v1/sessions/{id}` | cancellation-safe teardown |
+//! | `POST /v1/shutdown` | stop the service (tears every session down) |
+//!
+//! The artifact endpoints serve the *exact bytes* the CLI writes for the
+//! same run (`--checkpoint` / `--attribution-out`), so `cmp` against a
+//! `pka stream` run passes — the HTTP surface adds zero numeric drift.
+//!
+//! # Determinism
+//!
+//! Sessions share one process-wide [`Executor`](pka_core::Executor) value
+//! and nothing else: each session's pipeline state is private, progress is
+//! derived purely from checkpoint contents (no wall-clock), and the
+//! streaming engines are bitwise deterministic for any worker count — so
+//! any interleaving of concurrent sessions produces byte-identical
+//! checkpoints, attributions and progress to running them serially.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod http;
+mod session;
+
+pub use http::{read_request, ReadError, Request, Response};
+pub use session::{Registry, Session, SessionState, Status, PROGRESS_CAP};
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use pka_core::Executor;
+use serde_json::{json, Value};
+
+/// Histogram edges for `server.request_ns` (1 µs .. 10 s).
+const REQUEST_EDGES: &[u64] = &[
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Connection-handler threads.
+    pub http_threads: usize,
+    /// Executor workers shared by every session's pipeline (0 = all cores).
+    pub workers: usize,
+    /// Maximum concurrently running (non-terminal) sessions.
+    pub max_active_sessions: usize,
+    /// Completed sessions retained for inspection before LRU eviction.
+    pub retain_completed: usize,
+    /// Feed queue capacity per streaming session, in JSONL lines.
+    pub feed_capacity: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            http_threads: 4,
+            workers: 1,
+            max_active_sessions: 8,
+            retain_completed: 16,
+            feed_capacity: 8_192,
+            max_body_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the bind address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the connection-handler thread count (min 1).
+    pub fn with_http_threads(mut self, n: usize) -> Self {
+        self.http_threads = n.max(1);
+        self
+    }
+
+    /// Sets the shared executor worker count.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Sets the running-session cap (min 1).
+    pub fn with_max_active_sessions(mut self, n: usize) -> Self {
+        self.max_active_sessions = n.max(1);
+        self
+    }
+
+    /// Sets how many completed sessions are retained.
+    pub fn with_retain_completed(mut self, n: usize) -> Self {
+        self.retain_completed = n;
+        self
+    }
+
+    /// Sets the per-session feed queue capacity (min 1).
+    pub fn with_feed_capacity(mut self, n: usize) -> Self {
+        self.feed_capacity = n.max(1);
+        self
+    }
+}
+
+/// Bounded queue of accepted connections feeding the handler pool.
+struct ConnQueue {
+    queue: Mutex<(std::collections::VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn new() -> Self {
+        Self {
+            queue: Mutex::new((std::collections::VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, stream: TcpStream) {
+        let mut q = self.queue.lock().expect("conn queue");
+        q.0.push_back(stream);
+        self.ready.notify_one();
+    }
+
+    fn close(&self) {
+        let mut q = self.queue.lock().expect("conn queue");
+        q.1 = true;
+        self.ready.notify_all();
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.queue.lock().expect("conn queue");
+        loop {
+            if let Some(s) = q.0.pop_front() {
+                return Some(s);
+            }
+            if q.1 {
+                return None;
+            }
+            q = self.ready.wait(q).expect("conn queue");
+        }
+    }
+}
+
+/// The PKA analysis service.
+pub struct PkaServer {
+    listener: TcpListener,
+    registry: Registry,
+    config: ServerConfig,
+    stop: AtomicBool,
+}
+
+impl PkaServer {
+    /// Binds the listener and builds the session registry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let registry = Registry::new(
+            config.max_active_sessions,
+            config.retain_completed,
+            config.feed_capacity,
+            Executor::new(config.workers),
+        );
+        Ok(Self {
+            listener,
+            registry,
+            config,
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the (unlikely) local-address query failure.
+    pub fn addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The session registry (for in-process tests and embedding).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Requests shutdown and wakes the accept loop with a self-connect.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Ok(addr) = self.addr() {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    /// Serves until `POST /v1/shutdown` (or
+    /// [`request_stop`](Self::request_stop)), then tears every session down
+    /// and joins all workers before returning — cancellation-safe service
+    /// exit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures.
+    pub fn run(&self) -> std::io::Result<()> {
+        let queue = ConnQueue::new();
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            for i in 0..self.config.http_threads.max(1) {
+                let queue = &queue;
+                std::thread::Builder::new()
+                    .name(format!("pka-http-{i}"))
+                    .spawn_scoped(scope, move || {
+                        while let Some(stream) = queue.pop() {
+                            self.serve_connection(stream);
+                        }
+                    })
+                    .expect("spawn http worker");
+            }
+            loop {
+                let (stream, _) = self.listener.accept()?;
+                if self.stop.load(Ordering::SeqCst) {
+                    drop(stream);
+                    break;
+                }
+                queue.push(stream);
+            }
+            queue.close();
+            Ok(())
+        })?;
+        self.registry.shutdown();
+        Ok(())
+    }
+
+    /// One keep-alive connection: read requests until close/EOF/timeout.
+    fn serve_connection(&self, stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let Ok(write_half) = stream.try_clone() else {
+            return;
+        };
+        let mut writer = write_half;
+        let mut reader = BufReader::new(stream);
+        loop {
+            let request = match read_request(&mut reader, self.config.max_body_bytes) {
+                Ok(r) => r,
+                Err(ReadError::Closed) => return,
+                Err(ReadError::Io(_)) => return,
+                Err(ReadError::Malformed(m)) => {
+                    let _ = Response::error(400, &m).write_to(&mut writer, false);
+                    return;
+                }
+                Err(ReadError::TooLarge) => {
+                    let _ = Response::error(413, "request body too large")
+                        .write_to(&mut writer, false);
+                    return;
+                }
+            };
+            let close = request.wants_close();
+            let t0 = Instant::now();
+            let response = self.route(&request);
+            if pka_obs::enabled() {
+                pka_obs::counter("server.requests").incr();
+                pka_obs::histogram("server.request_ns", REQUEST_EDGES)
+                    .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                if response.status >= 400 {
+                    pka_obs::counter("server.http_errors").incr();
+                }
+            }
+            if response.write_to(&mut writer, !close).is_err() {
+                return;
+            }
+            let _ = writer.flush();
+            if close {
+                return;
+            }
+        }
+    }
+
+    /// Dispatches one request.
+    fn route(&self, req: &Request) -> Response {
+        let path = req.path.trim_end_matches('/');
+        match (req.method.as_str(), path) {
+            ("GET", "/healthz") => Response::json(200, &json!({ "ok": true })),
+            ("POST", "/v1/shutdown") => {
+                // Respond first-come; the wake connection unblocks accept.
+                self.request_stop();
+                Response::json(200, &json!({ "ok": true }))
+            }
+            ("POST", "/v1/sessions") => self.create_session(req),
+            ("GET", "/v1/sessions") => {
+                Response::json(200, &json!({ "sessions": self.registry.list() }))
+            }
+            _ => {
+                if let Some(rest) = path.strip_prefix("/v1/sessions/") {
+                    return self.session_route(req, rest);
+                }
+                Response::error(404, "no such route")
+            }
+        }
+    }
+
+    fn create_session(&self, req: &Request) -> Response {
+        let body = match req.body_text() {
+            Ok(t) => t,
+            Err(_) => return Response::error(400, "request body is not UTF-8"),
+        };
+        let spec: Value = match serde_json::from_str(body) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &format!("invalid session spec: {e}")),
+        };
+        match self.registry.create(&spec) {
+            Ok(session) => Response::json(
+                200,
+                &json!({
+                    "id": session.cell.id,
+                    "mode": session.mode,
+                    "source": session.source,
+                }),
+            ),
+            Err((status, message)) => Response::error(status, &message),
+        }
+    }
+
+    fn session_route(&self, req: &Request, rest: &str) -> Response {
+        let (id, action) = match rest.split_once('/') {
+            Some((id, action)) => (id, Some(action)),
+            None => (rest, None),
+        };
+        let Some(session) = self.registry.get(id) else {
+            return Response::error(404, &format!("no session `{id}`"));
+        };
+        match (req.method.as_str(), action) {
+            ("GET", None) => Response::json(200, &session.describe()),
+            ("DELETE", None) => match self.registry.teardown(id) {
+                Some(summary) => Response::json(200, &summary),
+                None => Response::error(404, &format!("no session `{id}`")),
+            },
+            ("POST", Some("records")) => self.append_records(req, &session),
+            ("POST", Some("finish")) => match &session.feed {
+                Some(feed) => {
+                    feed.finish();
+                    Response::json(200, &json!({ "ok": true }))
+                }
+                None => Response::error(409, "session is not feed-backed"),
+            },
+            ("GET", Some("progress")) => {
+                let st = session.cell.state.lock().expect("session state");
+                let mut body = String::new();
+                body.push_str("{\"schema\":\"pka.snapshot/v1\",\"type\":\"header\"}\n");
+                for line in &st.progress {
+                    body.push_str(line);
+                    body.push('\n');
+                }
+                drop(st);
+                Response::raw(200, "application/x-ndjson", body)
+            }
+            ("GET", Some("result")) => {
+                let st = session.cell.state.lock().expect("session state");
+                match st.status() {
+                    Status::Done => {
+                        let result = st.result.clone().unwrap_or(Value::Null);
+                        Response::json(200, &result)
+                    }
+                    Status::Failed => {
+                        let msg = st.error.clone().unwrap_or_else(|| "failed".into());
+                        Response::json(
+                            409,
+                            &json!({ "status": "failed", "error": msg }),
+                        )
+                    }
+                    Status::Cancelled => {
+                        Response::json(409, &json!({ "status": "cancelled" }))
+                    }
+                    s => Response::json(202, &json!({ "status": s.as_str() })),
+                }
+            }
+            ("GET", Some("checkpoint")) => {
+                let st = session.cell.state.lock().expect("session state");
+                let bytes = st
+                    .final_checkpoint
+                    .clone()
+                    .or_else(|| st.last_checkpoint.clone());
+                match bytes {
+                    Some(b) => Response::raw(200, "application/json", b),
+                    None => Response::error(404, "no checkpoint yet"),
+                }
+            }
+            ("GET", Some("attribution")) => {
+                let st = session.cell.state.lock().expect("session state");
+                match st.attribution.clone() {
+                    Some(b) => Response::raw(200, "application/json", b),
+                    None => Response::error(404, "no attribution yet"),
+                }
+            }
+            _ => Response::error(405, "unsupported session operation"),
+        }
+    }
+
+    fn append_records(&self, req: &Request, session: &Session) -> Response {
+        let Some(feed) = &session.feed else {
+            return Response::error(409, "session is not feed-backed");
+        };
+        if session
+            .cell
+            .state
+            .lock()
+            .expect("session state")
+            .status()
+            .is_terminal()
+        {
+            return Response::error(409, "session already finished");
+        }
+        let text = match req.body_text() {
+            Ok(t) => t,
+            Err(_) => return Response::error(400, "request body is not UTF-8"),
+        };
+        match feed.push_lines(text) {
+            Ok(accepted) => Response::json(
+                200,
+                &json!({ "accepted": accepted, "buffered": feed.buffered() as u64 }),
+            ),
+            Err(e) => Response::error(409, &e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, Read};
+
+    fn send(addr: SocketAddr, raw: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("send");
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).expect("status line");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        let mut content_length = 0usize;
+        loop {
+            let mut h = String::new();
+            reader.read_line(&mut h).expect("header");
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some(v) = h.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().expect("length");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("body");
+        (status, String::from_utf8(body).expect("utf8"))
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        send(
+            addr,
+            &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+        )
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+        send(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let server = PkaServer::bind(ServerConfig::default()).expect("bind");
+        let addr = server.addr().expect("addr");
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.run().expect("run"));
+            let (status, body) = get(addr, "/healthz");
+            assert_eq!(status, 200);
+            assert!(body.contains("\"ok\":true"), "{body}");
+            let (status, _) = get(addr, "/nope");
+            assert_eq!(status, 404);
+            let (status, _) = get(addr, "/v1/sessions/s99");
+            assert_eq!(status, 404);
+            let (status, _) = post(addr, "/v1/shutdown", "");
+            assert_eq!(status, 200);
+            handle.join().expect("server thread");
+        });
+    }
+
+    #[test]
+    fn bad_spec_is_rejected_synchronously() {
+        let server = PkaServer::bind(ServerConfig::default()).expect("bind");
+        let addr = server.addr().expect("addr");
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.run().expect("run"));
+            let (status, body) = post(addr, "/v1/sessions", "{\"mode\":\"nope\"}");
+            assert_eq!(status, 400, "{body}");
+            let (status, body) =
+                post(addr, "/v1/sessions", "{\"source\":\"synthetic:0\"}");
+            assert_eq!(status, 400, "{body}");
+            let (status, _) = post(addr, "/v1/shutdown", "");
+            assert_eq!(status, 200);
+            handle.join().expect("server thread");
+        });
+    }
+}

@@ -391,7 +391,9 @@ impl Checkpoint {
         Self::from_value(&value)
     }
 
-    /// Writes the canonical rendering (plus trailing newline) to `path`.
+    /// Writes the canonical rendering (plus trailing newline) to `path`,
+    /// atomically: a reader (or a crash) can observe the previous file or
+    /// the new one, never a torn mix — see [`write_atomic`].
     ///
     /// # Errors
     ///
@@ -399,7 +401,7 @@ impl Checkpoint {
     pub fn write_to(&self, path: &std::path::Path) -> Result<(), StreamError> {
         let mut text = self.to_json();
         text.push('\n');
-        std::fs::write(path, text)?;
+        write_atomic(path, &text)?;
         Ok(())
     }
 
@@ -410,6 +412,32 @@ impl Checkpoint {
     /// Propagates I/O failures and parse errors.
     pub fn read_from(path: &std::path::Path) -> Result<Self, StreamError> {
         Self::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+/// Writes `contents` through a unique temp file in `path`'s directory,
+/// then renames it over `path`. The rename is atomic on POSIX, so a
+/// checkpoint file on disk is always either the previous complete
+/// checkpoint or the new complete one — a process killed mid-write (the
+/// server's cancel-on-teardown path) can never leave a torn
+/// `pka.stream_checkpoint/v1` behind, only an orphaned `.tmp` that the
+/// next successful write of the same path does not disturb.
+fn write_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let file_name = path
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "checkpoint".to_string());
+    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}.{n}", std::process::id()));
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
     }
 }
 
@@ -816,7 +844,9 @@ impl ShardedCheckpoint {
         Self::from_value(&value)
     }
 
-    /// Writes the canonical rendering (plus trailing newline) to `path`.
+    /// Writes the canonical rendering (plus trailing newline) to `path`,
+    /// atomically: a reader (or a crash) can observe the previous file or
+    /// the new one, never a torn mix — see [`write_atomic`].
     ///
     /// # Errors
     ///
@@ -824,7 +854,7 @@ impl ShardedCheckpoint {
     pub fn write_to(&self, path: &std::path::Path) -> Result<(), StreamError> {
         let mut text = self.to_json();
         text.push('\n');
-        std::fs::write(path, text)?;
+        write_atomic(path, &text)?;
         Ok(())
     }
 
@@ -1030,5 +1060,42 @@ mod tests {
         let back = Checkpoint::read_from(&path).unwrap();
         assert_eq!(back, cp);
         std::fs::remove_file(&path).ok();
+    }
+
+    /// The kill-mid-write guarantee: with a writer rewriting the same
+    /// checkpoint path as fast as it can, a concurrent reader must only
+    /// ever observe complete, parseable checkpoints — the temp-file +
+    /// rename path means there is no moment at which the file is truncated
+    /// or half-written. (`fs::write` in place fails this immediately: the
+    /// reader catches the truncate-then-write window.)
+    #[test]
+    fn concurrent_reads_never_observe_torn_checkpoints() {
+        let dir = std::env::temp_dir().join(format!(
+            "pka_stream_atomic_write_test_{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.json");
+        sample().write_to(&path).unwrap();
+
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let path = path.clone();
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut cp = sample();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    cp.seq += 1;
+                    cp.write_to(&path).unwrap();
+                }
+            })
+        };
+        for _ in 0..400 {
+            let cp = Checkpoint::read_from(&path).expect("read mid-rewrite must parse");
+            assert_eq!(cp.source, sample().source);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        writer.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

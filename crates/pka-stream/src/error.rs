@@ -30,6 +30,11 @@ pub enum StreamError {
         /// What was inconsistent.
         message: String,
     },
+    /// The run was stopped through a [`CancelToken`](crate::CancelToken).
+    /// The pipeline delivered a teardown checkpoint through `on_checkpoint`
+    /// before returning this, so the stream is resumable from where it
+    /// stopped.
+    Cancelled,
 }
 
 impl fmt::Display for StreamError {
@@ -44,6 +49,7 @@ impl fmt::Display for StreamError {
             }
             StreamError::Pipeline { message } => write!(f, "stream pipeline: {message}"),
             StreamError::Checkpoint { message } => write!(f, "stream checkpoint: {message}"),
+            StreamError::Cancelled => write!(f, "stream cancelled at a batch boundary"),
         }
     }
 }

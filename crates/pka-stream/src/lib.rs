@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod checkpoint;
 mod drift;
 mod error;
@@ -56,6 +57,7 @@ mod ring;
 mod shard;
 mod source;
 
+pub use cancel::CancelToken;
 pub use checkpoint::{
     Checkpoint, MergedSection, ReservoirItem, ReservoirState, ShardSection, ShardedCheckpoint,
     CHECKPOINT_SCHEMA,
@@ -67,5 +69,6 @@ pub use pipeline::{StreamConfig, StreamOutcome, StreamPks, StreamReport};
 pub use ring::{HashRing, VIRTUAL_NODES};
 pub use shard::{ShardedOutcome, ShardedStreamPks};
 pub use source::{
-    synthetic_workload, JsonlSource, KernelSource, RecordsSource, SourceRecord, WorkloadSource,
+    synthetic_workload, FeedHandle, FeedSource, JsonlSource, KernelSource, RecordsSource,
+    SourceRecord, WorkloadSource,
 };

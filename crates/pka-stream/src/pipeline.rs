@@ -9,6 +9,7 @@ use pka_stats::hash::{mix64, UnitStream};
 use pka_stats::Executor;
 use serde_json::{json, Map, Value};
 
+use crate::cancel::CancelToken;
 use crate::checkpoint::{Checkpoint, ReservoirItem, ReservoirState};
 use crate::drift::{Drift, DriftTracker};
 use crate::normalize::StreamingNormalizer;
@@ -538,8 +539,33 @@ impl StreamPks {
         S: KernelSource + ?Sized,
         F: FnMut(&Checkpoint) -> Result<(), StreamError>,
     {
+        self.run_with_cancel(source, on_checkpoint, &CancelToken::new())
+    }
+
+    /// [`run`](Self::run) with cooperative cancellation: `cancel` is polled
+    /// at every batch boundary of the tail. When it fires, one final
+    /// teardown checkpoint (at the exact record count folded so far) is
+    /// delivered through `on_checkpoint` and the run returns
+    /// [`StreamError::Cancelled`] — every record that was classified is in
+    /// that checkpoint, so [`resume`](Self::resume) continues from it
+    /// without re-processing anything.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run`](Self::run) can fail with, plus
+    /// [`StreamError::Cancelled`] when the token fires.
+    pub fn run_with_cancel<S, F>(
+        &self,
+        source: &mut S,
+        on_checkpoint: F,
+        cancel: &CancelToken,
+    ) -> Result<StreamOutcome, StreamError>
+    where
+        S: KernelSource + ?Sized,
+        F: FnMut(&Checkpoint) -> Result<(), StreamError>,
+    {
         let (mut state, ensemble, source_name) = self.bootstrap(source)?;
-        self.drain_tail(source, &mut state, ensemble.as_ref(), &source_name, on_checkpoint)
+        self.drain_tail(source, &mut state, ensemble.as_ref(), &source_name, on_checkpoint, cancel)
     }
 
     /// Resumes from `checkpoint` against a restartable `source`.
@@ -560,6 +586,28 @@ impl StreamPks {
         source: &mut S,
         checkpoint: &Checkpoint,
         on_checkpoint: F,
+    ) -> Result<StreamOutcome, StreamError>
+    where
+        S: KernelSource + ?Sized,
+        F: FnMut(&Checkpoint) -> Result<(), StreamError>,
+    {
+        self.resume_with_cancel(source, checkpoint, on_checkpoint, &CancelToken::new())
+    }
+
+    /// [`resume`](Self::resume) with cooperative cancellation, with the
+    /// same batch-boundary semantics as
+    /// [`run_with_cancel`](Self::run_with_cancel).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`resume`](Self::resume) can fail with, plus
+    /// [`StreamError::Cancelled`] when the token fires.
+    pub fn resume_with_cancel<S, F>(
+        &self,
+        source: &mut S,
+        checkpoint: &Checkpoint,
+        on_checkpoint: F,
+        cancel: &CancelToken,
     ) -> Result<StreamOutcome, StreamError>
     where
         S: KernelSource + ?Sized,
@@ -637,7 +685,7 @@ impl StreamPks {
                 }),
             );
         }
-        self.drain_tail(source, &mut state, ensemble.as_ref(), &source_name, on_checkpoint)
+        self.drain_tail(source, &mut state, ensemble.as_ref(), &source_name, on_checkpoint, cancel)
     }
 
     /// Buffers the detailed prefix, runs batch PKS over it, trains the tail
@@ -716,7 +764,9 @@ impl StreamPks {
         );
     }
 
-    /// Streams the tail in bounded batches until end of stream.
+    /// Streams the tail in bounded batches until end of stream (or until
+    /// `cancel` fires at a batch boundary — see
+    /// [`run_with_cancel`](Self::run_with_cancel)).
     fn drain_tail<S, F>(
         &self,
         source: &mut S,
@@ -724,6 +774,7 @@ impl StreamPks {
         ensemble: Option<&Ensemble>,
         source_name: &str,
         mut on_checkpoint: F,
+        cancel: &CancelToken,
     ) -> Result<StreamOutcome, StreamError>
     where
         S: KernelSource + ?Sized,
@@ -778,6 +829,24 @@ impl StreamPks {
                     },
                     |run| -> Result<(), StreamError> {
                         loop {
+                            // Cancellation point: between batches, so every
+                            // folded record is in the teardown checkpoint
+                            // and no half-classified batch is observable.
+                            if cancel.is_cancelled() {
+                                let checkpoint = self.snapshot(state, source_name, true);
+                                on_checkpoint(&checkpoint)?;
+                                if obs {
+                                    pka_obs::counter("stream.cancels").incr();
+                                    pka_obs::trace_event(
+                                        "stream.cancel",
+                                        json!({
+                                            "seq": checkpoint.seq,
+                                            "records": checkpoint.records
+                                        }),
+                                    );
+                                }
+                                return Err(StreamError::Cancelled);
+                            }
                             // Refill between rounds: rounds never overlap
                             // `body` code, so the write lock is uncontended.
                             let filled = {
@@ -1165,5 +1234,84 @@ mod tests {
             .resume(&mut src, &outcome.final_checkpoint, |_| Ok(()))
             .unwrap_err();
         assert!(matches!(err, StreamError::Checkpoint { .. }), "{err:?}");
+    }
+
+    /// Cancelling mid-tail stops within one batch of the request, delivers
+    /// a teardown checkpoint covering exactly the records folded so far,
+    /// and that checkpoint resumes to the same selection as an
+    /// uninterrupted run.
+    #[test]
+    fn cancel_mid_tail_leaves_resumable_checkpoint() {
+        let full = {
+            let mut src = source(3_000);
+            StreamPks::new(small_config()).run(&mut src, |_| Ok(())).unwrap()
+        };
+
+        let mut src = source(3_000);
+        let cancel = CancelToken::new();
+        let mut teardown: Option<Checkpoint> = None;
+        let result = StreamPks::new(small_config()).run_with_cancel(
+            &mut src,
+            |cp| {
+                // Fire after the first delivered checkpoint: the next batch
+                // boundary must stop the run.
+                cancel.cancel();
+                teardown = Some(cp.clone());
+                Ok(())
+            },
+            &cancel,
+        );
+        assert_eq!(result.unwrap_err(), StreamError::Cancelled);
+        let teardown = teardown.expect("teardown checkpoint was delivered");
+        assert!(
+            teardown.records < 3_000,
+            "cancelled mid-stream, got {} records",
+            teardown.records
+        );
+        // Within one batch of the cancellation point (the checkpoint at 500
+        // records triggered it; the batch is 64).
+        assert!(
+            teardown.records <= 500 + 64,
+            "stopped {} records past the cancel point",
+            teardown.records
+        );
+
+        let mut src = source(3_000);
+        let resumed = StreamPks::new(small_config())
+            .resume(&mut src, &teardown, |_| Ok(()))
+            .unwrap();
+        assert_eq!(resumed.report.records, 3_000);
+        assert_eq!(resumed.report.selected_k, full.report.selected_k);
+        assert_eq!(
+            resumed.report.projected_cycles,
+            full.report.projected_cycles
+        );
+        assert_eq!(
+            resumed.selection.representative_ids(),
+            full.selection.representative_ids()
+        );
+    }
+
+    /// A token cancelled before the run starts still bootstraps the prefix
+    /// (it is bounded) and stops at the first tail batch boundary.
+    #[test]
+    fn pre_cancelled_run_stops_at_first_boundary() {
+        let mut src = source(2_000);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let mut checkpoints = 0u32;
+        let mut at_records = 0u64;
+        let result = StreamPks::new(small_config()).run_with_cancel(
+            &mut src,
+            |cp| {
+                checkpoints += 1;
+                at_records = cp.records;
+                Ok(())
+            },
+            &cancel,
+        );
+        assert_eq!(result.unwrap_err(), StreamError::Cancelled);
+        assert_eq!(checkpoints, 1, "exactly the teardown checkpoint");
+        assert_eq!(at_records, 200, "stopped right after the prefix");
     }
 }

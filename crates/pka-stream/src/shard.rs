@@ -43,6 +43,7 @@ use pka_stats::Executor;
 use serde_json::json;
 use std::sync::{Mutex, RwLock};
 
+use crate::cancel::CancelToken;
 use crate::checkpoint::{MergedSection, ReservoirItem, ReservoirState, ShardSection, ShardedCheckpoint};
 use crate::drift::{Drift, DriftTracker};
 use crate::merge::{lloyd_iterations, merge_sections};
@@ -321,11 +322,34 @@ impl ShardedStreamPks {
         S: KernelSource + ?Sized,
         F: FnMut(&ShardedCheckpoint) -> Result<(), StreamError>,
     {
+        self.run_with_cancel(source, on_checkpoint, &CancelToken::new())
+    }
+
+    /// [`run`](Self::run) with cooperative cancellation: `cancel` is polled
+    /// at every tail batch boundary. When it fires, one teardown checkpoint
+    /// covering every folded record is delivered through `on_checkpoint`
+    /// and the run returns [`StreamError::Cancelled`];
+    /// [`resume`](Self::resume) continues from that checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run`](Self::run) can fail with, plus
+    /// [`StreamError::Cancelled`] when the token fires.
+    pub fn run_with_cancel<S, F>(
+        &self,
+        source: &mut S,
+        on_checkpoint: F,
+        cancel: &CancelToken,
+    ) -> Result<ShardedOutcome, StreamError>
+    where
+        S: KernelSource + ?Sized,
+        F: FnMut(&ShardedCheckpoint) -> Result<(), StreamError>,
+    {
         let model = PrefixModel::bootstrap(&self.config, &self.exec, source)?;
         let states: Vec<ShardState> = (0..self.shards)
             .map(|_| ShardState::seeded(&model, &self.config))
             .collect();
-        self.drain(source, model, states, 0, 0, 0, on_checkpoint)
+        self.drain(source, model, states, 0, 0, 0, on_checkpoint, cancel)
     }
 
     /// Resumes from `checkpoint` against a restartable `source`,
@@ -342,6 +366,28 @@ impl ShardedStreamPks {
         source: &mut S,
         checkpoint: &ShardedCheckpoint,
         on_checkpoint: F,
+    ) -> Result<ShardedOutcome, StreamError>
+    where
+        S: KernelSource + ?Sized,
+        F: FnMut(&ShardedCheckpoint) -> Result<(), StreamError>,
+    {
+        self.resume_with_cancel(source, checkpoint, on_checkpoint, &CancelToken::new())
+    }
+
+    /// [`resume`](Self::resume) with cooperative cancellation, with the
+    /// same batch-boundary semantics as
+    /// [`run_with_cancel`](Self::run_with_cancel).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`resume`](Self::resume) can fail with, plus
+    /// [`StreamError::Cancelled`] when the token fires.
+    pub fn resume_with_cancel<S, F>(
+        &self,
+        source: &mut S,
+        checkpoint: &ShardedCheckpoint,
+        on_checkpoint: F,
+        cancel: &CancelToken,
     ) -> Result<ShardedOutcome, StreamError>
     where
         S: KernelSource + ?Sized,
@@ -432,6 +478,7 @@ impl ShardedStreamPks {
             checkpoint.seq,
             checkpoint.max_buffered,
             on_checkpoint,
+            cancel,
         )
     }
 
@@ -452,6 +499,7 @@ impl ShardedStreamPks {
         seq: u64,
         max_buffered: u64,
         mut on_checkpoint: F,
+        cancel: &CancelToken,
     ) -> Result<ShardedOutcome, StreamError>
     where
         S: KernelSource + ?Sized,
@@ -525,6 +573,39 @@ impl ShardedStreamPks {
                     },
                     |run| -> Result<(), StreamError> {
                         loop {
+                            // Cancellation point: between batches, so every
+                            // folded record is in the teardown checkpoint
+                            // and no half-classified batch is observable.
+                            if cancel.is_cancelled() {
+                                seq += 1;
+                                checkpoints_emitted += 1;
+                                let checkpoint = build_checkpoint(
+                                    &self.config,
+                                    &cells,
+                                    &pristine,
+                                    seq,
+                                    records,
+                                    prefix_records,
+                                    &source_name,
+                                    self.shards,
+                                    map_hash,
+                                    shard_cap,
+                                    max_buffered,
+                                    None,
+                                );
+                                on_checkpoint(&checkpoint)?;
+                                if obs {
+                                    pka_obs::counter("stream.cancels").incr();
+                                    pka_obs::trace_event(
+                                        "stream.cancel",
+                                        json!({
+                                            "seq": checkpoint.seq,
+                                            "records": checkpoint.records,
+                                        }),
+                                    );
+                                }
+                                return Err(StreamError::Cancelled);
+                            }
                             // Live reshard: serialise the shard's section,
                             // re-parse it, hand the rebuilt state to its new
                             // lane. Placement is untouched, so every byte of
@@ -1196,6 +1277,41 @@ mod tests {
             resumed.final_checkpoint.to_json(),
             uninterrupted.final_checkpoint.to_json(),
             "resume must reproduce the uninterrupted run byte-for-byte"
+        );
+    }
+
+    /// Sharded cancellation mirrors the single-pipeline contract: stop at a
+    /// batch boundary, deliver a teardown checkpoint, resume to the same
+    /// selection as an uninterrupted run.
+    #[test]
+    fn sharded_cancel_leaves_resumable_checkpoint() {
+        let engine = ShardedStreamPks::new(small_config(), 3);
+        let mut src = source(2_400);
+        let full = engine.run(&mut src, |_| Ok(())).unwrap();
+
+        let cancel = CancelToken::new();
+        let mut teardown: Option<ShardedCheckpoint> = None;
+        let mut src = source(2_400);
+        let result = engine.run_with_cancel(
+            &mut src,
+            |cp| {
+                cancel.cancel();
+                teardown = Some(cp.clone());
+                Ok(())
+            },
+            &cancel,
+        );
+        assert_eq!(result.unwrap_err(), StreamError::Cancelled);
+        let teardown = teardown.expect("teardown checkpoint was delivered");
+        assert!(teardown.records < 2_400);
+
+        let mut src = source(2_400);
+        let resumed = engine.resume(&mut src, &teardown, |_| Ok(())).unwrap();
+        assert_eq!(resumed.report.records, 2_400);
+        assert_eq!(resumed.report.selected_k, full.report.selected_k);
+        assert_eq!(
+            resumed.report.projected_cycles,
+            full.report.projected_cycles
         );
     }
 }

@@ -1,6 +1,8 @@
+use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{BufRead, BufReader};
 use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
 
 use pka_gpu::{KernelDescriptor, KernelId, KernelMetrics};
 use pka_profile::{DetailedRecord, LightweightRecord, Profiler};
@@ -493,10 +495,23 @@ impl JsonlSource {
     }
 
     fn parse(&self, text: &str, want_detailed: bool) -> Result<SourceRecord, StreamError> {
-        let bad = |message: String| StreamError::Parse {
-            line: self.line,
-            message,
-        };
+        parse_record_line(text, self.line, want_detailed)
+    }
+}
+
+/// Parses one `pka.kernel_record/v1` JSONL line (the format
+/// [`SourceRecord::to_jsonl`] emits) into a [`SourceRecord`]. `line` is the
+/// 1-based position used in parse errors. The detailed view is only
+/// extracted when `want_detailed` is set — exactly [`JsonlSource`]'s
+/// behaviour, which also backs [`FeedSource`] so records fed over the wire
+/// parse byte-for-byte like records read from a file.
+fn parse_record_line(
+    text: &str,
+    line: u64,
+    want_detailed: bool,
+) -> Result<SourceRecord, StreamError> {
+    {
+        let bad = |message: String| StreamError::Parse { line, message };
         let value: Value = serde_json::from_str(text.trim())
             .map_err(|e| bad(format!("invalid json: {e}")))?;
         let Value::Object(obj) = &value else {
@@ -614,6 +629,224 @@ impl KernelSource for JsonlSource {
         self.reader = Box::new(BufReader::new(file));
         self.line = 0;
         Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental feed
+// ---------------------------------------------------------------------------
+
+/// Shared state between a [`FeedSource`] and its [`FeedHandle`]s: a bounded
+/// queue of raw `pka.kernel_record/v1` lines plus the end-of-feed /
+/// abandoned flags. Raw lines (not parsed records) are queued so the
+/// consumer side parses with the `want_detailed` flag the pipeline actually
+/// asked for — byte-for-byte the same records a [`JsonlSource`] over the
+/// concatenated lines would produce.
+struct FeedShared {
+    queue: Mutex<FeedQueue>,
+    /// Signalled when lines arrive, the feed finishes, or it is abandoned.
+    ready: Condvar,
+    /// Signalled when queue space frees up (producer back-pressure).
+    space: Condvar,
+}
+
+struct FeedQueue {
+    lines: VecDeque<String>,
+    /// Producer promised no more lines.
+    finished: bool,
+    /// Consumer side told producers to stop (teardown): pushes fail fast
+    /// instead of blocking on a queue nobody will drain.
+    abandoned: bool,
+    capacity: usize,
+}
+
+/// Producer half of an in-process record feed: push JSONL lines in, they
+/// come out of the paired [`FeedSource`] in order. Cloneable; all clones
+/// share the queue.
+#[derive(Clone)]
+pub struct FeedHandle {
+    shared: Arc<FeedShared>,
+}
+
+impl FeedHandle {
+    /// Appends one `pka.kernel_record/v1` JSONL line. Blocks while the
+    /// queue is at capacity (bounded-memory back-pressure); blank lines are
+    /// ignored, matching [`JsonlSource`].
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Source`] when the feed was already finished, or when
+    /// the consumer abandoned it (session teardown).
+    pub fn push_line(&self, line: &str) -> Result<(), StreamError> {
+        if line.trim().is_empty() {
+            return Ok(());
+        }
+        let mut queue = self.shared.queue.lock().expect("feed queue lock");
+        loop {
+            if queue.abandoned {
+                return Err(StreamError::Source {
+                    message: "feed abandoned: the consuming session was torn down".into(),
+                });
+            }
+            if queue.finished {
+                return Err(StreamError::Source {
+                    message: "feed already finished: no more records accepted".into(),
+                });
+            }
+            if queue.lines.len() < queue.capacity {
+                queue.lines.push_back(line.to_string());
+                self.shared.ready.notify_all();
+                return Ok(());
+            }
+            queue = self
+                .shared
+                .space
+                .wait(queue)
+                .expect("feed queue lock");
+        }
+    }
+
+    /// Appends every non-blank line of `text`, returning how many were
+    /// accepted.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`push_line`](Self::push_line); lines before the failure
+    /// stay queued.
+    pub fn push_lines(&self, text: &str) -> Result<u64, StreamError> {
+        let mut accepted = 0;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            self.push_line(line)?;
+            accepted += 1;
+        }
+        Ok(accepted)
+    }
+
+    /// Marks the feed complete: the paired [`FeedSource`] reports end of
+    /// stream once the queue drains. Idempotent.
+    pub fn finish(&self) {
+        let mut queue = self.shared.queue.lock().expect("feed queue lock");
+        queue.finished = true;
+        self.shared.ready.notify_all();
+        self.shared.space.notify_all();
+    }
+
+    /// Marks the feed abandoned: blocked and future pushes fail, and the
+    /// paired [`FeedSource`] reports end of stream once the queue drains —
+    /// the consumer folds what it already has and stops cleanly. Used by
+    /// session teardown together with a
+    /// [`CancelToken`](crate::CancelToken). Idempotent.
+    pub fn abandon(&self) {
+        let mut queue = self.shared.queue.lock().expect("feed queue lock");
+        queue.abandoned = true;
+        queue.finished = true;
+        self.shared.ready.notify_all();
+        self.shared.space.notify_all();
+    }
+
+    /// Lines currently buffered (waiting to be consumed).
+    pub fn buffered(&self) -> usize {
+        self.shared.queue.lock().expect("feed queue lock").lines.len()
+    }
+}
+
+/// A [`KernelSource`] fed incrementally by a [`FeedHandle`] — the
+/// `pka-server` streaming-session transport. Records arrive as raw
+/// `pka.kernel_record/v1` JSONL lines and are parsed on consumption with
+/// the pipeline's own `want_detailed` flag, so a feed carrying the lines of
+/// a file is indistinguishable from a [`JsonlSource`] over that file
+/// (including parse errors and line numbers). The queue is bounded:
+/// producers block at `capacity` lines, keeping per-session memory at
+/// O(capacity) on top of the pipeline's own budget.
+///
+/// Not restartable (records are consumed as they stream through), so
+/// `--verify-batch`-style re-reads and in-place resume are unavailable;
+/// resume a checkpoint against a restartable source carrying the same
+/// records (the label names it).
+pub struct FeedSource {
+    shared: Arc<FeedShared>,
+    label: String,
+    line: u64,
+}
+
+impl FeedSource {
+    /// Creates a feed with the given source label (use the name of the
+    /// restartable source the records come from, e.g. `jsonl:records.jsonl`
+    /// — checkpoints embed it, and resume matches on it) and queue
+    /// capacity in lines.
+    pub fn new(label: impl Into<String>, capacity: usize) -> (Self, FeedHandle) {
+        let shared = Arc::new(FeedShared {
+            queue: Mutex::new(FeedQueue {
+                lines: VecDeque::new(),
+                finished: false,
+                abandoned: false,
+                capacity: capacity.max(1),
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+        });
+        let source = Self {
+            shared: Arc::clone(&shared),
+            label: label.into(),
+            line: 0,
+        };
+        (source, FeedHandle { shared })
+    }
+
+    /// Blocks until a line is available or the feed is finished; `None`
+    /// means end of feed.
+    fn next_line(&mut self) -> Option<String> {
+        let mut queue = self.shared.queue.lock().expect("feed queue lock");
+        loop {
+            if let Some(line) = queue.lines.pop_front() {
+                self.shared.space.notify_all();
+                self.line += 1;
+                return Some(line);
+            }
+            if queue.finished {
+                return None;
+            }
+            queue = self
+                .shared
+                .ready
+                .wait(queue)
+                .expect("feed queue lock");
+        }
+    }
+}
+
+impl KernelSource for FeedSource {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+
+    fn next_record(&mut self, want_detailed: bool) -> Result<Option<SourceRecord>, StreamError> {
+        match self.next_line() {
+            None => Ok(None),
+            Some(text) => Ok(Some(parse_record_line(&text, self.line, want_detailed)?)),
+        }
+    }
+
+    fn skip(&mut self, n: u64) -> Result<u64, StreamError> {
+        let mut skipped = 0;
+        while skipped < n {
+            if self.next_line().is_none() {
+                break;
+            }
+            skipped += 1;
+        }
+        Ok(skipped)
+    }
+
+    fn restart(&mut self) -> Result<(), StreamError> {
+        Err(StreamError::NotRestartable)
     }
 }
 
@@ -752,5 +985,101 @@ mod tests {
     fn stdin_like_sources_refuse_restart() {
         let mut src = JsonlSource::from_reader("jsonl:-", std::io::Cursor::new(String::new()));
         assert_eq!(src.restart(), Err(StreamError::NotRestartable));
+    }
+
+    /// Records pulled from a feed carrying a file's lines are identical to
+    /// records read from the file itself — both views, in order.
+    #[test]
+    fn feed_source_matches_jsonl_source() {
+        let workload = synthetic_workload(40);
+        let profiler = Profiler::new(GpuConfig::v100());
+        let records = RecordsSource::profile(&workload, &profiler).unwrap();
+        let mut lines = String::new();
+        let mut reference = Vec::new();
+        let mut src = records;
+        while let Some(r) = src.next_record(true).unwrap() {
+            lines.push_str(&r.to_jsonl().to_string());
+            lines.push('\n');
+            reference.push(r);
+        }
+
+        let (mut feed, handle) = FeedSource::new("jsonl:feed-test", 8);
+        let mut jsonl =
+            JsonlSource::from_reader("jsonl:feed-test", std::io::Cursor::new(lines.clone()));
+        let producer = std::thread::spawn(move || {
+            let pushed = handle.push_lines(&lines).unwrap();
+            handle.finish();
+            pushed
+        });
+        assert_eq!(feed.name(), "jsonl:feed-test");
+        for (i, original) in reference.iter().enumerate() {
+            let want_detailed = i < 10;
+            let from_feed = feed.next_record(want_detailed).unwrap().unwrap();
+            let from_file = jsonl.next_record(want_detailed).unwrap().unwrap();
+            assert_eq!(from_feed.lightweight, from_file.lightweight);
+            assert_eq!(
+                from_feed.detailed.is_some(),
+                from_file.detailed.is_some(),
+                "record {i}"
+            );
+            assert_eq!(from_feed.lightweight.kernel_id, original.lightweight.kernel_id);
+        }
+        assert!(feed.next_record(false).unwrap().is_none());
+        assert!(jsonl.next_record(false).unwrap().is_none());
+        assert_eq!(producer.join().unwrap(), reference.len() as u64);
+        assert_eq!(feed.restart(), Err(StreamError::NotRestartable));
+    }
+
+    /// The queue is bounded: a producer pushing past capacity blocks until
+    /// the consumer drains, and never loses or reorders lines.
+    #[test]
+    fn feed_backpressure_blocks_and_preserves_order() {
+        let line = |id: u64| {
+            format!(
+                r#"{{"id":{id},"name":"k","grid_blocks":8,"block_threads":64,"shared_mem_bytes":0,"tensor_elements":512}}"#
+            )
+        };
+        let (mut feed, handle) = FeedSource::new("jsonl:bp", 4);
+        let producer = std::thread::spawn(move || {
+            for id in 0..64u64 {
+                handle.push_line(&line(id)).unwrap();
+            }
+            handle.finish();
+        });
+        let mut seen = Vec::new();
+        while let Some(r) = feed.next_record(false).unwrap() {
+            seen.push(r.lightweight.kernel_id.index());
+        }
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+        producer.join().unwrap();
+    }
+
+    /// Abandoning the feed fails producers fast and ends the stream for
+    /// the consumer once the buffered lines drain.
+    #[test]
+    fn feed_abandon_unblocks_producer_and_ends_stream() {
+        let line = r#"{"id":1,"name":"k","grid_blocks":8,"block_threads":64,"shared_mem_bytes":0,"tensor_elements":512}"#;
+        let (mut feed, handle) = FeedSource::new("jsonl:abandon", 1);
+        handle.push_line(line).unwrap();
+        let blocked = {
+            let handle = handle.clone();
+            let line = line.to_string();
+            std::thread::spawn(move || handle.push_line(&line))
+        };
+        // The producer is now blocked on the full queue; abandoning must
+        // wake it with an error rather than leaving it stuck.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        handle.abandon();
+        assert!(matches!(
+            blocked.join().unwrap(),
+            Err(StreamError::Source { .. })
+        ));
+        // The already-buffered line still drains, then the stream ends.
+        assert!(feed.next_record(false).unwrap().is_some());
+        assert!(feed.next_record(false).unwrap().is_none());
+        assert!(matches!(
+            handle.push_line(line),
+            Err(StreamError::Source { .. })
+        ));
     }
 }

@@ -71,6 +71,7 @@ fn main() -> ExitCode {
         "select" => cmd_select(&flags),
         "simulate" => cmd_simulate(&flags),
         "stream" => cmd_stream(&flags),
+        "serve" => cmd_serve(&flags),
         "trace" => cmd_trace(&flags, &positional),
         "obs" => cmd_obs(&flags, &positional),
         "--help" | "-h" | "help" => {
@@ -218,6 +219,9 @@ const USAGE: &str = "usage:
              [--shards N [--reshard-at REC[:SHARD:LANE]]]
              [--attribution-out FILE.json]
              [--gpu ...] [--workers N] [observability flags]
+  pka serve [--addr HOST:PORT] [--http-threads N] [--workers N]
+            [--max-sessions N] [--retain N] [--feed-capacity N]
+            [observability flags]
   pka trace export TRACE.jsonl [--out FILE.json]
   pka obs explain ATTRIBUTION.json
   pka obs diff BASELINE.json CURRENT.json [--counters-only]
@@ -264,6 +268,20 @@ renders it as a ranked table (worst group first, with bootstrap CIs and
 PKP skip ratios) and flags any group past 50% of the total error; feeding
 two attribution artifacts to `obs diff` gates on representative swaps and
 on error drift past `--error-tol` percentage points (default 0.5).
+
+`serve` hosts the whole methodology as a long-running HTTP/1.1 service
+(hand-rolled on std::net, zero external dependencies): POST /v1/sessions
+creates batch (select/simulate) or streaming analysis sessions, records
+can be fed incrementally as `pka.kernel_record/v1` JSONL via
+POST /v1/sessions/{id}/records, GET .../progress serves live
+pka.snapshot/v1 lines, GET .../checkpoint and .../attribution serve the
+byte-exact artifacts the CLI writes, and DELETE .../{id} is
+cancellation-safe teardown: the pipeline stops at the next batch boundary,
+emits one resumable teardown checkpoint, and drains its workers before any
+state is dropped. Every session shares one process-wide executor
+(`--workers`); `--max-sessions` caps concurrently running sessions and
+`--retain` bounds how many completed sessions stay inspectable. The
+service stops on POST /v1/shutdown.
 
 `--fast-math` lets the SIMD distance/projection kernels reassociate their
 reductions across vector lanes. Results are then no longer bitwise equal
@@ -962,6 +980,46 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         record_report(value);
     }
+    Ok(())
+}
+
+/// `pka serve`: host the analysis pipelines as a long-running HTTP
+/// service. Blocks until `POST /v1/shutdown`, then tears every session
+/// down (cancel at the next batch boundary, drain workers) and returns.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    use principal_kernel_analysis::server::{PkaServer, ServerConfig};
+
+    let mut config = ServerConfig::default()
+        .with_addr(
+            flags
+                .get("addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:8077".to_string()),
+        )
+        .with_workers(workers_from(flags)?);
+    if let Some(n) = int_flag(flags, "http-threads")? {
+        config = config.with_http_threads(n as usize);
+    }
+    if let Some(n) = int_flag(flags, "max-sessions")? {
+        config = config.with_max_active_sessions(n as usize);
+    }
+    if let Some(n) = int_flag(flags, "retain")? {
+        config = config.with_retain_completed(n as usize);
+    }
+    if let Some(n) = int_flag(flags, "feed-capacity")? {
+        config = config.with_feed_capacity(n as usize);
+    }
+    let server = PkaServer::bind(config).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr().map_err(|e| format!("local addr: {e}"))?;
+    // Flushed eagerly: supervisors (and the CI smoke test) scrape this
+    // line from a redirected log while the process is still running.
+    println!("pka-server listening on http://{addr}");
+    use std::io::Write as _;
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("flush stdout: {e}"))?;
+    server.run().map_err(|e| format!("serve: {e}"))?;
+    println!("pka-server stopped");
     Ok(())
 }
 

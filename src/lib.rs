@@ -21,6 +21,7 @@
 //! | [`stats`] | `pka-stats` | Online/rolling statistics and error metrics |
 //! | [`baselines`] | `pka-baselines` | TBPoint, first-N instructions, single-iteration |
 //! | [`stream`] | `pka-stream` | Bounded-memory streaming ingestion and online PKS |
+//! | [`server`] | `pka-server` | Long-running HTTP analysis service with session objects |
 //!
 //! # Quickstart
 //!
@@ -52,6 +53,7 @@ pub use pka_gpu as gpu;
 pub use pka_ml as ml;
 pub use pka_obs as obs;
 pub use pka_profile as profile;
+pub use pka_server as server;
 pub use pka_sim as sim;
 pub use pka_stats as stats;
 pub use pka_stream as stream;

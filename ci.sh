@@ -45,7 +45,15 @@
 #      cycles as the batch CLI run and serve byte-identical checkpoint and
 #      attribution artifacts (`cmp`), including under `--shards 2`; a
 #      DELETE mid-stream must exit cleanly leaving a resumable checkpoint
-#      the CLI can finish from
+#      the CLI can finish from. Live telemetry rides the same service run:
+#      `/metrics` is awk-validated raw (every sample family carries a
+#      # TYPE), `pka obs scrape | obs diff` gates the deterministic
+#      families against committed results/ci_baseline_scrape.json (and a
+#      jq-injected regression must fire), a second scrape mid-1M-session
+#      proves counters monotonic and `server.sessions.active` == 1, an SSE
+#      subscriber sees the snapshot header, and after shutdown the access
+#      log's request id for the parity checkpoint fetch must join into a
+#      `server.request` trace event carrying the same session id
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -321,7 +329,8 @@ if command -v curl >/dev/null 2>&1 && command -v jq >/dev/null 2>&1; then
         --checkpoint-every 20000 --shards 2 \
         --checkpoint "$SRV_DIR/cli_shard_ckpt.json" >/dev/null
 
-    ./target/release/pka serve --addr 127.0.0.1:0 > "$SRV_DIR/serve.log" 2>&1 &
+    ./target/release/pka serve --addr 127.0.0.1:0 --read-timeout-ms 5000 \
+        --trace-out "$SRV_DIR/serve_trace.jsonl" > "$SRV_DIR/serve.log" 2>&1 &
     SERVE_PID=$!
     ADDR=""
     for _ in $(seq 1 100); do
@@ -363,6 +372,40 @@ if command -v curl >/dev/null 2>&1 && command -v jq >/dev/null 2>&1; then
     head -n 1 <(curl -sf "http://$ADDR/v1/sessions/$SID/progress") \
         | jq -e '.schema == "pka.snapshot/v1" and .type == "header"' >/dev/null
     echo "server session parity OK (K=$(jq .selected_k "$SRV_DIR/result.json"), artifacts byte-identical)"
+    PARITY_SID="$SID"
+
+    # Live telemetry: raw /metrics must satisfy the exposition grammar
+    # (every sample line's family declared by a preceding # TYPE), and the
+    # scrape->diff gate must pass clean against the committed deterministic
+    # baseline. Extra live families (server traffic, timing histograms) are
+    # informational on the current side; a baseline family disappearing or
+    # drifting is a regression.
+    curl -sf "http://$ADDR/metrics" -o "$SRV_DIR/metrics1.txt"
+    awk '
+        /^# TYPE / { type[$3] = 1; next }
+        /^#/ { next }
+        NF == 0 { next }
+        {
+            name = $1; sub(/\{.*/, "", name)
+            fam = name
+            sub(/_bucket$/, "", fam); sub(/_count$/, "", fam); sub(/_sum$/, "", fam)
+            if (!(name in type) && !(fam in type)) {
+                print "sample without # TYPE: " $1 > "/dev/stderr"; exit 1
+            }
+        }
+    ' "$SRV_DIR/metrics1.txt"
+    ./target/release/pka obs scrape "http://$ADDR/metrics" --out "$SRV_DIR/scrape1.json"
+    ./target/release/pka obs diff results/ci_baseline_scrape.json \
+        "$SRV_DIR/scrape1.json" --counters-only
+    jq '.counters.pka_stream_records_total += 1' results/ci_baseline_scrape.json \
+        > "$SRV_DIR/scrape_regressed.json"
+    if ./target/release/pka obs diff "$SRV_DIR/scrape_regressed.json" \
+        "$SRV_DIR/scrape1.json" --counters-only > "$SRV_DIR/scrape_diff_out.txt" 2>&1; then
+        echo "obs diff failed to flag an injected scrape regression" >&2
+        exit 1
+    fi
+    grep -q "REGRESSION" "$SRV_DIR/scrape_diff_out.txt"
+    echo "server scrape gate OK ($(jq '.counters | length' "$SRV_DIR/scrape1.json") counter series)"
 
     # Sharded session: same contract under --shards 2.
     SID="$(curl -sf -X POST "http://$ADDR/v1/sessions" \
@@ -383,6 +426,26 @@ if command -v curl >/dev/null 2>&1 && command -v jq >/dev/null 2>&1; then
         [ "$REC" -ge 10000 ] && break
         sleep 0.05
     done
+
+    # Mid-session telemetry: the 1M-kernel session is live right now. The
+    # bare host:port form exercises the default /metrics path of `scrape`.
+    ./target/release/pka obs scrape "http://$ADDR" --out "$SRV_DIR/scrape2.json"
+    jq -e '
+        .gauges.pka_server_sessions_active == 1
+        and .counters.pka_server_sessions_created_total == 3
+    ' "$SRV_DIR/scrape2.json" >/dev/null
+    # Counters and stage totals only move forward between scrapes.
+    jq -en --slurpfile a "$SRV_DIR/scrape1.json" --slurpfile b "$SRV_DIR/scrape2.json" '
+        all($a[0].counters | to_entries[]; ($b[0].counters[.key] // -1) >= .value)
+        and all($a[0].stages | to_entries[];
+                ($b[0].stages[.key].total_ns // -1) >= .value.total_ns)
+    ' >/dev/null
+    # A live SSE subscriber sees the snapshot header frame first.
+    (curl -sN --max-time 3 "http://$ADDR/v1/sessions/$SID/events" || true) \
+        | head -n 1 > "$SRV_DIR/sse_head.txt"
+    grep -q '^data: {"schema":"pka.snapshot/v1","type":"header"}' "$SRV_DIR/sse_head.txt"
+    echo "server live telemetry OK (sessions_active=1 mid-1M-session, counters monotonic, SSE header seen)"
+
     curl -sf -X DELETE "http://$ADDR/v1/sessions/$SID" -o "$SRV_DIR/teardown.json"
     jq -e '.status == "cancelled" and .records < 1000000' \
         "$SRV_DIR/teardown.json" >/dev/null
@@ -399,6 +462,19 @@ if command -v curl >/dev/null 2>&1 && command -v jq >/dev/null 2>&1; then
     SERVE_PID=""
     grep -q "pka-server stopped" "$SRV_DIR/serve.log"
     echo "server shutdown OK"
+
+    # Request correlation: the access line for the parity checkpoint fetch
+    # must round-trip its request id into a `server.request` trace event
+    # carrying the same session id.
+    REQ_ID="$(grep '"type":"access"' "$SRV_DIR/serve.log" \
+        | jq -s --arg p "/v1/sessions/$PARITY_SID/checkpoint" \
+            '[.[] | select(.path == $p)][0].req_id')"
+    [ -n "$REQ_ID" ] && [ "$REQ_ID" != "null" ]
+    jq -es --argjson id "$REQ_ID" --arg sid "$PARITY_SID" '
+        any(.[]; .type == "event" and .name == "server.request"
+                 and .fields.req_id == $id and .fields.session == $sid)
+    ' "$SRV_DIR/serve_trace.jsonl" >/dev/null
+    echo "server request correlation OK (req_id $REQ_ID joined access log to trace)"
 else
     echo "curl or jq not found; skipping server smoke" >&2
 fi

@@ -34,6 +34,7 @@
 mod attribution;
 mod diff;
 mod export;
+mod expose;
 mod snapshot_sink;
 mod trend;
 
@@ -53,6 +54,7 @@ pub use attribution::{
 };
 pub use diff::{diff_bench, diff_manifests, DiffEntry, DiffReport, DiffThresholds};
 pub use export::chrome_trace;
+pub use expose::{global_prometheus, parse_exposition, prometheus_text, EXPOSITION_CONTENT_TYPE};
 pub use snapshot_sink::{SnapshotRecord, SNAPSHOT_SCHEMA};
 pub use trend::{trend_load, trend_push, trend_report, TrendThresholds};
 
@@ -201,6 +203,7 @@ pub struct Histogram {
     name: &'static str,
     edges: Vec<u64>,
     buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
 }
 
 impl Histogram {
@@ -213,6 +216,7 @@ impl Histogram {
             name,
             edges: edges.to_vec(),
             buckets: (0..=edges.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
         }
     }
 
@@ -236,6 +240,7 @@ impl Histogram {
             .position(|&edge| v <= edge)
             .unwrap_or(self.edges.len());
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
     }
 
     /// Per-bucket counts (finite buckets in edge order, then overflow).
@@ -251,10 +256,20 @@ impl Histogram {
         self.counts().iter().sum()
     }
 
+    /// Sum of all observed values (wrapping at `u64::MAX`), for Prometheus
+    /// `_sum` exposition. Updated by a separate relaxed add, so a scrape
+    /// racing `record` may see `sum` lag the buckets by in-flight
+    /// observations; `_count` is derived from one read of the buckets and
+    /// never drifts.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
     fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }
+        self.sum.store(0, Ordering::Relaxed);
     }
 }
 

@@ -212,6 +212,7 @@ fn reason(status: u16) -> &'static str {
         200 => "OK",
         202 => "Accepted",
         400 => "Bad Request",
+        408 => "Request Timeout",
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",

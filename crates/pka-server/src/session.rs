@@ -20,7 +20,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -144,6 +144,10 @@ pub struct SessionCell {
     pub cancel: CancelToken,
     /// Mutable session state.
     pub state: Mutex<SessionState>,
+    /// Paired with `state`: notified whenever a new progress line lands in
+    /// the ring or the session reaches a terminal status, so SSE
+    /// subscribers (`GET .../events`) wake without polling.
+    pub progress_wake: Condvar,
 }
 
 /// One registered session.
@@ -480,6 +484,7 @@ impl Registry {
             id: id.clone(),
             cancel: CancelToken::new(),
             state: Mutex::new(SessionState::default()),
+            progress_wake: Condvar::new(),
         });
         self.stats.session_started();
         if pka_obs::enabled() {
@@ -682,6 +687,10 @@ fn run_session(cell: Arc<SessionCell>, stats: Arc<RegistryStats>, plan: Plan, ex
             st.set_status(status);
         }
     }
+    drop(st);
+    // Terminal transition: wake every events subscriber so streams end
+    // promptly after DELETE/finish instead of waiting out a poll tick.
+    cell.progress_wake.notify_all();
 }
 
 /// Maps a pipeline error to the session's terminal state: cancellation is
@@ -843,6 +852,8 @@ fn run_stream(
                 bytes.push('\n');
                 st.last_checkpoint = Some(bytes);
                 push_progress(&mut st, line);
+                drop(st);
+                on_cell.progress_wake.notify_all();
                 Ok(())
             };
             let outcome = match &resume_sharded_cp {
@@ -889,6 +900,8 @@ fn run_stream(
                 bytes.push('\n');
                 st.last_checkpoint = Some(bytes);
                 push_progress(&mut st, line);
+                drop(st);
+                on_cell.progress_wake.notify_all();
                 Ok(())
             };
             let outcome = match &resume_cp {

@@ -221,8 +221,9 @@ const USAGE: &str = "usage:
              [--gpu ...] [--workers N] [observability flags]
   pka serve [--addr HOST:PORT] [--http-threads N] [--workers N]
             [--max-sessions N] [--retain N] [--feed-capacity N]
-            [observability flags]
+            [--read-timeout-ms MS] [observability flags]
   pka trace export TRACE.jsonl [--out FILE.json]
+  pka obs scrape URL [--out FILE.json]
   pka obs explain ATTRIBUTION.json
   pka obs diff BASELINE.json CURRENT.json [--counters-only]
               [--counter-tol PCT] [--gauge-tol PCT] [--stage-tol PCT]
@@ -282,6 +283,19 @@ state is dropped. Every session shares one process-wide executor
 (`--workers`); `--max-sessions` caps concurrently running sessions and
 `--retain` bounds how many completed sessions stay inspectable. The
 service stops on POST /v1/shutdown.
+
+The service is observable while it runs: GET /metrics serves every
+registered counter, gauge, histogram and stage timer in Prometheus text
+exposition 0.0.4, GET /v1/sessions/{id}/events streams each new progress
+record as server-sent events (terminated by an `event: end` frame when
+the session finishes or is deleted), every request is logged to stderr as
+one JSON access line carrying a request id that also appears in a
+`server.request` trace event (`--trace-out`), and connections that stall
+mid-request are dropped with 408 after `--read-timeout-ms` (default
+30000). `obs scrape URL` fetches a /metrics endpoint (bare host:port
+defaults to the /metrics path) and rewrites it as a
+`pka.run_manifest/v1` metrics document, so a live service can be gated
+with the same `obs diff` / trend machinery as offline runs.
 
 `--fast-math` lets the SIMD distance/projection kernels reassociate their
 reductions across vector lanes. Results are then no longer bitwise equal
@@ -1009,6 +1023,14 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(n) = int_flag(flags, "feed-capacity")? {
         config = config.with_feed_capacity(n as usize);
     }
+    if let Some(ms) = int_flag(flags, "read-timeout-ms")? {
+        config = config.with_read_timeout_ms(ms);
+    }
+    // The service always collects: `GET /metrics`, the access log and the
+    // `server.*` metrics must reflect live traffic without requiring an
+    // observability flag. Collection is proven result-neutral (the parity
+    // suites run with it on), so there is no reason to serve blind.
+    principal_kernel_analysis::obs::enable();
     let server = PkaServer::bind(config).map_err(|e| format!("bind: {e}"))?;
     let addr = server.addr().map_err(|e| format!("local addr: {e}"))?;
     // Flushed eagerly: supervisors (and the CI smoke test) scrape this
@@ -1088,6 +1110,30 @@ fn cmd_obs(flags: &HashMap<String, String>, positional: &[String]) -> Result<(),
             }
             return Ok(());
         }
+        Some("scrape") => {
+            let url = positional
+                .get(1)
+                .ok_or("obs scrape needs a URL (e.g. http://127.0.0.1:8077/metrics)")?;
+            let text = http_get_text(url)?;
+            let doc = principal_kernel_analysis::obs::parse_exposition(&text)
+                .map_err(|e| format!("parse exposition from {url}: {e}"))?;
+            let families = ["counters", "gauges", "histograms", "stages"]
+                .iter()
+                .map(|s| doc[*s].as_object().map_or(0, |m| m.len()))
+                .sum::<usize>();
+            let mut rendered = serde_json::to_string_pretty(&doc)
+                .map_err(|e| format!("serialise scrape: {e}"))?;
+            rendered.push('\n');
+            match flags.get("out") {
+                Some(path) => {
+                    std::fs::write(path, &rendered)
+                        .map_err(|e| format!("write {path}: {e}"))?;
+                    eprintln!("pka: scraped {families} metric series into {path}");
+                }
+                None => print!("{rendered}"),
+            }
+            return Ok(());
+        }
         Some("trend-push") => {
             let manifest_path = positional
                 .get(1)
@@ -1105,7 +1151,7 @@ fn cmd_obs(flags: &HashMap<String, String>, positional: &[String]) -> Result<(),
         Some(other) => return Err(format!("unknown obs subcommand `{other}`\n{USAGE}")),
         None => {
             return Err(format!(
-                "obs needs a subcommand (diff, explain, trend-push)\n{USAGE}"
+                "obs needs a subcommand (diff, explain, scrape, trend-push)\n{USAGE}"
             ))
         }
     }
@@ -1171,4 +1217,42 @@ fn cmd_obs(flags: &HashMap<String, String>, positional: &[String]) -> Result<(),
         0 => Ok(()),
         n => Err(format!("{n} regression(s) past threshold")),
     }
+}
+
+/// One plain HTTP/1.1 GET over `std::net` (no external client, like the
+/// server itself). A URL without a path defaults to `/metrics`.
+fn http_get_text(url: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("only http:// URLs are supported, got `{url}`"))?;
+    let (authority, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/metrics"),
+    };
+    if authority.is_empty() {
+        return Err(format!("`{url}` has no host"));
+    }
+    let mut stream = std::net::TcpStream::connect(authority)
+        .map_err(|e| format!("connect {authority}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {authority}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("send request to {authority}: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read response from {authority}: {e}"))?;
+    let text =
+        String::from_utf8(raw).map_err(|_| format!("{url}: response is not UTF-8"))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{url}: malformed HTTP response"))?;
+    let status = head.split_whitespace().nth(1).unwrap_or("");
+    if status != "200" {
+        return Err(format!("GET {url}: HTTP {status}"));
+    }
+    Ok(body.to_string())
 }

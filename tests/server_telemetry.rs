@@ -1,0 +1,317 @@
+//! Live-telemetry acceptance for `pka-server`: the SSE progress stream
+//! (`GET /v1/sessions/{id}/events`) must be byte-consistent with the
+//! session's progress ring — a mid-stream subscriber sees a gapless,
+//! strictly-seq-increasing suffix of the stamped checkpoint lines and
+//! the stream terminates cleanly on `DELETE` — and `/metrics` scraped
+//! over HTTP mid-session must parse and reflect the session registry.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use principal_kernel_analysis::gpu::GpuConfig;
+use principal_kernel_analysis::obs;
+use principal_kernel_analysis::profile::Profiler;
+use principal_kernel_analysis::server::{PkaServer, ServerConfig};
+use principal_kernel_analysis::stream::{synthetic_workload, KernelSource, WorkloadSource};
+use serde_json::{json, Value};
+
+// ---------------------------------------------------------------------------
+// Raw-socket helpers (mirroring tests/server_sessions.rs)
+// ---------------------------------------------------------------------------
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h).expect("header");
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some(v) = h.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("length");
+        }
+    }
+    let mut out = vec![0u8; content_length];
+    reader.read_exact(&mut out).expect("body");
+    (status, String::from_utf8(out).expect("utf8"))
+}
+
+fn export_lines(n: u64, prefix: u64) -> String {
+    let mut src = WorkloadSource::new(synthetic_workload(n), Profiler::new(GpuConfig::v100()));
+    let mut lines = String::new();
+    let mut i = 0u64;
+    while let Some(rec) = src.next_record(i < prefix).expect("export record") {
+        lines.push_str(&rec.to_jsonl().to_string());
+        lines.push('\n');
+        i += 1;
+    }
+    lines
+}
+
+/// One parsed server-sent event: `(event name or "message", data lines
+/// joined)`. Comment frames (keep-alives) are skipped.
+#[derive(Debug, PartialEq)]
+struct SseEvent {
+    name: String,
+    data: String,
+}
+
+/// Opens the events stream and returns a reader positioned after the
+/// response headers.
+fn subscribe(addr: SocketAddr, id: &str) -> BufReader<TcpStream> {
+    let mut stream = TcpStream::connect(addr).expect("connect sse");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    write!(
+        stream,
+        "GET /v1/sessions/{id}/events HTTP/1.1\r\nHost: t\r\nAccept: text/event-stream\r\n\r\n"
+    )
+    .expect("send subscribe");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("sse status");
+    assert!(
+        status_line.starts_with("HTTP/1.1 200"),
+        "events subscribe: {status_line}"
+    );
+    let mut saw_sse_type = false;
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h).expect("sse header");
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if h.to_ascii_lowercase() == "content-type: text/event-stream" {
+            saw_sse_type = true;
+        }
+    }
+    assert!(saw_sse_type, "events response must be text/event-stream");
+    reader
+}
+
+/// Reads SSE frames until the stream's EOF, dropping keep-alive comments.
+fn read_events(reader: &mut BufReader<TcpStream>) -> Vec<SseEvent> {
+    let mut events = Vec::new();
+    let mut name = String::from("message");
+    let mut data: Vec<String> = Vec::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("sse frame line");
+        if n == 0 {
+            assert!(
+                data.is_empty(),
+                "stream ended mid-frame: {data:?}"
+            );
+            return events;
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            if !data.is_empty() {
+                events.push(SseEvent {
+                    name: std::mem::replace(&mut name, "message".to_string()),
+                    data: data.join("\n"),
+                });
+                data.clear();
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("data: ") {
+            data.push(rest.to_string());
+        } else if let Some(rest) = line.strip_prefix("event: ") {
+            name = rest.to_string();
+        } else {
+            assert!(
+                line.starts_with(':'),
+                "unexpected SSE line: `{line}`"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The live-session scenario
+// ---------------------------------------------------------------------------
+
+/// Mid-stream SSE subscribe + `/metrics` over HTTP + clean termination on
+/// DELETE, in one scenario (one test, so the global metric registry is
+/// not shared across concurrently running tests in this binary).
+#[test]
+fn events_stream_is_byte_consistent_with_the_progress_ring() {
+    obs::enable();
+    let lines = export_lines(12_000, 150);
+    let server = PkaServer::bind(ServerConfig::default()).expect("bind");
+    let addr = server.addr().expect("addr");
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run().expect("run"));
+
+        let (status, body) = request(
+            addr,
+            "POST",
+            "/v1/sessions",
+            &json!({
+                "mode": "stream",
+                "source": "feed",
+                "prefix": 150,
+                "checkpoint_every": 500,
+                "reservoir": 128,
+                "batch": 64,
+            })
+            .to_string(),
+        );
+        assert_eq!(status, 200, "create session: {body}");
+        let id = serde_json::from_str::<Value>(&body).expect("create json")["id"]
+            .as_str()
+            .expect("session id")
+            .to_string();
+
+        // First half of the stream, then wait until the ring holds some
+        // stamped checkpoint lines — the subscriber below starts
+        // mid-stream, with a backlog.
+        let half: String = lines.lines().take(6_000).flat_map(|l| [l, "\n"]).collect();
+        let (status, body) = request(addr, "POST", &format!("/v1/sessions/{id}/records"), &half);
+        assert_eq!(status, 200, "{body}");
+        let stamped = |progress: &str| {
+            progress
+                .lines()
+                .filter(|l| l.contains("\"seq\""))
+                .count()
+        };
+        let mut backlog = 0;
+        for _ in 0..6_000 {
+            let (_, progress) = request(addr, "GET", &format!("/v1/sessions/{id}/progress"), "");
+            backlog = stamped(&progress);
+            if backlog >= 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(backlog >= 2, "session never produced a progress backlog");
+
+        // Subscribe, then keep the stream alive while more records flow.
+        let mut sse = subscribe(addr, &id);
+
+        // Mid-session scrape: valid exposition, live session registry.
+        let (status, metrics) = request(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        let doc = obs::parse_exposition(&metrics).expect("mid-session scrape parses");
+        assert_eq!(doc["gauges"]["pka_server_sessions_active"], json!(1));
+        assert!(
+            doc["counters"]["pka_server_sessions_created_total"]
+                .as_u64()
+                .is_some_and(|n| n >= 1),
+            "created counter missing: {metrics}"
+        );
+
+        // Second half arrives while the subscriber is attached; once the
+        // worker has consumed everything, DELETE tears the session down
+        // and must end the stream.
+        let rest: String = lines.lines().skip(6_000).flat_map(|l| [l, "\n"]).collect();
+        let (status, body) = request(addr, "POST", &format!("/v1/sessions/{id}/records"), &rest);
+        assert_eq!(status, 200, "{body}");
+        for _ in 0..6_000 {
+            let (_, body) = request(addr, "GET", &format!("/v1/sessions/{id}"), "");
+            let v: Value = serde_json::from_str(&body).expect("describe json");
+            if v["records"].as_u64().unwrap_or(0) >= 12_000 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let (status, body) = request(addr, "DELETE", &format!("/v1/sessions/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+
+        // Drain the whole SSE stream to EOF.
+        let events = read_events(&mut sse);
+
+        // Frame shape: snapshot header first, then stamped data frames,
+        // then exactly one terminal `end` frame carrying the status.
+        assert!(
+            events.len() >= 4,
+            "expected header + checkpoints + end, got {events:?}"
+        );
+        assert_eq!(
+            events[0],
+            SseEvent {
+                name: "message".to_string(),
+                data: "{\"schema\":\"pka.snapshot/v1\",\"type\":\"header\"}".to_string(),
+            }
+        );
+        let end = events.last().expect("at least the end frame");
+        assert_eq!(end.name, "end");
+        assert_eq!(
+            serde_json::from_str::<Value>(&end.data).expect("end payload")["status"],
+            json!("cancelled")
+        );
+
+        // Data frames: strictly increasing, gapless seq.
+        let seqs: Vec<u64> = events[1..events.len() - 1]
+            .iter()
+            .map(|e| {
+                assert_eq!(e.name, "message", "unexpected frame {e:?}");
+                serde_json::from_str::<Value>(&e.data).expect("snapshot json")["seq"]
+                    .as_u64()
+                    .unwrap_or_else(|| panic!("unstamped data frame: {}", e.data))
+            })
+            .collect();
+        assert!(
+            seqs.windows(2).all(|w| w[1] == w[0] + 1),
+            "seq must increase gaplessly: {seqs:?}"
+        );
+
+        // Byte consistency: the data frames are exactly the stamped suffix
+        // of the final progress ring (here the full ring — nothing was
+        // evicted), byte for byte.
+        let (status, progress) =
+            request(addr, "GET", &format!("/v1/sessions/{id}/progress"), "");
+        assert_eq!(status, 200);
+        let ring: Vec<&str> = progress
+            .lines()
+            .filter(|l| l.contains("\"seq\""))
+            .collect();
+        let frames: Vec<&str> = events[1..events.len() - 1]
+            .iter()
+            .map(|e| e.data.as_str())
+            .collect();
+        assert_eq!(
+            frames,
+            ring[ring.len() - frames.len()..],
+            "SSE data frames must be a byte-exact suffix of the progress ring"
+        );
+
+        // A post-mortem subscriber gets the ring replay and an immediate
+        // end frame — no waiting on a dead session.
+        let mut replay = subscribe(addr, &id);
+        let replayed = read_events(&mut replay);
+        assert_eq!(
+            replayed.last().map(|e| e.name.as_str()),
+            Some("end"),
+            "terminal session must end the stream immediately"
+        );
+        assert_eq!(replayed.len() - 2, ring.len(), "full-ring replay");
+
+        // Unknown sessions 404 instead of hanging a stream open.
+        let (status, _) = request(addr, "GET", "/v1/sessions/nope/events", "");
+        assert_eq!(status, 404);
+
+        let (status, _) = request(addr, "POST", "/v1/shutdown", "");
+        assert_eq!(status, 200);
+        handle.join().expect("server thread");
+    });
+}
